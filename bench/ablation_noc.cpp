@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: interconnect sensitivity. Sweeps the per-hop router cost
+ * and the machine size through the component latency model, showing
+ * how the 2-hop / 3-hop latencies (and hence everything Figures 6-13
+ * measure about multiprocessors) depend on the network the 21364-style
+ * design integrates on chip.
+ */
+
+#include <iostream>
+
+#include "src/stats/table.hh"
+#include "src/timing/component_model.hh"
+
+int
+main()
+{
+    using namespace isim;
+
+    std::cout << "== Ablation A2: router hop cost vs remote latencies "
+                 "(full integration, 8-node torus) ==\n\n";
+    Table t({"RouterDelay", "LinkFlight", "Remote", "RemoteDirty",
+             "Dirty/Remote"});
+    for (Cycles hop : {2u, 5u, 10u, 20u, 40u}) {
+        ComponentParams params;
+        params.link.routerDelay = hop;
+        const ComponentLatencyModel model(params, 8);
+        const LatencyTable lat =
+            model.derive(IntegrationLevel::FullInt, L2Impl::OnchipSram);
+        t.row()
+            .count(hop)
+            .count(params.link.linkFlight)
+            .count(lat.remote)
+            .count(lat.remoteDirty)
+            .num(static_cast<double>(lat.remoteDirty) /
+                     static_cast<double>(lat.remote),
+                 2);
+    }
+    t.print(std::cout);
+
+    std::cout << "\n== Machine-size scaling (average hops grow with "
+                 "the torus) ==\n\n";
+    Table s({"Nodes", "Torus", "AvgHops", "Diameter", "Remote",
+             "RemoteDirty"});
+    for (unsigned nodes : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        const ComponentLatencyModel model(ComponentParams{}, nodes);
+        const TorusTopology &topo = model.network().topology();
+        const LatencyTable lat =
+            model.derive(IntegrationLevel::FullInt, L2Impl::OnchipSram);
+        s.row()
+            .count(nodes)
+            .cell(std::to_string(topo.width()) + "x" +
+                  std::to_string(topo.height()))
+            .num(topo.averageHops(), 2)
+            .count(topo.diameter())
+            .count(lat.remote)
+            .count(lat.remoteDirty);
+    }
+    s.print(std::cout);
+
+    std::cout << "\n== Link bandwidth vs serialization (64B line) ==\n\n";
+    Table b({"GB/s", "Serialization", "Remote"});
+    for (double gbs : {1.0, 2.0, 4.0, 8.0}) {
+        ComponentParams params;
+        params.link.bandwidthGBs = gbs;
+        const ComponentLatencyModel model(params, 8);
+        b.row()
+            .num(gbs, 0)
+            .count(model.network().serialization(64))
+            .count(model.derive(IntegrationLevel::FullInt,
+                                L2Impl::OnchipSram)
+                       .remote);
+    }
+    b.print(std::cout);
+    return 0;
+}

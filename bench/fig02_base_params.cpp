@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 2: the Base system parameters.
+ */
+
+#include <iostream>
+
+#include "src/core/figures.hh"
+#include "src/stats/table.hh"
+
+int
+main()
+{
+    using namespace isim;
+    const MachineConfig cfg = figures::baseMachine(figures::mpNodes);
+
+    Table t({"Base System Parameter", "Value"});
+    t.row().cell("Processor speed").cell("1 GHz");
+    t.row().cell("Cache line size").cell(
+        std::to_string(cfg.l2.lineBytes) + " bytes");
+    t.row().cell("L1 data cache size (on-chip)").cell("64 KB");
+    t.row().cell("L1 data cache associativity").cell("2-way");
+    t.row().cell("L1 instruction cache size (on-chip)").cell("64 KB");
+    t.row().cell("L1 instruction cache associativity").cell("2-way");
+    t.row().cell("L2 cache size (off-chip)").cell(
+        std::to_string(cfg.l2.sizeBytes / mib) + " MB");
+    t.row().cell("L2 cache associativity").cell(
+        std::to_string(cfg.l2.assoc) + "-way");
+    t.row().cell("Multiprocessor configuration").cell(
+        std::to_string(cfg.numCpus) + " processors");
+
+    std::cout << "== Figure 2: Parameters for the Base system ==\n\n";
+    t.print(std::cout);
+
+    std::cout << "\nWorkload (paper Section 2.1):\n";
+    Table w({"Workload Parameter", "Value"});
+    const WorkloadParams &p = cfg.workload;
+    w.row().cell("TPC-B branches").count(p.branches);
+    w.row().cell("Tellers").count(p.totalTellers());
+    w.row().cell("Accounts").count(p.totalAccounts());
+    w.row().cell("Server processes per CPU").count(p.serversPerCpu);
+    w.row().cell("Measured transactions").count(p.transactions);
+    w.row().cell("Warm-up transactions").count(p.warmupTransactions);
+    w.print(std::cout);
+    return 0;
+}

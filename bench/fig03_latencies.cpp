@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 3 (memory latencies per
+ * configuration) and cross-checks it against the component-level
+ * latency model, printing the derived values, their worst relative
+ * error, and the full path decomposition for each class.
+ */
+
+#include <iostream>
+
+#include "src/stats/table.hh"
+#include "src/timing/component_model.hh"
+
+int
+main()
+{
+    using namespace isim;
+
+    struct Row
+    {
+        IntegrationLevel level;
+        L2Impl impl;
+        const char *name;
+    };
+    const Row rows[] = {
+        {IntegrationLevel::ConservativeBase, L2Impl::OffchipAssoc,
+         "Conservative Base"},
+        {IntegrationLevel::Base, L2Impl::OffchipDirect,
+         "Base (1-way L2)"},
+        {IntegrationLevel::Base, L2Impl::OffchipAssoc,
+         "Base (n-way L2)"},
+        {IntegrationLevel::L2Int, L2Impl::OnchipSram,
+         "L2 integrated (SRAM)"},
+        {IntegrationLevel::L2Int, L2Impl::OnchipDram,
+         "L2 integrated (DRAM)"},
+        {IntegrationLevel::L2McInt, L2Impl::OnchipSram,
+         "L2, MC integrated"},
+        {IntegrationLevel::FullInt, L2Impl::OnchipSram,
+         "L2, MC, CC/NR integrated"},
+    };
+
+    std::cout << "== Figure 3: Memory latencies (cycles @1GHz == ns) "
+                 "==\n\n";
+    Table t({"Configuration", "L2 Hit", "Local", "Remote",
+             "Remote Dirty"});
+    for (const Row &row : rows) {
+        const LatencyTable lat = figure3Latencies(row.level, row.impl);
+        t.row()
+            .cell(row.name)
+            .count(lat.l2Hit)
+            .count(lat.local)
+            .count(lat.remote)
+            .count(lat.remoteDirty);
+    }
+    t.print(std::cout);
+
+    const ReductionVsBase red = fullIntegrationReduction();
+    std::cout << "\nFull integration vs Base (paper Section 2.3: "
+                 "1.67x / 1.33x / 1.17x / 1.38x):\n  L2 hit "
+              << formatNum(red.l2Hit, 2) << "x, local "
+              << formatNum(red.local, 2) << "x, remote "
+              << formatNum(red.remote, 2) << "x, dirty "
+              << formatNum(red.remoteDirty, 2) << "x\n";
+
+    const ComponentLatencyModel model(ComponentParams{}, 8);
+    std::cout << "\n== Component-model derivation (8-node torus) ==\n\n";
+    Table d({"Configuration", "L2 Hit", "Local", "Remote", "Dirty",
+             "WorstErr%"});
+    for (const Row &row : rows) {
+        const LatencyTable lat = model.derive(row.level, row.impl);
+        d.row()
+            .cell(row.name)
+            .count(lat.l2Hit)
+            .count(lat.local)
+            .count(lat.remote)
+            .count(lat.remoteDirty)
+            .num(100.0 * model.worstRelativeError(row.level, row.impl));
+    }
+    d.print(std::cout);
+
+    std::cout << "\nPath decompositions (full integration):\n";
+    std::cout << "  l2 hit : "
+              << model.l2HitPath(IntegrationLevel::FullInt,
+                                 L2Impl::OnchipSram)
+                     .describe()
+              << "\n";
+    std::cout << "  local  : "
+              << model.localPath(IntegrationLevel::FullInt).describe()
+              << "\n";
+    std::cout << "  remote : "
+              << model.remotePath(IntegrationLevel::FullInt).describe()
+              << "\n";
+    std::cout << "  dirty  : "
+              << model.remoteDirtyPath(IntegrationLevel::FullInt,
+                                       L2Impl::OnchipSram)
+                     .describe()
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 10 (successive integration of the
+ * L2, memory controller, and coherence/network hardware), both the
+ * uniprocessor and the 8-processor graphs.
+ */
+
+#include "fig_main.hh"
+
+int
+main()
+{
+    isim::benchmain::runAndPrint(isim::figures::figure10Uni());
+    return isim::benchmain::runAndPrint(isim::figures::figure10Mp());
+}

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 12.
+ */
+
+#include "fig_main.hh"
+
+int
+main()
+{
+    return isim::benchmain::runAndPrint(isim::figures::figure12());
+}

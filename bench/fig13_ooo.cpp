@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 13 (out-of-order processors), both
+ * the uniprocessor and the 8-processor graphs.
+ */
+
+#include "fig_main.hh"
+
+int
+main()
+{
+    isim::benchmain::runAndPrint(isim::figures::figure13Uni());
+    return isim::benchmain::runAndPrint(isim::figures::figure13Mp());
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared driver for the figure-regeneration benches: run a FigureSpec
+ * and print the paper-style report. Honors ISIM_TXNS / ISIM_WARMUP for
+ * quick runs.
+ */
+
+#ifndef ISIM_BENCH_FIG_MAIN_HH
+#define ISIM_BENCH_FIG_MAIN_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "src/core/figures.hh"
+#include "src/core/report.hh"
+
+namespace isim::benchmain {
+
+inline int
+runAndPrint(const FigureSpec &spec)
+{
+    ExperimentRunner runner(/*verbose=*/true);
+    const FigureResult result = runner.run(spec);
+    printFigureReport(std::cout, result);
+    if (const char *dir = std::getenv("ISIM_JSON_DIR")) {
+        std::string name;
+        for (const char c : spec.id + "_" + spec.title) {
+            name += std::isalnum(static_cast<unsigned char>(c))
+                        ? static_cast<char>(std::tolower(
+                              static_cast<unsigned char>(c)))
+                        : '_';
+        }
+        const std::string path =
+            std::string(dir) + "/" + name.substr(0, 64) + ".json";
+        std::ofstream out(path);
+        out << figureToJson(result);
+        std::cout << "json written to " << path << "\n";
+    }
+    return 0;
+}
+
+} // namespace isim::benchmain
+
+#endif // ISIM_BENCH_FIG_MAIN_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * cache tag lookup, full coherent accesses, VM translation, RNG and
+ * workload generation. These bound the simulator's refs/second, i.e.
+ * how long the figure benches take.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <deque>
+
+#include "src/base/random.hh"
+#include "src/coherence/protocol.hh"
+#include "src/oltp/code_model.hh"
+#include "src/os/layout.hh"
+#include "src/os/vm.hh"
+
+namespace {
+
+using namespace isim;
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_RngZipf(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.zipf(4096, 0.8));
+}
+BENCHMARK(BM_RngZipf);
+
+void
+BM_CacheArrayLookupHit(benchmark::State &state)
+{
+    CacheArray array(
+        CacheGeometry{2 * mib, static_cast<unsigned>(state.range(0)),
+                      64});
+    Victim v;
+    for (Addr line = 0; line < 1024; ++line)
+        array.allocate(line, LineState::Shared, v);
+    Addr line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.findLine(line));
+        line = (line + 1) & 1023;
+    }
+}
+BENCHMARK(BM_CacheArrayLookupHit)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_MemorySystemL1Hit(benchmark::State &state)
+{
+    MemSysConfig cfg;
+    cfg.numNodes = 1;
+    cfg.l2 = CacheGeometry{2 * mib, 8, 64};
+    cfg.lat = figure3Latencies(IntegrationLevel::FullInt,
+                               L2Impl::OnchipSram);
+    MemorySystem ms(cfg);
+    ms.access(0, RefType::Load, 0x1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ms.access(0, RefType::Load, 0x1000));
+}
+BENCHMARK(BM_MemorySystemL1Hit);
+
+void
+BM_MemorySystemMissStream(benchmark::State &state)
+{
+    MemSysConfig cfg;
+    cfg.numNodes = 8;
+    cfg.l2 = CacheGeometry{512 * kib, 2, 64};
+    cfg.lat = figure3Latencies(IntegrationLevel::FullInt,
+                               L2Impl::OnchipSram);
+    MemorySystem ms(cfg);
+    Rng rng(7);
+    for (auto _ : state) {
+        const NodeId node = static_cast<NodeId>(rng.below(8));
+        const Addr addr = (rng.below(8) << 31) |
+                          (rng.below(1 << 14) << 6);
+        const RefType type =
+            rng.chance(0.2) ? RefType::Store : RefType::Load;
+        benchmark::DoNotOptimize(ms.access(node, type, addr));
+    }
+}
+BENCHMARK(BM_MemorySystemMissStream);
+
+void
+BM_VmTranslate(benchmark::State &state)
+{
+    VmConfig vc;
+    vc.homeMap = HomeMap{31, 8};
+    VirtualMemory vm(vc);
+    Rng rng(3);
+    for (auto _ : state) {
+        const Addr v = rng.below(1 << 16) * 64;
+        benchmark::DoNotOptimize(vm.translate(v, 0));
+    }
+}
+BENCHMARK(BM_VmTranslate);
+
+void
+BM_CodeInvocation(benchmark::State &state)
+{
+    CodeModelParams cp;
+    cp.vbase = layout::dbText;
+    cp.textBytes = 384 * kib;
+    cp.numFunctions = 128;
+    cp.seed = 5;
+    CodeModel code(cp);
+    VmConfig vc;
+    vc.homeMap = HomeMap{31, 1};
+    VirtualMemory vm(vc);
+    Rng rng(5);
+    std::deque<MemRef> out;
+    for (auto _ : state) {
+        out.clear();
+        const unsigned f = static_cast<unsigned>(rng.below(128));
+        benchmark::DoNotOptimize(
+            code.invoke(f, rng, vm, 0, false, out));
+    }
+}
+BENCHMARK(BM_CodeInvocation);
+
+} // namespace
+
+BENCHMARK_MAIN();

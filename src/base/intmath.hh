@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the simulator.
+ */
+
+#ifndef ISIM_BASE_INTMATH_HH
+#define ISIM_BASE_INTMATH_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+/** True if value is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+inline unsigned
+floorLog2(std::uint64_t value)
+{
+    isim_assert(value != 0);
+    return 63u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/** Ceiling division for non-negative integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round value up to the next multiple of align (align power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round value down to a multiple of align (align power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+} // namespace isim
+
+#endif // ISIM_BASE_INTMATH_HH

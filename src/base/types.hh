@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ *
+ * All timing in IntegraSim is expressed in processor cycles of a 1 GHz
+ * clock, so one Tick equals one nanosecond (this mirrors the paper's
+ * Figure 3, whose latencies are given in cycles "equals ns for 1GHz
+ * processor").
+ */
+
+#ifndef ISIM_BASE_TYPES_HH
+#define ISIM_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace isim {
+
+/** Simulated time, in 1 GHz processor cycles (== nanoseconds). */
+using Tick = std::uint64_t;
+
+/** A cycle count or latency, same unit as Tick. */
+using Cycles = std::uint64_t;
+
+/** Physical or virtual address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Node (processor chip) identifier in the multiprocessor. */
+using NodeId = std::uint32_t;
+
+/** Simulated software process identifier. */
+using Pid = std::uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel node id meaning "no node". */
+inline constexpr NodeId invalidNode = static_cast<NodeId>(-1);
+
+inline constexpr std::uint64_t kib = 1024;
+inline constexpr std::uint64_t mib = 1024 * kib;
+inline constexpr std::uint64_t gib = 1024 * mib;
+
+} // namespace isim
+
+#endif // ISIM_BASE_TYPES_HH

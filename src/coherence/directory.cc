@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Directory implementation.
+ */
+
+#include "src/coherence/directory.hh"
+
+namespace isim {
+
+Directory::Directory(const HomeMap &home_map, unsigned line_bits)
+    : homeMap_(home_map), lineBits_(line_bits)
+{
+    isim_assert(homeMap_.numNodes >= 1 && homeMap_.numNodes <= 32);
+    map_.reserve(1 << 20);
+}
+
+DirEntry *
+Directory::find(Addr line_addr)
+{
+    auto it = map_.find(line_addr);
+    return it == map_.end() ? nullptr : &it->second;
+}
+
+const DirEntry *
+Directory::find(Addr line_addr) const
+{
+    auto it = map_.find(line_addr);
+    return it == map_.end() ? nullptr : &it->second;
+}
+
+DirEntry &
+Directory::entry(Addr line_addr)
+{
+    return map_[line_addr];
+}
+
+void
+Directory::erase(Addr line_addr)
+{
+    map_.erase(line_addr);
+}
+
+void
+Directory::checkEntry(const DirEntry &e)
+{
+    switch (e.state) {
+      case LineState::Invalid:
+        isim_assert(e.sharers == 0, "uncached entry has sharers");
+        break;
+      case LineState::Shared:
+        isim_assert(e.sharers != 0, "shared entry with empty sharer set");
+        break;
+      case LineState::Modified:
+        isim_assert(e.owner != invalidNode, "modified entry without owner");
+        isim_assert(e.sharers == (1u << e.owner),
+                    "modified entry sharer mask not exactly the owner");
+        break;
+      case LineState::Exclusive:
+        isim_panic("directory entries use Modified for owned lines");
+    }
+}
+
+} // namespace isim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Full-map directory for the invalidate-based MSI protocol.
+ *
+ * The machine is a ccNUMA with per-node memory; the home of a physical
+ * address is the node whose memory window contains it (2 GB windows, as
+ * a 21364-class system would expose). The directory keeps exact sharer
+ * vectors: nodes send replacement hints on clean evictions and
+ * write-backs on dirty evictions, so 2-hop vs 3-hop classification is
+ * precise — which the paper's Figures 6, 8 and 11 depend on.
+ */
+
+#ifndef ISIM_COHERENCE_DIRECTORY_HH
+#define ISIM_COHERENCE_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/base/logging.hh"
+#include "src/base/types.hh"
+#include "src/mem/line_state.hh"
+
+namespace isim {
+
+/** Physical address layout: each node owns a power-of-two window. */
+struct HomeMap
+{
+    unsigned nodeShift = 31; //!< log2 of the per-node window (2 GB)
+    unsigned numNodes = 1;
+
+    NodeId homeOfByte(Addr paddr) const
+    {
+        const NodeId home = static_cast<NodeId>(paddr >> nodeShift);
+        isim_assert(home < numNodes, "address outside installed memory");
+        return home;
+    }
+
+    /** Home of a line address given the cache line size in bits. */
+    NodeId homeOfLine(Addr line_addr, unsigned line_bits) const
+    {
+        return homeOfByte(line_addr << line_bits);
+    }
+
+    Addr nodeBase(NodeId node) const
+    {
+        return static_cast<Addr>(node) << nodeShift;
+    }
+
+    std::uint64_t nodeWindow() const { return std::uint64_t{1} << nodeShift; }
+};
+
+/** Directory entry for one line. Absent entry == Uncached. */
+struct DirEntry
+{
+    LineState state = LineState::Invalid; //!< Invalid==Uncached here
+    std::uint32_t sharers = 0;            //!< bitmask of nodes with a copy
+    NodeId owner = invalidNode;           //!< valid when state==Modified
+
+    bool isUncached() const { return state == LineState::Invalid; }
+    bool hasSharer(NodeId n) const { return (sharers >> n) & 1u; }
+    unsigned sharerCount() const
+    {
+        return static_cast<unsigned>(__builtin_popcount(sharers));
+    }
+};
+
+/**
+ * The directory proper: a sparse map from line address to entry. One
+ * logical directory serves all homes (the home node of each entry is
+ * derivable from the address); per-home occupancy counters are kept so
+ * directory pressure can be reported per node.
+ */
+class Directory
+{
+  public:
+    Directory(const HomeMap &home_map, unsigned line_bits);
+
+    const HomeMap &homeMap() const { return homeMap_; }
+    NodeId homeOf(Addr line_addr) const
+    {
+        return homeMap_.homeOfLine(line_addr, lineBits_);
+    }
+
+    /** Lookup; returns nullptr when the line is uncached everywhere. */
+    DirEntry *find(Addr line_addr);
+    const DirEntry *find(Addr line_addr) const;
+
+    /** Lookup-or-create (created entries start Uncached). */
+    DirEntry &entry(Addr line_addr);
+
+    /** Drop an entry that returned to the Uncached state. */
+    void erase(Addr line_addr);
+
+    std::size_t population() const { return map_.size(); }
+
+    /**
+     * Structural self-check of one entry; panics on violation.
+     * (Node-vs-directory cross checks live in the protocol engine,
+     * which can see the caches.)
+     */
+    static void checkEntry(const DirEntry &e);
+
+  private:
+    HomeMap homeMap_;
+    unsigned lineBits_;
+    std::unordered_map<Addr, DirEntry> map_;
+};
+
+} // namespace isim
+
+#endif // ISIM_COHERENCE_DIRECTORY_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Experiment harness implementation.
+ */
+
+#include "src/core/experiment.hh"
+
+#include <cstdlib>
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+void
+ExperimentRunner::applyEnvOverrides(WorkloadParams &params)
+{
+    if (const char *txns = std::getenv("ISIM_TXNS")) {
+        const long v = std::atol(txns);
+        if (v > 0)
+            params.transactions = static_cast<std::uint64_t>(v);
+    }
+    if (const char *warm = std::getenv("ISIM_WARMUP")) {
+        const long v = std::atol(warm);
+        if (v >= 0)
+            params.warmupTransactions = static_cast<std::uint64_t>(v);
+    }
+}
+
+RunResult
+ExperimentRunner::runOne(const MachineConfig &config) const
+{
+    MachineConfig cfg = config;
+    applyEnvOverrides(cfg.workload);
+    if (verbose_)
+        isim_inform("running %s ...", cfg.name.c_str());
+    Machine machine(cfg);
+    RunResult r = machine.run();
+    if (!r.dbConsistent)
+        isim_warn("%s: TPC-B consistency check FAILED", cfg.name.c_str());
+    return r;
+}
+
+FigureResult
+ExperimentRunner::run(const FigureSpec &spec) const
+{
+    FigureResult result;
+    result.spec = spec;
+    result.runs.reserve(spec.bars.size());
+    for (const FigureBar &bar : spec.bars)
+        result.runs.push_back(runOne(bar.config));
+    return result;
+}
+
+} // namespace isim

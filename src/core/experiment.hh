@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment harness: a figure is a list of machine configurations
+ * plus the paper's published (normalized) bar heights; running it
+ * produces measured results side by side with the paper's values.
+ */
+
+#ifndef ISIM_CORE_EXPERIMENT_HH
+#define ISIM_CORE_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/machine.hh"
+
+namespace isim {
+
+/** One bar of a figure. */
+struct FigureBar
+{
+    MachineConfig config;
+    /** Paper's normalized execution time (percent), if legible. */
+    std::optional<double> paperExecTime;
+    /** Paper's normalized L2 miss count (percent), if legible. */
+    std::optional<double> paperMisses;
+};
+
+/** A full figure (or table) specification. */
+struct FigureSpec
+{
+    std::string id;    //!< e.g. "Figure 5"
+    std::string title;
+    std::vector<FigureBar> bars;
+    std::size_t normalizeTo = 0; //!< bar whose value is 100
+    bool multiprocessor = false;
+};
+
+/** Result of running a figure. */
+struct FigureResult
+{
+    FigureSpec spec;
+    std::vector<RunResult> runs;
+};
+
+/**
+ * Runs every configuration of a figure (sequentially; each run builds
+ * a fresh machine). Honors the ISIM_TXNS / ISIM_WARMUP environment
+ * overrides so quick CI runs are possible.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(bool verbose = true)
+        : verbose_(verbose)
+    {
+    }
+
+    FigureResult run(const FigureSpec &spec) const;
+    RunResult runOne(const MachineConfig &config) const;
+
+    /** Apply the environment overrides to a workload. */
+    static void applyEnvOverrides(WorkloadParams &params);
+
+  private:
+    bool verbose_;
+};
+
+} // namespace isim
+
+#endif // ISIM_CORE_EXPERIMENT_HH

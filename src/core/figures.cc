@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Figure configuration builders.
+ */
+
+#include "src/core/figures.hh"
+
+#include "src/base/logging.hh"
+
+namespace isim {
+namespace figures {
+
+namespace {
+
+std::string
+sizeLabel(std::uint64_t bytes, unsigned assoc)
+{
+    return CacheGeometry{bytes, assoc, 64}.shortName();
+}
+
+} // namespace
+
+MachineConfig
+baseMachine(unsigned cpus, CpuModel model)
+{
+    MachineConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.cpuModel = model;
+    cfg.level = IntegrationLevel::Base;
+    cfg.l2Impl = L2Impl::OffchipDirect;
+    cfg.l2 = CacheGeometry{8 * mib, 1, 64};
+    cfg.name = "Base 8M1w";
+    return cfg;
+}
+
+MachineConfig
+offchip(unsigned cpus, std::uint64_t l2_bytes, unsigned assoc,
+        bool conservative, CpuModel model)
+{
+    MachineConfig cfg = baseMachine(cpus, model);
+    cfg.level = conservative ? IntegrationLevel::ConservativeBase
+                             : IntegrationLevel::Base;
+    cfg.l2Impl = assoc == 1 ? L2Impl::OffchipDirect
+                            : L2Impl::OffchipAssoc;
+    if (conservative)
+        cfg.l2Impl = L2Impl::OffchipAssoc;
+    cfg.l2 = CacheGeometry{l2_bytes, assoc, 64};
+    cfg.name = std::string(conservative ? "Cons " : "Base ") +
+               sizeLabel(l2_bytes, assoc);
+    return cfg;
+}
+
+MachineConfig
+onchip(unsigned cpus, std::uint64_t l2_bytes, unsigned assoc,
+       IntegrationLevel level, L2Impl impl, CpuModel model)
+{
+    isim_assert(l2OnChip(impl));
+    MachineConfig cfg = baseMachine(cpus, model);
+    cfg.level = level;
+    cfg.l2Impl = impl;
+    cfg.l2 = CacheGeometry{l2_bytes, assoc, 64};
+    const char *lvl = level == IntegrationLevel::L2Int ? "L2 "
+                      : level == IntegrationLevel::L2McInt ? "L2+MC "
+                                                           : "All ";
+    cfg.name = std::string(lvl) + sizeLabel(l2_bytes, assoc) +
+               (impl == L2Impl::OnchipDram ? " DRAM" : "");
+    return cfg;
+}
+
+FigureSpec
+figure5()
+{
+    FigureSpec spec;
+    spec.id = "Figure 5";
+    spec.title = "OLTP with different off-chip L2 configurations - "
+                 "uniprocessor";
+    spec.multiprocessor = false;
+    // Paper miss bars (normalized to 1M 1-way = 100). The 1-way series
+    // is legible from the figure; for the 4-way series the figure dump
+    // is ambiguous, so only values implied by the prose are pinned:
+    // "going from a 1MB direct-mapped to an 8MB 4-way cache results in
+    // almost a 50 times reduction" fixes 8M4w ~ 2, and the remaining
+    // bars are derived from Figure 7 via the common 8M1w bar
+    // (2M4w = 0.32*78 ~ 25, 1M4w >= 1M8w = 0.32*182 ~ 58).
+    const double paper_miss[] = {100, 58, 43, 32, 58, 25, -1, 2, 2};
+    const std::uint64_t sizes[] = {1 * mib, 2 * mib, 4 * mib, 8 * mib};
+    unsigned i = 0;
+    for (unsigned assoc : {1u, 4u}) {
+        for (std::uint64_t size : sizes) {
+            FigureBar bar;
+            bar.config = offchip(1, size, assoc);
+            if (paper_miss[i] > 0)
+                bar.paperMisses = paper_miss[i];
+            ++i;
+            if (i == 1)
+                bar.paperExecTime = 100.0;
+            spec.bars.push_back(bar);
+        }
+    }
+    FigureBar cons;
+    cons.config = offchip(1, 8 * mib, 4, /*conservative=*/true);
+    cons.paperMisses = paper_miss[i];
+    spec.bars.push_back(cons);
+    spec.normalizeTo = 0;
+    return spec;
+}
+
+FigureSpec
+figure6()
+{
+    FigureSpec spec = figure5();
+    spec.id = "Figure 6";
+    spec.title = "OLTP with different off-chip L2 configurations - "
+                 "8 processors";
+    spec.multiprocessor = true;
+    for (FigureBar &bar : spec.bars) {
+        bar.config.numCpus = mpNodes;
+        bar.paperMisses.reset(); // MP bars not cleanly legible
+        bar.paperExecTime.reset();
+    }
+    spec.bars[0].paperExecTime = 100.0;
+    // Conservative Base is *worse* than the 1M 1-way Base (~108):
+    // remote-latency sensitivity (Section 3).
+    spec.bars.back().paperExecTime = 108.0;
+    return spec;
+}
+
+FigureSpec
+figure7()
+{
+    FigureSpec spec;
+    spec.id = "Figure 7";
+    spec.title = "Impact of on-chip L2 - uniprocessor";
+    spec.multiprocessor = false;
+
+    struct Row
+    {
+        std::uint64_t size;
+        unsigned assoc;
+        L2Impl impl;
+        double paper_miss;
+        double paper_exec; //!< <0 == unknown
+    };
+    const Row rows[] = {
+        {1 * mib, 8, L2Impl::OnchipSram, 182, 83},
+        {2 * mib, 8, L2Impl::OnchipSram, 47, 70},
+        {2 * mib, 4, L2Impl::OnchipSram, 78, 71},
+        {2 * mib, 2, L2Impl::OnchipSram, 242, -1},
+        {2 * mib, 1, L2Impl::OnchipSram, 396, -1},
+        {8 * mib, 8, L2Impl::OnchipDram, 14, -1},
+    };
+
+    FigureBar base;
+    base.config = offchip(1, 8 * mib, 1);
+    base.paperMisses = 100.0;
+    base.paperExecTime = 100.0;
+    spec.bars.push_back(base);
+    for (const Row &row : rows) {
+        FigureBar bar;
+        bar.config = onchip(1, row.size, row.assoc,
+                            IntegrationLevel::L2Int, row.impl);
+        bar.paperMisses = row.paper_miss;
+        if (row.paper_exec > 0)
+            bar.paperExecTime = row.paper_exec;
+        spec.bars.push_back(bar);
+    }
+    spec.normalizeTo = 0;
+    return spec;
+}
+
+FigureSpec
+figure8()
+{
+    FigureSpec spec = figure7();
+    spec.id = "Figure 8";
+    spec.title = "Impact of on-chip L2 - 8 processors";
+    spec.multiprocessor = true;
+    for (FigureBar &bar : spec.bars) {
+        bar.config.numCpus = mpNodes;
+        bar.paperMisses.reset();
+        bar.paperExecTime.reset();
+    }
+    spec.bars[0].paperMisses = 100.0;
+    spec.bars[0].paperExecTime = 100.0;
+    // 2M8w: ~1.2x improvement; misses ~74. DRAM 8M8w: ~10% slower
+    // than the SRAM option; misses ~30.
+    spec.bars[2].paperExecTime = 84.0;
+    spec.bars[2].paperMisses = 74.0;
+    spec.bars[6].paperExecTime = 93.0;
+    spec.bars[6].paperMisses = 30.0;
+    return spec;
+}
+
+namespace {
+
+FigureSpec
+figure10(unsigned cpus)
+{
+    FigureSpec spec;
+    spec.id = "Figure 10";
+    spec.title = std::string("Impact of integrating L2, MC, CC/NR - ") +
+                 (cpus == 1 ? "uniprocessor" : "8 processors");
+    spec.multiprocessor = cpus > 1;
+
+    FigureBar base;
+    base.config = baseMachine(cpus);
+    base.paperExecTime = 100.0;
+    spec.bars.push_back(base);
+
+    FigureBar l2;
+    l2.config = onchip(cpus, 2 * mib, 8, IntegrationLevel::L2Int);
+    l2.paperExecTime = cpus == 1 ? 70.0 : 84.0;
+    spec.bars.push_back(l2);
+
+    FigureBar l2mc;
+    l2mc.config = onchip(cpus, 2 * mib, 8, IntegrationLevel::L2McInt);
+    l2mc.paperExecTime = cpus == 1 ? 69.0 : 84.0;
+    spec.bars.push_back(l2mc);
+
+    if (cpus > 1) {
+        FigureBar all;
+        all.config = onchip(cpus, 2 * mib, 8, IntegrationLevel::FullInt);
+        all.paperExecTime = 70.0; // 1.43x over Base
+        spec.bars.push_back(all);
+    }
+    spec.normalizeTo = 0;
+    return spec;
+}
+
+} // namespace
+
+FigureSpec
+figure10Uni()
+{
+    return figure10(1);
+}
+
+FigureSpec
+figure10Mp()
+{
+    return figure10(mpNodes);
+}
+
+FigureSpec
+figure11()
+{
+    FigureSpec spec;
+    spec.id = "Figure 11";
+    spec.title = "Impact of remote access cache on L2 misses, with and "
+                 "without instruction replication - 8 processors, "
+                 "1M 4-way L2";
+    spec.multiprocessor = true;
+
+    for (const bool repl : {false, true}) {
+        for (const bool rac : {false, true}) {
+            FigureBar bar;
+            bar.config = onchip(mpNodes, 1 * mib, 4,
+                                IntegrationLevel::FullInt);
+            bar.config.rac = rac;
+            bar.config.replicateCode = repl;
+            bar.config.name = std::string(rac ? "RAC" : "NoRAC") +
+                              (repl ? " Repl" : " NoRepl");
+            // The RAC changes the miss *mix*, not the total.
+            bar.paperMisses = 100.0;
+            spec.bars.push_back(bar);
+        }
+    }
+    spec.normalizeTo = 0;
+    return spec;
+}
+
+FigureSpec
+figure12()
+{
+    FigureSpec spec;
+    spec.id = "Figure 12";
+    spec.title = "Performance impact of remote access caches with "
+                 "different L2 cache sizes - 8 processors";
+    spec.multiprocessor = true;
+
+    auto make = [](std::uint64_t l2_bytes, unsigned assoc, bool rac,
+                   const char *name) {
+        FigureBar bar;
+        bar.config = onchip(mpNodes, l2_bytes, assoc,
+                            IntegrationLevel::FullInt);
+        bar.config.rac = rac;
+        bar.config.replicateCode = true; // Section 6 uses replication
+        bar.config.name = name;
+        return bar;
+    };
+
+    FigureBar a = make(1 * mib, 4, false, "NoRAC 1M4w");
+    a.paperExecTime = 100.0;
+    FigureBar b = make(1 * mib, 4, true, "RAC 1M4w");
+    b.paperExecTime = 95.7; // "4.3% reduction in execution time"
+    FigureBar c = make(1280 * kib, 4, false, "NoRAC 1.25M4w");
+    c.paperExecTime = 95.0; // "marginally better" than 1M + RAC
+    FigureBar d = make(2 * mib, 8, false, "NoRAC 2M8w");
+    FigureBar e = make(2 * mib, 8, true, "RAC 2M8w");
+    // "performance is almost the same with and without a RAC"
+    spec.bars = {a, b, c, d, e};
+    spec.normalizeTo = 0;
+    return spec;
+}
+
+namespace {
+
+FigureSpec
+figure13(unsigned cpus)
+{
+    FigureSpec spec;
+    spec.id = "Figure 13";
+    spec.title = std::string("Integration with out-of-order "
+                             "processors - ") +
+                 (cpus == 1 ? "uniprocessor" : "8 processors");
+    spec.multiprocessor = cpus > 1;
+
+    FigureBar in_order;
+    in_order.config = baseMachine(cpus, CpuModel::InOrder);
+    in_order.config.name = "Base InOrder";
+    in_order.paperExecTime = cpus == 1 ? 139.0 : 132.0;
+    spec.bars.push_back(in_order);
+
+    FigureBar base;
+    base.config = baseMachine(cpus, CpuModel::OutOfOrder);
+    base.config.name = "Base OOO";
+    base.paperExecTime = 100.0;
+    spec.bars.push_back(base);
+
+    FigureBar l2;
+    l2.config = onchip(cpus, 2 * mib, 8, IntegrationLevel::L2Int,
+                       L2Impl::OnchipSram, CpuModel::OutOfOrder);
+    l2.config.name = "L2 OOO";
+    l2.paperExecTime = cpus == 1 ? 68.0 : 85.0;
+    spec.bars.push_back(l2);
+
+    FigureBar l2mc;
+    l2mc.config = onchip(cpus, 2 * mib, 8, IntegrationLevel::L2McInt,
+                         L2Impl::OnchipSram, CpuModel::OutOfOrder);
+    l2mc.config.name = "L2+MC OOO";
+    l2mc.paperExecTime = cpus == 1 ? 67.0 : 85.0;
+    spec.bars.push_back(l2mc);
+
+    if (cpus > 1) {
+        FigureBar all;
+        all.config = onchip(cpus, 2 * mib, 8, IntegrationLevel::FullInt,
+                            L2Impl::OnchipSram, CpuModel::OutOfOrder);
+        all.config.name = "All OOO";
+        all.paperExecTime = 70.0;
+        spec.bars.push_back(all);
+    }
+    // Normalize to the Base out-of-order bar, as the paper does.
+    spec.normalizeTo = 1;
+    return spec;
+}
+
+} // namespace
+
+FigureSpec
+figure13Uni()
+{
+    return figure13(1);
+}
+
+FigureSpec
+figure13Mp()
+{
+    return figure13(mpNodes);
+}
+
+} // namespace figures
+} // namespace isim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Machine configurations for every figure/table of the paper, with
+ * the published normalized bar values embedded where they are legible
+ * from the paper (values recovered from the figure dumps are
+ * approximate to a few percent; claims in the prose are exact and are
+ * what EXPERIMENTS.md and the integration tests check).
+ */
+
+#ifndef ISIM_CORE_FIGURES_HH
+#define ISIM_CORE_FIGURES_HH
+
+#include "src/core/experiment.hh"
+
+namespace isim {
+namespace figures {
+
+/** Paper constants. */
+inline constexpr unsigned mpNodes = 8;
+
+/** Baseline machine (Figure 2 parameters) with `cpus` processors. */
+MachineConfig baseMachine(unsigned cpus,
+                          CpuModel model = CpuModel::InOrder);
+
+/** Off-chip L2 variant ("Base" or "Conservative Base"). */
+MachineConfig offchip(unsigned cpus, std::uint64_t l2_bytes,
+                      unsigned assoc, bool conservative = false,
+                      CpuModel model = CpuModel::InOrder);
+
+/** Integrated-L2 variant at a given integration level. */
+MachineConfig onchip(unsigned cpus, std::uint64_t l2_bytes,
+                     unsigned assoc, IntegrationLevel level,
+                     L2Impl impl = L2Impl::OnchipSram,
+                     CpuModel model = CpuModel::InOrder);
+
+FigureSpec figure5();  //!< uniprocessor, off-chip L2 sweep
+FigureSpec figure6();  //!< 8-processor, off-chip L2 sweep
+FigureSpec figure7();  //!< uniprocessor, integrated L2
+FigureSpec figure8();  //!< 8-processor, integrated L2
+FigureSpec figure10Uni(); //!< successive integration, uniprocessor
+FigureSpec figure10Mp();  //!< successive integration, 8 processors
+FigureSpec figure11(); //!< RAC miss mix, with/without replication
+FigureSpec figure12(); //!< RAC performance
+FigureSpec figure13Uni(); //!< out-of-order, uniprocessor
+FigureSpec figure13Mp();  //!< out-of-order, 8 processors
+
+} // namespace figures
+} // namespace isim
+
+#endif // ISIM_CORE_FIGURES_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Machine assembly implementation.
+ */
+
+#include "src/core/machine.hh"
+
+#include "src/base/logging.hh"
+#include "src/core/simulation.hh"
+#include "src/cpu/inorder.hh"
+
+namespace isim {
+
+std::string
+MachineConfig::label() const
+{
+    return name;
+}
+
+Machine::Machine(const MachineConfig &config) : config_(config)
+{
+    if (!validCombination(config_.level, config_.l2Impl)) {
+        isim_fatal("machine '%s': %s cannot use a %s L2",
+                   config_.name.c_str(),
+                   integrationLevelName(config_.level),
+                   l2ImplName(config_.l2Impl));
+    }
+
+    if (config_.numCpus % config_.coresPerNode != 0) {
+        isim_fatal("machine '%s': %u cores not divisible by %u "
+                   "cores/node",
+                   config_.name.c_str(), config_.numCpus,
+                   config_.coresPerNode);
+    }
+
+    VmConfig vmc;
+    vmc.homeMap = HomeMap{config_.nodeShift, config_.numNodes()};
+    vmc.coresPerNode = config_.coresPerNode;
+    vmc.pageColors = config_.pageColors;
+    vmc.seed = mix64(config_.workload.seed ^ 0x5eed);
+    vm_ = std::make_unique<VirtualMemory>(vmc);
+
+    kernel_ = std::make_unique<KernelModel>(
+        *vm_, config_.numCpus, KernelParams{},
+        mix64(config_.workload.seed ^ 0x6e17));
+
+    engine_ = std::make_unique<OltpEngine>(config_.workload, *vm_,
+                                           *kernel_, config_.numCpus,
+                                           config_.replicateCode);
+
+    MemSysConfig msc;
+    msc.numNodes = config_.numNodes();
+    msc.coresPerNode = config_.coresPerNode;
+    msc.victimBufferEntries = config_.victimBufferEntries;
+    msc.prefetchDegree = config_.prefetchDegree;
+    msc.mcOccupancy = config_.mcOccupancy;
+    msc.l2 = config_.l2;
+    msc.racEnabled = config_.rac;
+    msc.rac = config_.racGeom;
+    msc.lat = config_.latencies();
+    msc.nodeShift = config_.nodeShift;
+    memSys_ = std::make_unique<MemorySystem>(msc);
+
+    cpus_.reserve(config_.numCpus);
+    for (NodeId n = 0; n < config_.numCpus; ++n) {
+        if (config_.cpuModel == CpuModel::InOrder) {
+            cpus_.push_back(std::make_unique<InOrderCpu>(n, *memSys_));
+        } else {
+            cpus_.push_back(std::make_unique<OooCpu>(n, *memSys_,
+                                                     config_.oooParams));
+        }
+    }
+
+    sched_ = std::make_unique<Scheduler>(config_.numCpus);
+    engine_->createProcesses(*sched_);
+}
+
+void
+Machine::resetStats()
+{
+    for (auto &core : cpus_)
+        core->resetStats();
+    memSys_->resetStats();
+}
+
+RunResult
+Machine::snapshot() const
+{
+    RunResult r;
+    r.name = config_.name;
+    for (const auto &core : cpus_)
+        r.cpu += core->stats();
+    r.misses = memSys_->aggregateStats();
+    if (memSys_->hasRac())
+        r.rac = memSys_->aggregateRacCounters();
+    r.transactions = engine_->committedTransactions();
+    r.dbConsistent = engine_->db().checkConsistency();
+    return r;
+}
+
+RunResult
+Machine::run(TraceWriter *trace)
+{
+    SimOptions opts;
+    opts.quantum = config_.workload.quantum;
+    opts.trace = trace;
+    Simulation sim(*sched_, *kernel_, *engine_, cpus_, opts);
+
+    sim.runUntilWarmupDone();
+    const Tick warm_end = sim.wallTime();
+    resetStats();
+    const std::uint64_t warm_txns = engine_->committedTransactions();
+
+    sim.runUntilMeasurementDone();
+
+    RunResult r = snapshot();
+    r.transactions = engine_->committedTransactions() - warm_txns;
+    r.wallTime = sim.wallTime() - warm_end;
+    return r;
+}
+
+} // namespace isim

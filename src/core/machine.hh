@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Machine assembly: one object that wires the full system — virtual
+ * memory, kernel model, OLTP engine, scheduler, coherent memory
+ * system, and one CPU core per node — from a single MachineConfig, and
+ * runs the workload with the paper's warm-up-then-measure protocol.
+ */
+
+#ifndef ISIM_CORE_MACHINE_HH
+#define ISIM_CORE_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/coherence/protocol.hh"
+#include "src/cpu/core.hh"
+#include "src/cpu/ooo.hh"
+#include "src/oltp/workload.hh"
+#include "src/os/kernel.hh"
+#include "src/os/scheduler.hh"
+#include "src/os/vm.hh"
+#include "src/timing/latency_config.hh"
+
+namespace isim {
+
+class TraceWriter;
+
+/** Full configuration of one simulated machine + workload. */
+struct MachineConfig
+{
+    std::string name = "unnamed";
+
+    unsigned numCpus = 1; //!< total CPU cores
+    /**
+     * Cores per chip (CMP extension; paper Section 8 points to chip
+     * multiprocessing as the step after integration). numCpus must be
+     * divisible by it; cores on a chip share the L2 and node memory.
+     */
+    unsigned coresPerNode = 1;
+    CpuModel cpuModel = CpuModel::InOrder;
+    OooParams oooParams{};
+
+    unsigned numNodes() const { return numCpus / coresPerNode; }
+
+    IntegrationLevel level = IntegrationLevel::Base;
+    L2Impl l2Impl = L2Impl::OffchipDirect;
+    CacheGeometry l2{8 * mib, 1, 64};
+    bool rac = false;
+    CacheGeometry racGeom{8 * mib, 8, 64};
+    /** L2 victim-buffer entries (0 = none; paper Figure 1 block). */
+    unsigned victimBufferEntries = 0;
+    /** Sequential L2 prefetch degree (0 = none). */
+    unsigned prefetchDegree = 0;
+    /** Per-miss MC occupancy in cycles (0 = uncontended, default). */
+    Cycles mcOccupancy = 0;
+    bool replicateCode = false;
+
+    unsigned nodeShift = 31; //!< 2 GB of memory per node
+    /** OS page colours (1 = random placement, the paper's baseline). */
+    unsigned pageColors = 1;
+    WorkloadParams workload{};
+
+    /** The latency table this configuration charges (Figure 3). */
+    LatencyTable latencies() const
+    {
+        return figure3Latencies(level, l2Impl);
+    }
+
+    /** Short label, e.g. "Base 8M1w". */
+    std::string label() const;
+};
+
+/** Aggregated outcome of one measured run. */
+struct RunResult
+{
+    std::string name;
+    CpuStats cpu;             //!< summed over CPUs (measurement window)
+    NodeProtocolStats misses; //!< summed over nodes
+    RacCounters rac;
+    std::uint64_t transactions = 0;
+    Tick wallTime = 0; //!< elapsed simulated time of the window
+    bool dbConsistent = false;
+
+    /** The figures' y-axis: total non-idle execution time. */
+    Tick execTime() const { return cpu.nonIdle(); }
+    double tps() const
+    {
+        return wallTime
+                   ? static_cast<double>(transactions) * 1e9 / wallTime
+                   : 0.0;
+    }
+};
+
+/** The assembled machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    const MachineConfig &config() const { return config_; }
+
+    /**
+     * Run warm-up then the measured transaction count; returns the
+     * aggregated result for the measurement window. When `trace` is
+     * given, every consumed reference (warm-up included) is captured.
+     */
+    RunResult run(TraceWriter *trace = nullptr);
+
+    // Component access (tests, examples).
+    VirtualMemory &vm() { return *vm_; }
+    KernelModel &kernel() { return *kernel_; }
+    OltpEngine &engine() { return *engine_; }
+    Scheduler &sched() { return *sched_; }
+    MemorySystem &memSys() { return *memSys_; }
+    CpuCore &cpu(NodeId node) { return *cpus_[node]; }
+
+    /** Reset all statistics (cache/directory contents are kept). */
+    void resetStats();
+
+    /** Collect current aggregated statistics. */
+    RunResult snapshot() const;
+
+  private:
+    MachineConfig config_;
+    std::unique_ptr<VirtualMemory> vm_;
+    std::unique_ptr<KernelModel> kernel_;
+    std::unique_ptr<OltpEngine> engine_;
+    std::unique_ptr<Scheduler> sched_;
+    std::unique_ptr<MemorySystem> memSys_;
+    std::vector<std::unique_ptr<CpuCore>> cpus_;
+};
+
+} // namespace isim
+
+#endif // ISIM_CORE_MACHINE_HH

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Report formatting implementation.
+ */
+
+#include "src/core/report.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+namespace {
+
+double
+norm(double value, double reference)
+{
+    return reference > 0.0 ? 100.0 * value / reference : 0.0;
+}
+
+} // namespace
+
+Table
+executionTable(const FigureResult &result)
+{
+    const FigureSpec &spec = result.spec;
+    isim_assert(spec.normalizeTo < result.runs.size());
+    const double ref = static_cast<double>(
+        result.runs[spec.normalizeTo].execTime());
+
+    Table t({"Config", "CPU", "L2Hit", "LocStall", "RemStall", "Total",
+             "Paper"});
+    for (std::size_t i = 0; i < result.runs.size(); ++i) {
+        const RunResult &r = result.runs[i];
+        const double total = static_cast<double>(r.execTime());
+        t.row()
+            .cell(r.name)
+            .num(norm(static_cast<double>(r.cpu.busy), ref))
+            .num(norm(static_cast<double>(r.cpu.l2HitStall), ref))
+            .num(norm(static_cast<double>(r.cpu.localStall), ref))
+            .num(norm(static_cast<double>(r.cpu.remStall()), ref))
+            .num(norm(total, ref))
+            .cell(spec.bars[i].paperExecTime
+                      ? formatNum(*spec.bars[i].paperExecTime)
+                      : "-");
+    }
+    return t;
+}
+
+Table
+missTable(const FigureResult &result)
+{
+    const FigureSpec &spec = result.spec;
+    const double ref = static_cast<double>(
+        result.runs[spec.normalizeTo].misses.totalL2Misses());
+
+    Table t({"Config", "I-Loc", "I-Rem", "D-Loc", "D-RemCl", "D-RemDrt",
+             "Total", "Paper"});
+    for (std::size_t i = 0; i < result.runs.size(); ++i) {
+        const NodeProtocolStats &m = result.runs[i].misses;
+        t.row()
+            .cell(result.runs[i].name)
+            .num(norm(static_cast<double>(m.instrLocal), ref))
+            .num(norm(static_cast<double>(m.instrRemote), ref))
+            .num(norm(static_cast<double>(m.dataLocal), ref))
+            .num(norm(static_cast<double>(m.dataRemoteClean), ref))
+            .num(norm(static_cast<double>(m.dataRemoteDirty), ref))
+            .num(norm(static_cast<double>(m.totalL2Misses()), ref))
+            .cell(spec.bars[i].paperMisses
+                      ? formatNum(*spec.bars[i].paperMisses)
+                      : "-");
+    }
+    return t;
+}
+
+Table
+detailTable(const FigureResult &result)
+{
+    Table t({"Config", "Instr(M)", "Miss/1kI", "TPS", "Kernel%",
+             "Busy%", "Inval/Store%", "RACHit%", "Consist"});
+    for (const RunResult &r : result.runs) {
+        const double instr_m =
+            static_cast<double>(r.cpu.instructions) / 1e6;
+        const double mpki =
+            r.cpu.instructions
+                ? 1000.0 *
+                      static_cast<double>(r.misses.totalL2Misses()) /
+                      static_cast<double>(r.cpu.instructions)
+                : 0.0;
+        const double inval_rate =
+            r.misses.storeRefs
+                ? 100.0 *
+                      static_cast<double>(r.misses.storesCausingInval) /
+                      static_cast<double>(r.misses.storeRefs)
+                : 0.0;
+        t.row()
+            .cell(r.name)
+            .num(instr_m)
+            .num(mpki, 2)
+            .num(r.tps(), 0)
+            .num(100.0 * r.cpu.kernelFraction())
+            .num(100.0 * r.cpu.busyFraction())
+            .num(inval_rate, 2)
+            .num(100.0 * r.rac.hitRate())
+            .cell(r.dbConsistent ? "ok" : "FAIL");
+    }
+    return t;
+}
+
+void
+printFigureReport(std::ostream &os, const FigureResult &result)
+{
+    os << "== " << result.spec.id << ": " << result.spec.title
+       << " ==\n\n";
+    os << "Normalized execution time (bar " << result.spec.normalizeTo
+       << " = 100):\n";
+    executionTable(result).print(os);
+    os << "\nNormalized L2 misses:\n";
+    missTable(result).print(os);
+    os << "\nRun details:\n";
+    detailTable(result).print(os);
+    os << "\n";
+}
+
+namespace {
+
+void
+jsonKv(std::ostream &os, const char *key, double value, bool comma = true)
+{
+    os << "\"" << key << "\": " << formatNum(value, 4)
+       << (comma ? ", " : "");
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+figureToJson(const FigureResult &result)
+{
+    const FigureSpec &spec = result.spec;
+    const double ref = static_cast<double>(
+        result.runs[spec.normalizeTo].execTime());
+    const double ref_miss = static_cast<double>(
+        result.runs[spec.normalizeTo].misses.totalL2Misses());
+
+    std::ostringstream os;
+    os << "{\n  \"id\": \"" << jsonEscape(spec.id) << "\",\n";
+    os << "  \"title\": \"" << jsonEscape(spec.title) << "\",\n";
+    os << "  \"bars\": [\n";
+    for (std::size_t i = 0; i < result.runs.size(); ++i) {
+        const RunResult &r = result.runs[i];
+        os << "    {\"name\": \"" << jsonEscape(r.name) << "\", ";
+        jsonKv(os, "exec_norm",
+               norm(static_cast<double>(r.execTime()), ref));
+        jsonKv(os, "exec_cycles", static_cast<double>(r.execTime()));
+        jsonKv(os, "busy", static_cast<double>(r.cpu.busy));
+        jsonKv(os, "l2hit_stall",
+               static_cast<double>(r.cpu.l2HitStall));
+        jsonKv(os, "local_stall",
+               static_cast<double>(r.cpu.localStall));
+        jsonKv(os, "remote_stall",
+               static_cast<double>(r.cpu.remStall()));
+        jsonKv(os, "misses_norm",
+               norm(static_cast<double>(r.misses.totalL2Misses()),
+                    ref_miss));
+        jsonKv(os, "miss_instr_local",
+               static_cast<double>(r.misses.instrLocal));
+        jsonKv(os, "miss_instr_remote",
+               static_cast<double>(r.misses.instrRemote));
+        jsonKv(os, "miss_data_local",
+               static_cast<double>(r.misses.dataLocal));
+        jsonKv(os, "miss_data_2hop",
+               static_cast<double>(r.misses.dataRemoteClean));
+        jsonKv(os, "miss_data_3hop",
+               static_cast<double>(r.misses.dataRemoteDirty));
+        jsonKv(os, "tps", r.tps());
+        if (spec.bars[i].paperExecTime)
+            jsonKv(os, "paper_exec", *spec.bars[i].paperExecTime);
+        if (spec.bars[i].paperMisses)
+            jsonKv(os, "paper_misses", *spec.bars[i].paperMisses);
+        jsonKv(os, "consistent", r.dbConsistent ? 1 : 0, false);
+        os << "}" << (i + 1 < result.runs.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string
+summaryLine(const FigureResult &result)
+{
+    std::ostringstream os;
+    const double ref = static_cast<double>(
+        result.runs[result.spec.normalizeTo].execTime());
+    os << result.spec.id << ":";
+    for (const RunResult &r : result.runs) {
+        os << " " << r.name << "="
+           << formatNum(norm(static_cast<double>(r.execTime()), ref));
+    }
+    return os.str();
+}
+
+} // namespace isim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Report formatting: renders a FigureResult the way the paper draws
+ * it — a normalized execution-time breakdown table and a normalized
+ * L2-miss breakdown table — with the paper's published values (where
+ * known) alongside for comparison.
+ */
+
+#ifndef ISIM_CORE_REPORT_HH
+#define ISIM_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/experiment.hh"
+#include "src/stats/table.hh"
+
+namespace isim {
+
+/** Normalized execution-time table (CPU / L2Hit / LocStall / RemStall). */
+Table executionTable(const FigureResult &result);
+
+/** Normalized L2 miss table (I/D x local/remote-clean/remote-dirty). */
+Table missTable(const FigureResult &result);
+
+/** Absolute run metrics (instructions, TPS, kernel share, RAC rate). */
+Table detailTable(const FigureResult &result);
+
+/** Print the full report for one figure. */
+void printFigureReport(std::ostream &os, const FigureResult &result);
+
+/** One-line CSV-ish summary used by EXPERIMENTS.md generation. */
+std::string summaryLine(const FigureResult &result);
+
+/**
+ * Machine-readable JSON for one figure: per bar the configuration
+ * label, normalized and absolute execution time with its breakdown,
+ * the miss mix, and the paper's published values where known.
+ */
+std::string figureToJson(const FigureResult &result);
+
+} // namespace isim
+
+#endif // ISIM_CORE_REPORT_HH

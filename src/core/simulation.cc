@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Simulation loop implementation.
+ */
+
+#include "src/core/simulation.hh"
+
+#include "src/base/logging.hh"
+#include "src/coherence/protocol.hh"
+#include "src/trace/trace_io.hh"
+
+namespace isim {
+
+Simulation::Simulation(Scheduler &sched, KernelModel &kernel,
+                       OltpEngine &engine,
+                       std::vector<std::unique_ptr<CpuCore>> &cpus,
+                       const SimOptions &options)
+    : sched_(sched), kernel_(kernel), engine_(engine), cpus_(cpus),
+      options_(options), state_(cpus.size())
+{
+}
+
+Tick
+Simulation::wallTime() const
+{
+    Tick t = 0;
+    for (const auto &cs : state_)
+        t = std::max(t, cs.now);
+    return t;
+}
+
+bool
+Simulation::steppable(NodeId cpu) const
+{
+    const CpuState &cs = state_[cpu];
+    if (!cs.injected.empty() || sched_.running(cpu) != nullptr ||
+        sched_.hasReady(cpu)) {
+        return true;
+    }
+    return sched_.nextWake(cpu) != maxTick;
+}
+
+Tick
+Simulation::nextEventTime(NodeId cpu) const
+{
+    const CpuState &cs = state_[cpu];
+    if (!cs.injected.empty() || sched_.running(cpu) != nullptr ||
+        sched_.hasReady(cpu)) {
+        return cs.now;
+    }
+    const Tick wake = sched_.nextWake(cpu);
+    return wake == maxTick ? maxTick : std::max(cs.now, wake);
+}
+
+void
+Simulation::stepCpu(NodeId cpu)
+{
+    CpuState &cs = state_[cpu];
+    CpuCore &core = *cpus_[cpu];
+
+    // Pending kernel path (context switch) runs before anything else.
+    if (!cs.injected.empty()) {
+        const MemRef ref = cs.injected.front();
+        cs.injected.pop_front();
+        if (options_.trace != nullptr)
+            options_.trace->write(cpu, ref);
+        cs.now = core.consume(ref, cs.now);
+        return;
+    }
+
+    Process *running = sched_.running(cpu);
+    if (running == nullptr) {
+        Process *next = sched_.pickNext(cpu, cs.now);
+        if (next != nullptr) {
+            kernel_.contextSwitch(cpu, cs.injected);
+            cs.quantumStart = cs.now;
+            return;
+        }
+        // Idle until the next timed wake.
+        const Tick wake = sched_.nextWake(cpu);
+        isim_assert(wake != maxTick, "stepCpu on a stalled CPU");
+        if (wake > cs.now) {
+            core.stats().idle += wake - cs.now;
+            cs.now = wake;
+        }
+        return;
+    }
+
+    // Quantum preemption.
+    if (options_.quantum > 0 &&
+        cs.now - cs.quantumStart >= options_.quantum &&
+        sched_.hasReady(cpu)) {
+        cs.now = core.drain(cs.now);
+        sched_.yieldCurrent(cpu);
+        return;
+    }
+
+    const ProcessStep s = running->step(cs.now);
+    switch (s.kind) {
+      case StepKind::Ref:
+        if (options_.trace != nullptr)
+            options_.trace->write(cpu, s.ref);
+        cs.now = core.consume(s.ref, cs.now);
+        return;
+      case StepKind::BlockTimed:
+        cs.now = core.drain(cs.now);
+        sched_.blockCurrent(cpu, cs.now + s.delay);
+        return;
+      case StepKind::BlockEvent:
+        cs.now = core.drain(cs.now);
+        sched_.blockCurrent(cpu, maxTick);
+        return;
+      case StepKind::Yield:
+        cs.now = core.drain(cs.now);
+        sched_.yieldCurrent(cpu);
+        return;
+      case StepKind::Done:
+        cs.now = core.drain(cs.now);
+        sched_.finishCurrent(cpu);
+        return;
+    }
+    isim_panic("unknown step kind");
+}
+
+void
+Simulation::runUntil(bool (OltpEngine::*done)() const)
+{
+    while (!(engine_.*done)()) {
+        NodeId best = invalidNode;
+        Tick best_time = maxTick;
+        for (NodeId cpu = 0; cpu < state_.size(); ++cpu) {
+            const Tick t = nextEventTime(cpu);
+            if (t < best_time) {
+                best_time = t;
+                best = cpu;
+            }
+        }
+        if (best == invalidNode) {
+            // Nothing can run anywhere: either all processes exited or
+            // every CPU is event-stalled (a workload deadlock).
+            bool any_live = false;
+            for (NodeId cpu = 0; cpu < state_.size(); ++cpu)
+                any_live = any_live || sched_.hasWork(cpu);
+            if (any_live)
+                isim_panic("simulation deadlock: all CPUs event-stalled");
+            break;
+        }
+        stepCpu(best);
+        ++steps_;
+        if (options_.maxSteps != 0 && steps_ > options_.maxSteps)
+            isim_fatal("step limit exceeded (runaway simulation?)");
+    }
+}
+
+void
+Simulation::runUntilWarmupDone()
+{
+    runUntil(&OltpEngine::warmupDone);
+}
+
+void
+Simulation::runUntilMeasurementDone()
+{
+    runUntil(&OltpEngine::measurementDone);
+}
+
+} // namespace isim

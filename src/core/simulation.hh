@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The simulation loop: a conservative min-clock scheduler over the
+ * per-CPU local times. The CPU whose clock is furthest behind always
+ * steps next, so shared memory-system state is mutated in (approximate)
+ * global time order — the sequentially consistent interleaving the
+ * paper assumes. The loop also drives the OS: process dispatch,
+ * context-switch kernel paths, idle accounting, quantum preemption.
+ */
+
+#ifndef ISIM_CORE_SIMULATION_HH
+#define ISIM_CORE_SIMULATION_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/cpu/core.hh"
+#include "src/oltp/workload.hh"
+#include "src/os/kernel.hh"
+#include "src/os/scheduler.hh"
+
+namespace isim {
+
+class TraceWriter;
+
+/** Options of a simulation run. */
+struct SimOptions
+{
+    Tick quantum = 2000000; //!< preemption quantum (0 = none)
+    /** Optional trace capture of every consumed reference. */
+    TraceWriter *trace = nullptr;
+    /** Hard step limit as a runaway backstop (0 = none). */
+    std::uint64_t maxSteps = 0;
+};
+
+/** The loop itself. */
+class Simulation
+{
+  public:
+    Simulation(Scheduler &sched, KernelModel &kernel, OltpEngine &engine,
+               std::vector<std::unique_ptr<CpuCore>> &cpus,
+               const SimOptions &options);
+
+    /** Run until the engine's measured transaction count completes. */
+    void runUntilMeasurementDone();
+
+    /** Run until the warm-up transaction count completes. */
+    void runUntilWarmupDone();
+
+    /** Local time of a CPU. */
+    Tick cpuNow(NodeId cpu) const { return state_[cpu].now; }
+
+    /** Largest local CPU time (the machine's wall clock). */
+    Tick wallTime() const;
+
+    std::uint64_t steps() const { return steps_; }
+
+  private:
+    struct CpuState
+    {
+        Tick now = 0;
+        Tick quantumStart = 0;
+        std::deque<MemRef> injected; //!< kernel switch path to run
+    };
+
+    /** True if the CPU can make progress right now. */
+    bool steppable(NodeId cpu) const;
+    /**
+     * Time of the CPU's next unit of work: its clock when something
+     * is runnable, else its next timed wake. The loop always steps
+     * the CPU with the smallest event time, so an idle CPU's clock
+     * only jumps to a far-future wake once everyone else has passed
+     * it — preserving global event order and honest wall time.
+     */
+    Tick nextEventTime(NodeId cpu) const;
+    /** Execute one unit of work on the CPU. */
+    void stepCpu(NodeId cpu);
+    void runUntil(bool (OltpEngine::*done)() const);
+
+    Scheduler &sched_;
+    KernelModel &kernel_;
+    OltpEngine &engine_;
+    std::vector<std::unique_ptr<CpuCore>> &cpus_;
+    SimOptions options_;
+    std::vector<CpuState> state_;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace isim
+
+#endif // ISIM_CORE_SIMULATION_HH

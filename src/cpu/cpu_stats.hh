@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-CPU execution-time accounting in the paper's categories:
+ * CPU busy, L2-hit stall, local-memory stall, remote stall (2-hop) and
+ * remote-dirty stall (3-hop), plus idle time and the kernel share.
+ */
+
+#ifndef ISIM_CPU_CPU_STATS_HH
+#define ISIM_CPU_CPU_STATS_HH
+
+#include <cstdint>
+
+#include "src/base/types.hh"
+#include "src/coherence/protocol.hh"
+
+namespace isim {
+
+/** Execution-time buckets matching the paper's figures. */
+struct CpuStats
+{
+    Tick busy = 0;        //!< instruction issue time
+    Tick l2HitStall = 0;  //!< stalls on L1 misses that hit in the L2
+    Tick localStall = 0;  //!< stalls on local-memory misses (incl. RAC)
+    Tick remoteStall = 0; //!< stalls on 2-hop misses
+    Tick remoteDirtyStall = 0; //!< stalls on 3-hop misses
+    Tick idle = 0;        //!< no runnable process
+
+    Tick kernelTime = 0; //!< portion of non-idle time in kernel mode
+
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    /** Non-idle execution time (the quantity the figures plot). */
+    Tick nonIdle() const
+    {
+        return busy + l2HitStall + localStall + remoteStall +
+               remoteDirtyStall;
+    }
+
+    /** Combined remote stall, as plotted in Figures 6/8/10. */
+    Tick remStall() const { return remoteStall + remoteDirtyStall; }
+
+    double kernelFraction() const
+    {
+        const Tick t = nonIdle();
+        return t ? static_cast<double>(kernelTime) / t : 0.0;
+    }
+
+    double busyFraction() const
+    {
+        const Tick t = nonIdle();
+        return t ? static_cast<double>(busy) / t : 0.0;
+    }
+
+    CpuStats &operator+=(const CpuStats &o)
+    {
+        busy += o.busy;
+        l2HitStall += o.l2HitStall;
+        localStall += o.localStall;
+        remoteStall += o.remoteStall;
+        remoteDirtyStall += o.remoteDirtyStall;
+        idle += o.idle;
+        kernelTime += o.kernelTime;
+        instructions += o.instructions;
+        loads += o.loads;
+        stores += o.stores;
+        return *this;
+    }
+
+    /** Add a stall of the given class. */
+    void addStall(MissClass cls, Tick cycles, bool kernel)
+    {
+        switch (cls) {
+          case MissClass::L1Hit:
+            break;
+          case MissClass::L2Hit:
+            l2HitStall += cycles;
+            break;
+          case MissClass::Local:
+            localStall += cycles;
+            break;
+          case MissClass::RemoteClean:
+            remoteStall += cycles;
+            break;
+          case MissClass::RemoteDirty:
+            remoteDirtyStall += cycles;
+            break;
+        }
+        if (kernel)
+            kernelTime += cycles;
+    }
+};
+
+} // namespace isim
+
+#endif // ISIM_CPU_CPU_STATS_HH

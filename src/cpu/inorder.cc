@@ -1,0 +1,55 @@
+/**
+ * @file
+ * In-order core implementation.
+ */
+
+#include "src/cpu/inorder.hh"
+
+#include "src/coherence/protocol.hh"
+
+namespace isim {
+
+InOrderCpu::InOrderCpu(NodeId node, MemorySystem &mem) : CpuCore(node, mem)
+{
+}
+
+Tick
+InOrderCpu::consume(const MemRef &ref, Tick now)
+{
+    Tick busy = 0;
+    RefType type;
+    switch (ref.kind) {
+      case RefKind::Instr:
+        type = RefType::IFetch;
+        busy = ref.instrCount;
+        stats_.instructions += ref.instrCount;
+        break;
+      case RefKind::Load:
+        type = RefType::Load;
+        ++stats_.loads;
+        break;
+      case RefKind::Store:
+        type = RefType::Store;
+        ++stats_.stores;
+        break;
+      default:
+        isim_panic("unknown ref kind");
+    }
+
+    const AccessOutcome out = mem_.access(node_, type, ref.paddr, now);
+
+    stats_.busy += busy;
+    if (ref.kernel)
+        stats_.kernelTime += busy;
+    stats_.addStall(out.cls, out.stall, ref.kernel);
+
+    return now + busy + out.stall;
+}
+
+Tick
+InOrderCpu::drain(Tick now)
+{
+    return now; // nothing outstanding in a blocking pipe
+}
+
+} // namespace isim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Single-issue in-order pipelined core (the paper's medium-speed
+ * SimOS processor module, with which most of its results were taken).
+ *
+ * Timing rules: one cycle of busy time per instruction; L1 hits are
+ * fully pipelined (no stall); every L1 miss stalls the core for the
+ * full latency of wherever the line came from (L2, local memory,
+ * remote home, remote dirty cache), charged from the active latency
+ * table. Stores stall like loads — the memory system is sequentially
+ * consistent and the simple pipe has no store buffer.
+ */
+
+#ifndef ISIM_CPU_INORDER_HH
+#define ISIM_CPU_INORDER_HH
+
+#include "src/cpu/core.hh"
+
+namespace isim {
+
+/** The in-order core. */
+class InOrderCpu : public CpuCore
+{
+  public:
+    InOrderCpu(NodeId node, MemorySystem &mem);
+
+    Tick consume(const MemRef &ref, Tick now) override;
+    Tick drain(Tick now) override;
+};
+
+} // namespace isim
+
+#endif // ISIM_CPU_INORDER_HH

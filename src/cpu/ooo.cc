@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Out-of-order core implementation.
+ */
+
+#include "src/cpu/ooo.hh"
+
+#include <algorithm>
+
+#include "src/coherence/protocol.hh"
+
+namespace isim {
+
+OooCpu::OooCpu(NodeId node, MemorySystem &mem, const OooParams &params)
+    : CpuCore(node, mem), params_(params),
+      rng_(mix64(0x0000B4A9C4 + node))
+{
+    isim_assert(params_.width >= 1 && params_.width <= 4,
+                "quarter-cycle bookkeeping assumes width <= 4");
+    isim_assert(params_.lsPorts >= 1 && params_.lsPorts <= portFree_.size());
+}
+
+OooCpu::Quarter
+OooCpu::windowBound() const
+{
+    // Fetch of instruction s must wait for the commit of s - window.
+    // windowAnchorQ_ tracks the commit time of the newest record that
+    // has aged out of the window; records still inside impose no bound
+    // on the current fetch.
+    return windowAnchorQ_;
+}
+
+void
+OooCpu::retireRecord(std::uint64_t seq_end, Quarter commit_q)
+{
+    windowRing_.emplace_back(seq_end, commit_q);
+    while (!windowRing_.empty() &&
+           windowRing_.front().first + params_.window <= seq_) {
+        windowAnchorQ_ =
+            std::max(windowAnchorQ_, windowRing_.front().second);
+        windowRing_.pop_front();
+    }
+}
+
+OooCpu::Quarter
+OooCpu::fetchAdvance(std::uint64_t count)
+{
+    // `width` instructions per cycle == 4/width quarters per instr.
+    const Quarter per_instr = 4 / params_.width;
+    fetchQ_ = std::max(fetchQ_, windowBound()) + count * per_instr;
+    return fetchQ_;
+}
+
+void
+OooCpu::attribute(MissClass cls, Quarter exposed_q, bool kernel)
+{
+    switch (cls) {
+      case MissClass::L1Hit:
+        busyQ_ += exposed_q; // scheduling/port effects, not memory
+        break;
+      case MissClass::L2Hit:
+        l2HitQ_ += exposed_q;
+        break;
+      case MissClass::Local:
+        localQ_ += exposed_q;
+        break;
+      case MissClass::RemoteClean:
+        remoteQ_ += exposed_q;
+        break;
+      case MissClass::RemoteDirty:
+        remoteDirtyQ_ += exposed_q;
+        break;
+    }
+    if (kernel)
+        kernelQ_ += exposed_q;
+}
+
+void
+OooCpu::syncStats()
+{
+    stats_.busy = toTick(busyQ_);
+    stats_.l2HitStall = toTick(l2HitQ_);
+    stats_.localStall = toTick(localQ_);
+    stats_.remoteStall = toTick(remoteQ_);
+    stats_.remoteDirtyStall = toTick(remoteDirtyQ_);
+    stats_.kernelTime = toTick(kernelQ_);
+}
+
+Tick
+OooCpu::consume(const MemRef &ref, Tick now)
+{
+    // Fast-forward only across a genuine time discontinuity (the
+    // scheduler ran something else / the CPU idled): the loop echoes
+    // our own commit time back as `now` on normal continuation, and
+    // dragging the fetch clock up to it would destroy run-ahead.
+    const Quarter now_q = toQ(now);
+    if (now_q > commitQ_) {
+        commitQ_ = now_q;
+        fetchQ_ = now_q;
+    }
+
+    const Quarter commit_before = commitQ_;
+
+    if (ref.kind == RefKind::Instr) {
+        // Fetch the I-cache line; its latency delays the whole chunk.
+        const AccessOutcome out =
+            mem_.access(node_, RefType::IFetch, ref.paddr, now);
+        seq_ += ref.instrCount;
+        stats_.instructions += ref.instrCount;
+
+        Quarter fetch_done = fetchAdvance(ref.instrCount);
+        fetch_done += toQ(out.stall); // I-miss stalls the fetch stream
+        fetchQ_ = fetch_done;
+
+        // Branch misprediction: squash run-ahead; fetch resumes once
+        // the in-order commit point catches up (branch resolution).
+        if (params_.mispredictEveryInstrs > 0.0 &&
+            rng_.chance(static_cast<double>(ref.instrCount) /
+                        params_.mispredictEveryInstrs)) {
+            fetchQ_ = std::max(fetchQ_,
+                               commitQ_ + toQ(params_.frontendDepth));
+        }
+
+        const Quarter per_instr = 4 / params_.width;
+        const Quarter bandwidth_commit =
+            commitQ_ + ref.instrCount * per_instr;
+        const Quarter flow_commit =
+            fetch_done + toQ(params_.frontendDepth);
+        commitQ_ = std::max(bandwidth_commit, flow_commit);
+
+        // Attribution: the bandwidth component is busy time, anything
+        // beyond it is exposed fetch stall of the I-access class.
+        const Quarter elapsed = commitQ_ - commit_before;
+        const Quarter busy_part =
+            std::min<Quarter>(elapsed, ref.instrCount * per_instr);
+        busyQ_ += busy_part;
+        if (ref.kernel)
+            kernelQ_ += busy_part;
+        attribute(out.cls, elapsed - busy_part, ref.kernel);
+
+        retireRecord(seq_, commitQ_);
+        syncStats();
+        return toTick(commitQ_);
+    }
+
+    // Load or store.
+    const bool is_load = ref.kind == RefKind::Load;
+    if (is_load)
+        ++stats_.loads;
+    else
+        ++stats_.stores;
+
+    // Dependence: the producer is depDist memory ops back.
+    Quarter dep_ready = 0;
+    if (ref.depDist > 0 && ref.depDist <= memIdx_ &&
+        ref.depDist < depRingSize) {
+        dep_ready =
+            memComplete_[(memIdx_ - ref.depDist) % depRingSize] + 4;
+    }
+
+    // Load/store port.
+    unsigned best_port = 0;
+    for (unsigned p = 1; p < params_.lsPorts; ++p) {
+        if (portFree_[p] < portFree_[best_port])
+            best_port = p;
+    }
+
+    const Quarter fetch_avail = fetchQ_ + toQ(params_.frontendDepth);
+    Quarter issue =
+        std::max({fetch_avail, dep_ready, portFree_[best_port]});
+    // Sequential consistency: a store issues only from the head of
+    // the window (no speculative stores), so its latency is exposed —
+    // the paper's Section 7 explanation for the modest OOO gains.
+    if (!is_load)
+        issue = std::max(issue, commitQ_);
+    portFree_[best_port] = issue + 4; // one cycle of port occupancy
+
+    const AccessOutcome out = mem_.access(
+        node_, is_load ? RefType::Load : RefType::Store, ref.paddr,
+        toTick(issue));
+    const Cycles lat = params_.l1HitLatency + out.stall;
+    const Quarter complete = issue + toQ(lat);
+
+    memComplete_[memIdx_ % depRingSize] = complete;
+    ++memIdx_;
+
+    // In-order commit at full width.
+    commitQ_ = std::max(complete, commitQ_ + 4 / params_.width);
+
+    // The one commit slot is busy time; anything beyond is exposed
+    // memory latency of this access's class.
+    const Quarter elapsed = commitQ_ - commit_before;
+    const Quarter busy_part = std::min<Quarter>(elapsed, 4 / params_.width);
+    busyQ_ += busy_part;
+    if (ref.kernel)
+        kernelQ_ += busy_part;
+    attribute(out.cls, elapsed - busy_part, ref.kernel);
+
+    retireRecord(seq_, commitQ_);
+    syncStats();
+    return toTick(commitQ_);
+}
+
+void
+OooCpu::resetStats()
+{
+    CpuCore::resetStats();
+    busyQ_ = l2HitQ_ = localQ_ = remoteQ_ = remoteDirtyQ_ = kernelQ_ = 0;
+}
+
+Tick
+OooCpu::drain(Tick now)
+{
+    // Commits are computed eagerly, so the local clock is already
+    // final; squash speculative state for the next context.
+    const Tick t = std::max(now, toTick(commitQ_));
+    fetchQ_ = commitQ_ = toQ(t);
+    windowRing_.clear();
+    windowAnchorQ_ = 0;
+    portFree_.fill(0);
+    memComplete_.fill(0);
+    memIdx_ = 0;
+    syncStats();
+    return t;
+}
+
+} // namespace isim

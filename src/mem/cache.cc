@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cache level implementation.
+ */
+
+#include "src/mem/cache.hh"
+
+#include <utility>
+
+namespace isim {
+
+Cache::Cache(std::string name, const CacheGeometry &geometry)
+    : name_(std::move(name)), array_(geometry)
+{
+}
+
+CacheLine *
+Cache::access(Addr line_addr)
+{
+    ++counters_.accesses;
+    CacheLine *line = array_.findLine(line_addr);
+    if (line != nullptr) {
+        ++counters_.hits;
+        array_.touch(*line);
+    }
+    return line;
+}
+
+Victim
+Cache::fill(Addr line_addr, LineState state)
+{
+    ++counters_.fills;
+    Victim victim;
+    array_.allocate(line_addr, state, victim);
+    if (victim.valid) {
+        if (victim.state == LineState::Modified)
+            ++counters_.dirtyEvictions;
+        else
+            ++counters_.cleanEvictions;
+    }
+    return victim;
+}
+
+LineState
+Cache::invalidateLine(Addr line_addr)
+{
+    CacheLine *line = array_.findLine(line_addr);
+    if (line == nullptr)
+        return LineState::Invalid;
+    const LineState prior = line->state;
+    ++counters_.invalidationsReceived;
+    array_.invalidate(*line);
+    return prior;
+}
+
+bool
+Cache::downgradeLine(Addr line_addr)
+{
+    CacheLine *line = array_.findLine(line_addr);
+    if (line == nullptr || line->state != LineState::Modified)
+        return false;
+    line->state = LineState::Shared;
+    return true;
+}
+
+} // namespace isim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * CacheArray implementation.
+ */
+
+#include "src/mem/cache_array.hh"
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+CacheArray::CacheArray(const CacheGeometry &geometry) : geom_(geometry)
+{
+    geom_.validate();
+    numSets_ = geom_.sets();
+    pow2_ = isPowerOf2(numSets_);
+    setMask_ = pow2_ ? numSets_ - 1 : 0;
+    tagShift_ = pow2_ ? floorLog2(numSets_) : 0;
+    lines_.resize(numSets_ * geom_.assoc);
+}
+
+CacheLine *
+CacheArray::findLine(Addr line_addr)
+{
+    const std::uint64_t set =
+        pow2_ ? (line_addr & setMask_) : (line_addr % numSets_);
+    const Addr tag =
+        pow2_ ? (line_addr >> tagShift_) : (line_addr / numSets_);
+    CacheLine *base = setBase(set);
+    for (unsigned w = 0; w < geom_.assoc; ++w) {
+        if (base[w].valid() && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::findLine(Addr line_addr) const
+{
+    return const_cast<CacheArray *>(this)->findLine(line_addr);
+}
+
+void
+CacheArray::touch(CacheLine &line)
+{
+    line.lastUse = ++useStamp_;
+}
+
+CacheLine &
+CacheArray::allocate(Addr line_addr, LineState state, Victim &victim)
+{
+    const std::uint64_t set =
+        pow2_ ? (line_addr & setMask_) : (line_addr % numSets_);
+    const Addr tag =
+        pow2_ ? (line_addr >> tagShift_) : (line_addr / numSets_);
+    CacheLine *base = setBase(set);
+
+    CacheLine *slot = nullptr;
+    for (unsigned w = 0; w < geom_.assoc; ++w) {
+        isim_assert(!(base[w].valid() && base[w].tag == tag),
+                    "allocate of already-resident line");
+        if (!base[w].valid()) {
+            slot = &base[w];
+            break;
+        }
+    }
+    if (slot == nullptr) {
+        slot = base;
+        for (unsigned w = 1; w < geom_.assoc; ++w) {
+            if (base[w].lastUse < slot->lastUse)
+                slot = &base[w];
+        }
+    }
+
+    victim = Victim{};
+    if (slot->valid()) {
+        victim.valid = true;
+        victim.state = slot->state;
+        victim.lineAddr = pow2_ ? ((slot->tag << tagShift_) | set)
+                                : (slot->tag * numSets_ + set);
+    }
+
+    slot->tag = tag;
+    slot->state = state;
+    slot->prefetched = false;
+    touch(*slot);
+    return *slot;
+}
+
+void
+CacheArray::invalidate(CacheLine &line)
+{
+    line.state = LineState::Invalid;
+}
+
+std::uint64_t
+CacheArray::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_)
+        if (line.valid())
+            ++n;
+    return n;
+}
+
+Addr
+CacheArray::lineAddrOf(const CacheLine &line) const
+{
+    const std::uint64_t slot = &line - lines_.data();
+    isim_assert(slot < lines_.size());
+    const std::uint64_t set = slot / geom_.assoc;
+    return pow2_ ? ((line.tag << tagShift_) | set)
+                 : (line.tag * numSets_ + set);
+}
+
+void
+CacheArray::forEachValid(
+    const std::function<void(Addr, const CacheLine &)> &fn) const
+{
+    for (const auto &line : lines_) {
+        if (line.valid())
+            fn(lineAddrOf(line), line);
+    }
+}
+
+} // namespace isim

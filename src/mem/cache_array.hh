@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Set-associative tag array with true-LRU replacement.
+ *
+ * This is a state-only model: it tracks which line addresses are
+ * resident and in what permission state, but carries no data (the
+ * workloads are functional at the database layer, so cache data payloads
+ * are never needed). All timing lives in the latency models.
+ */
+
+#ifndef ISIM_MEM_CACHE_ARRAY_HH
+#define ISIM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/types.hh"
+#include "src/mem/geometry.hh"
+#include "src/mem/line_state.hh"
+
+namespace isim {
+
+/** One way of one set. */
+struct CacheLine
+{
+    Addr tag = 0;
+    LineState state = LineState::Invalid;
+    bool prefetched = false; //!< filled by a prefetch, not yet demanded
+    std::uint64_t lastUse = 0; //!< global LRU stamp
+
+    bool valid() const { return state != LineState::Invalid; }
+};
+
+/** Result of allocating a way for a fill: the displaced victim, if any. */
+struct Victim
+{
+    bool valid = false;
+    Addr lineAddr = 0;
+    LineState state = LineState::Invalid;
+};
+
+/**
+ * The tag array. Lookup, touch (LRU update), allocate-with-victim and
+ * invalidate are the only operations; policy decisions (write-backs,
+ * inclusion) belong to the owning cache model.
+ */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheGeometry &geometry);
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /**
+     * Find a resident line. Returns nullptr on miss. Does not update
+     * LRU state; call touch() on the returned line for a real access
+     * (probes from the coherence protocol should not perturb LRU).
+     */
+    CacheLine *findLine(Addr line_addr);
+    const CacheLine *findLine(Addr line_addr) const;
+
+    /** Mark a line most-recently-used. */
+    void touch(CacheLine &line);
+
+    /**
+     * Choose a way for line_addr: an invalid way if present, otherwise
+     * the LRU way. Fills the line with the new tag in the given state
+     * and reports the displaced victim. The caller must have verified
+     * the line is not already resident.
+     */
+    CacheLine &allocate(Addr line_addr, LineState state, Victim &victim);
+
+    /** Drop a line (back-invalidation, protocol invalidation). */
+    void invalidate(CacheLine &line);
+
+    /** Number of valid lines currently resident (O(lines), for tests). */
+    std::uint64_t validLines() const;
+
+    /** Reconstruct the full line address of a resident line. */
+    Addr lineAddrOf(const CacheLine &line) const;
+
+    /** Visit every valid line (for invariant checks). */
+    void forEachValid(
+        const std::function<void(Addr line_addr, const CacheLine &)> &fn)
+        const;
+
+  private:
+    CacheLine *setBase(std::uint64_t set_index)
+    {
+        return &lines_[set_index * geom_.assoc];
+    }
+    const CacheLine *setBase(std::uint64_t set_index) const
+    {
+        return &lines_[set_index * geom_.assoc];
+    }
+
+    CacheGeometry geom_;
+    std::uint64_t numSets_;
+    bool pow2_;
+    std::uint64_t setMask_;
+    unsigned tagShift_;
+    std::uint64_t useStamp_ = 0;
+    std::vector<CacheLine> lines_;
+};
+
+} // namespace isim
+
+#endif // ISIM_MEM_CACHE_ARRAY_HH

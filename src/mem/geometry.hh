@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cache geometry: size / associativity / line size and the derived
+ * address-slicing arithmetic.
+ *
+ * Line size must be a power of two; the set count may be arbitrary
+ * (the paper's Section 6 evaluates a 1.25 MB L2, which has a
+ * non-power-of-two number of sets), so set selection falls back to a
+ * modulo when the fast mask path does not apply.
+ */
+
+#ifndef ISIM_MEM_GEOMETRY_HH
+#define ISIM_MEM_GEOMETRY_HH
+
+#include <string>
+
+#include "src/base/intmath.hh"
+#include "src/base/types.hh"
+
+namespace isim {
+
+/**
+ * Geometry of a set-associative cache. Addresses handed to the cache
+ * models are *line* addresses (byte address >> lineBits); this type
+ * performs that slicing.
+ */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    unsigned assoc = 1;
+    unsigned lineBytes = 64;
+
+    std::uint64_t lines() const { return sizeBytes / lineBytes; }
+    std::uint64_t sets() const { return lines() / assoc; }
+    unsigned lineBits() const { return floorLog2(lineBytes); }
+    bool pow2Sets() const { return isPowerOf2(sets()); }
+
+    /** Byte address -> line address. */
+    Addr lineAddr(Addr byte_addr) const { return byte_addr >> lineBits(); }
+
+    /** Line address -> set index. */
+    std::uint64_t setIndex(Addr line_addr) const
+    {
+        const std::uint64_t s = sets();
+        return pow2Sets() ? (line_addr & (s - 1)) : (line_addr % s);
+    }
+
+    /** Line address -> tag (the bits not consumed by set selection). */
+    Addr tagOf(Addr line_addr) const
+    {
+        const std::uint64_t s = sets();
+        return pow2Sets() ? (line_addr >> floorLog2(s)) : (line_addr / s);
+    }
+
+    void validate() const
+    {
+        isim_assert(isPowerOf2(lineBytes), "line size not a power of 2");
+        isim_assert(assoc >= 1);
+        isim_assert(sizeBytes > 0);
+        isim_assert(sizeBytes % (static_cast<std::uint64_t>(assoc) *
+                                 lineBytes) == 0,
+                    "size not divisible by assoc*line");
+    }
+
+    /** Short human-readable form, e.g. "2M8w". */
+    std::string shortName() const
+    {
+        std::string s;
+        if (sizeBytes >= mib && sizeBytes % mib == 0)
+            s = std::to_string(sizeBytes / mib) + "M";
+        else
+            s = std::to_string(sizeBytes / kib) + "K";
+        s += std::to_string(assoc) + "w";
+        return s;
+    }
+};
+
+} // namespace isim
+
+#endif // ISIM_MEM_GEOMETRY_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * RAC implementation.
+ */
+
+#include "src/mem/rac.hh"
+
+namespace isim {
+
+Rac::Rac(NodeId node, const CacheGeometry &geometry)
+    : node_(node), cache_("rac" + std::to_string(node), geometry)
+{
+}
+
+CacheLine *
+Rac::lookup(Addr line_addr)
+{
+    ++counters_.lookups;
+    CacheLine *line = cache_.access(line_addr);
+    if (line != nullptr)
+        ++counters_.hits;
+    return line;
+}
+
+Victim
+Rac::install(Addr line_addr, LineState state)
+{
+    ++counters_.allocations;
+    return cache_.fill(line_addr, state);
+}
+
+} // namespace isim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Remote Access Cache (paper Section 6).
+ *
+ * An off-chip cache that holds only lines whose home is a *remote*
+ * node. Its data lives in the node's local main memory (so a hit costs
+ * the local-memory latency) while its tags are assumed on-chip for fast
+ * lookup — which is why Figure 12 also charges its tag area against the
+ * L2 capacity (the 1.25 MB-L2-no-RAC comparison point).
+ */
+
+#ifndef ISIM_MEM_RAC_HH
+#define ISIM_MEM_RAC_HH
+
+#include <cstdint>
+
+#include "src/mem/cache.hh"
+
+namespace isim {
+
+/** RAC-specific counters, reported in Figures 11/12. */
+struct RacCounters
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t dirtyInsertions = 0; //!< L2 dirty victims retained
+    std::uint64_t dirtyServicesToRemote = 0; //!< 3-hop served from RAC
+    std::uint64_t writebacksToHome = 0;
+
+    double hitRate() const
+    {
+        return lookups ? static_cast<double>(hits) / lookups : 0.0;
+    }
+};
+
+/**
+ * The RAC structure. The protocol engine enforces the remote-lines-only
+ * policy and all coherence interactions; this class adds the RAC's own
+ * accounting on top of a plain cache.
+ */
+class Rac
+{
+  public:
+    Rac(NodeId node, const CacheGeometry &geometry);
+
+    NodeId node() const { return node_; }
+    const RacCounters &counters() const { return counters_; }
+    void resetCounters()
+    {
+        counters_ = RacCounters{};
+        cache_.resetCounters();
+    }
+    Cache &cache() { return cache_; }
+    const Cache &cache() const { return cache_; }
+
+    /** Demand lookup from the local L2 miss path. */
+    CacheLine *lookup(Addr line_addr);
+
+    /** Install a remote line; returns the displaced victim. */
+    Victim install(Addr line_addr, LineState state);
+
+    void noteDirtyInsertion() { ++counters_.dirtyInsertions; }
+    void noteDirtyServiceToRemote() { ++counters_.dirtyServicesToRemote; }
+    void noteWritebackToHome() { ++counters_.writebacksToHome; }
+
+  private:
+    NodeId node_;
+    Cache cache_;
+    RacCounters counters_;
+};
+
+} // namespace isim
+
+#endif // ISIM_MEM_RAC_HH

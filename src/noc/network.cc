@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Network latency calculator implementation.
+ */
+
+#include "src/noc/network.hh"
+
+#include <cmath>
+
+namespace isim {
+
+Network::Network(const TorusTopology &topo, const LinkParams &params)
+    : topo_(topo), params_(params)
+{
+}
+
+Cycles
+Network::serialization(unsigned payload_bytes) const
+{
+    const double bytes =
+        static_cast<double>(payload_bytes + params_.headerBytes);
+    // bandwidth GB/s at a 1 GHz clock == bytes per cycle.
+    return static_cast<Cycles>(
+        std::ceil(bytes / params_.bandwidthGBs));
+}
+
+Cycles
+Network::oneWay(NodeId src, NodeId dst, unsigned payload_bytes) const
+{
+    const unsigned h = topo_.hops(src, dst);
+    return h * (params_.routerDelay + params_.linkFlight) +
+           serialization(payload_bytes);
+}
+
+Cycles
+Network::oneWayAverage(unsigned payload_bytes) const
+{
+    const double h = topo_.averageHops();
+    const double hop_cost = h * static_cast<double>(params_.routerDelay +
+                                                    params_.linkFlight);
+    return static_cast<Cycles>(std::llround(hop_cost)) +
+           serialization(payload_bytes);
+}
+
+} // namespace isim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Message latency over the torus interconnect: per-hop router delay,
+ * per-hop link flight time, and serialization at the link bandwidth
+ * (the paper assumes direct-Rambus-style signaling with >4 GB/s
+ * unidirectional point-to-point links, four pairs per node).
+ */
+
+#ifndef ISIM_NOC_NETWORK_HH
+#define ISIM_NOC_NETWORK_HH
+
+#include "src/base/types.hh"
+#include "src/noc/topology.hh"
+
+namespace isim {
+
+/** Physical parameters of one link / router stage. */
+struct LinkParams
+{
+    Cycles routerDelay = 5;  //!< per-hop router pipeline
+    Cycles linkFlight = 5;   //!< per-hop wire flight
+    double bandwidthGBs = 4.0; //!< per-link unidirectional bandwidth
+    unsigned headerBytes = 16; //!< routing/command header per message
+};
+
+/**
+ * Latency calculator for point-to-point messages on the torus. No
+ * contention is modelled (the study's latency table is uncontended,
+ * and OLTP's bandwidth demand is far below the 4 GB/s links).
+ */
+class Network
+{
+  public:
+    Network(const TorusTopology &topo, const LinkParams &params);
+
+    const TorusTopology &topology() const { return topo_; }
+    const LinkParams &params() const { return params_; }
+
+    /** Serialization time for a payload of the given size. */
+    Cycles serialization(unsigned payload_bytes) const;
+
+    /** One-way latency src -> dst for a message with payload. */
+    Cycles oneWay(NodeId src, NodeId dst, unsigned payload_bytes) const;
+
+    /** One-way latency for the average hop distance (for modelling). */
+    Cycles oneWayAverage(unsigned payload_bytes) const;
+
+  private:
+    TorusTopology topo_;
+    LinkParams params_;
+};
+
+} // namespace isim
+
+#endif // ISIM_NOC_NETWORK_HH

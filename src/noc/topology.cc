@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Torus topology implementation.
+ */
+
+#include "src/noc/topology.hh"
+
+#include <cmath>
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+namespace {
+
+/** Torus distance along one dimension of the given extent. */
+unsigned
+ringDistance(unsigned a, unsigned b, unsigned extent)
+{
+    const unsigned d = a > b ? a - b : b - a;
+    return std::min(d, extent - d);
+}
+
+} // namespace
+
+TorusTopology::TorusTopology(unsigned num_nodes) : numNodes_(num_nodes)
+{
+    isim_assert(num_nodes >= 1);
+    // Closest-to-square factorization with width >= height.
+    unsigned best_h = 1;
+    for (unsigned h = 1; h * h <= num_nodes; ++h) {
+        if (num_nodes % h == 0)
+            best_h = h;
+    }
+    height_ = best_h;
+    width_ = num_nodes / best_h;
+}
+
+TorusCoord
+TorusTopology::coordOf(NodeId node) const
+{
+    isim_assert(node < numNodes_);
+    return TorusCoord{static_cast<unsigned>(node) % width_,
+                      static_cast<unsigned>(node) / width_};
+}
+
+NodeId
+TorusTopology::nodeAt(TorusCoord c) const
+{
+    isim_assert(c.x < width_ && c.y < height_);
+    return c.y * width_ + c.x;
+}
+
+unsigned
+TorusTopology::hops(NodeId a, NodeId b) const
+{
+    const TorusCoord ca = coordOf(a);
+    const TorusCoord cb = coordOf(b);
+    return ringDistance(ca.x, cb.x, width_) +
+           ringDistance(ca.y, cb.y, height_);
+}
+
+double
+TorusTopology::averageHops() const
+{
+    if (numNodes_ < 2)
+        return 0.0;
+    std::uint64_t total = 0;
+    std::uint64_t pairs = 0;
+    for (NodeId a = 0; a < numNodes_; ++a) {
+        for (NodeId b = 0; b < numNodes_; ++b) {
+            if (a == b)
+                continue;
+            total += hops(a, b);
+            ++pairs;
+        }
+    }
+    return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+unsigned
+TorusTopology::diameter() const
+{
+    unsigned worst = 0;
+    for (NodeId a = 0; a < numNodes_; ++a)
+        for (NodeId b = 0; b < numNodes_; ++b)
+            worst = std::max(worst, hops(a, b));
+    return worst;
+}
+
+} // namespace isim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Interconnect topology for the multiprocessor: a 2D torus of nodes,
+ * the organization the Alpha 21364 proposed (paper Figure 1B shows the
+ * 364 mesh/torus with per-node memory and I/O). Used by the component
+ * latency model and the network ablation; the table-driven latency
+ * model does not depend on it.
+ */
+
+#ifndef ISIM_NOC_TOPOLOGY_HH
+#define ISIM_NOC_TOPOLOGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/types.hh"
+
+namespace isim {
+
+/** Coordinates of a node in the torus grid. */
+struct TorusCoord
+{
+    unsigned x = 0;
+    unsigned y = 0;
+};
+
+/**
+ * A 2D torus sized to hold a given node count. The grid is chosen as
+ * close to square as possible (8 nodes -> 4x2).
+ */
+class TorusTopology
+{
+  public:
+    explicit TorusTopology(unsigned num_nodes);
+
+    unsigned numNodes() const { return numNodes_; }
+    unsigned width() const { return width_; }
+    unsigned height() const { return height_; }
+
+    TorusCoord coordOf(NodeId node) const;
+    NodeId nodeAt(TorusCoord c) const;
+
+    /** Minimal hop count between two nodes (torus wrap-around). */
+    unsigned hops(NodeId a, NodeId b) const;
+
+    /** Average hop count over all ordered pairs of distinct nodes. */
+    double averageHops() const;
+
+    /** Worst-case hop count. */
+    unsigned diameter() const;
+
+  private:
+    unsigned numNodes_;
+    unsigned width_;
+    unsigned height_;
+};
+
+} // namespace isim
+
+#endif // ISIM_NOC_TOPOLOGY_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Daemon implementations.
+ */
+
+#include "src/oltp/daemons.hh"
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+LogWriterProcess::LogWriterProcess(OltpEngine &engine, Pid pid, NodeId cpu)
+    : Process("lgwr", pid, cpu), engine_(engine)
+{
+}
+
+ProcessStep
+LogWriterProcess::step(Tick now)
+{
+    if (!pending_.empty())
+        return popPending();
+
+    switch (state_) {
+      case State::Idle: {
+        if (!engine_.hasCommitWaiters()) {
+            engine_.logWriterSleeping(*this);
+            ProcessStep s;
+            s.kind = StepKind::BlockEvent;
+            return s;
+        }
+        serving_ = engine_.takeCommitWaiters();
+        // Read the unflushed log slots and issue the device write.
+        engine_.redo().emitFlush(/*max_slots=*/1024, engine_.vm(), cpu(),
+                                 pending_);
+        engine_.kernel().syscall(cpu(), pending_, /*copy_bytes=*/512);
+        state_ = State::Writing;
+        if (!pending_.empty())
+            return popPending();
+        [[fallthrough]];
+      }
+      case State::Writing: {
+        // References drained; wait out the device latency.
+        state_ = State::Completing;
+        ProcessStep s;
+        s.kind = StepKind::BlockTimed;
+        s.delay = engine_.params().logWriteLatency;
+        return s;
+      }
+      case State::Completing: {
+        // The write is durable: wake every waiter in the group.
+        ++flushes_;
+        for (Process *p : serving_) {
+            engine_.sched().wake(*p, now);
+            ++commitsServed_;
+        }
+        serving_.clear();
+        state_ = State::Idle;
+        return step(now);
+      }
+    }
+    isim_panic("unreachable log-writer state");
+}
+
+DbWriterProcess::DbWriterProcess(OltpEngine &engine, Pid pid, NodeId cpu,
+                                 std::uint64_t seed)
+    : Process("dbwr", pid, cpu), engine_(engine), rng_(seed)
+{
+}
+
+ProcessStep
+DbWriterProcess::step(Tick)
+{
+    if (!pending_.empty())
+        return popPending();
+
+    const auto blocks =
+        engine_.bufferCache().takeDirty(engine_.params().dbWriterBatch);
+    for (const std::uint64_t block : blocks) {
+        // Re-read the header and a few block lines while writing the
+        // block out (checkpoint traffic).
+        engine_.bufferCache().emitLookupAndPin(block, engine_.vm(),
+                                               cpu(), pending_);
+        const Addr base = engine_.sga().blockAddr(block);
+        for (unsigned i = 0; i < 4; ++i) {
+            pending_.push_back(loadRef(
+                engine_.vm().translate(base + i * 64, cpu()),
+                /*dep_dist=*/1));
+        }
+        engine_.bufferCache().emitUnpin(block, engine_.vm(), cpu(),
+                                        pending_);
+        ++blocksFlushed_;
+    }
+    if (!blocks.empty())
+        engine_.kernel().syscall(cpu(), pending_, /*copy_bytes=*/1024);
+
+    if (!pending_.empty())
+        return popPending();
+
+    ProcessStep s;
+    s.kind = StepKind::BlockTimed;
+    s.delay = engine_.params().dbWriterPeriod;
+    return s;
+}
+
+} // namespace isim

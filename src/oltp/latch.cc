@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Latch emission.
+ */
+
+#include "src/oltp/latch.hh"
+
+namespace isim {
+
+void
+LatchTable::emitAcquire(unsigned latch, VirtualMemory &vm, NodeId node,
+                        std::deque<MemRef> &out)
+{
+    const Addr paddr = vm.translate(sga_.latchAddr(latch), node);
+    out.push_back(loadRef(paddr));
+    out.push_back(storeRef(paddr, /*dep_dist=*/1));
+    ++acquires_;
+}
+
+void
+LatchTable::emitRelease(unsigned latch, VirtualMemory &vm, NodeId node,
+                        std::deque<MemRef> &out)
+{
+    const Addr paddr = vm.translate(sga_.latchAddr(latch), node);
+    out.push_back(storeRef(paddr));
+}
+
+} // namespace isim

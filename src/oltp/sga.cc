@@ -1,0 +1,146 @@
+/**
+ * @file
+ * SGA layout implementation.
+ */
+
+#include "src/oltp/sga.hh"
+
+#include "src/base/intmath.hh"
+#include "src/base/logging.hh"
+#include "src/base/random.hh"
+#include "src/os/layout.hh"
+
+namespace isim {
+
+Sga::Sga(const WorkloadParams &params) : params_(params)
+{
+    numBlocks_ = params_.blockBufferBytes / params_.blockBytes;
+    logSlots_ = params_.logBufferBytes / 64;
+
+    Addr cursor = layout::sgaBase;
+    blockBase_ = cursor;
+    cursor += roundUp(params_.blockBufferBytes, 8 * kib);
+
+    const Addr metadata_start = cursor;
+    headerBase_ = cursor;
+    cursor += roundUp(numBlocks_ * headerBytes, 8 * kib);
+    hashBase_ = cursor;
+    cursor += roundUp(params_.hashBuckets * bucketBytes, 8 * kib);
+    lruBase_ = cursor;
+    cursor += roundUp(std::uint64_t{numLruLists()} * 64, 8 * kib);
+    latchBase_ = cursor;
+    cursor += roundUp(
+        std::uint64_t{params_.numLatches} * params_.latchStride, 8 * kib);
+    logBase_ = cursor;
+    cursor += roundUp(params_.logBufferBytes + 64, 8 * kib);
+    hotMetaBase_ = cursor;
+    // Half the hot metadata is a shared dictionary, half is per-node
+    // session state; reserve per-node slices for up to 32 nodes.
+    cursor += roundUp(params_.hotMetadataBytes / 2 * 33, 8 * kib);
+    warmMetaBase_ = cursor;
+    cursor += roundUp(params_.warmMetadataBytes, 8 * kib);
+    cursor += roundUp(params_.metadataSlackBytes, 8 * kib);
+
+    metadataBytes_ = cursor - metadata_start;
+    totalBytes_ = cursor - layout::sgaBase;
+}
+
+Addr
+Sga::blockAddr(std::uint64_t block_idx) const
+{
+    isim_assert(block_idx < numBlocks_);
+    return blockBase_ + block_idx * params_.blockBytes;
+}
+
+Addr
+Sga::blockByteAddr(std::uint64_t block_idx, std::uint64_t offset) const
+{
+    isim_assert(offset < params_.blockBytes);
+    return blockAddr(block_idx) + offset;
+}
+
+Addr
+Sga::headerAddr(std::uint64_t block_idx) const
+{
+    isim_assert(block_idx < numBlocks_);
+    return headerBase_ + block_idx * headerBytes;
+}
+
+std::uint64_t
+Sga::bucketOf(std::uint64_t block_idx) const
+{
+    // Multiplicative hash so adjacent blocks spread across buckets.
+    return mix64(block_idx) % params_.hashBuckets;
+}
+
+Addr
+Sga::hashBucketAddr(std::uint64_t bucket) const
+{
+    isim_assert(bucket < params_.hashBuckets);
+    return hashBase_ + bucket * bucketBytes;
+}
+
+Addr
+Sga::lruListAddr(unsigned list) const
+{
+    isim_assert(list < numLruLists());
+    return lruBase_ + std::uint64_t{list} * 64;
+}
+
+Addr
+Sga::latchAddr(unsigned latch) const
+{
+    isim_assert(latch < params_.numLatches);
+    return latchBase_ + std::uint64_t{latch} * params_.latchStride;
+}
+
+unsigned
+Sga::hashLatchOf(std::uint64_t bucket) const
+{
+    // Latches [16, 16+numHashLatches) protect the hash chains.
+    return 16 + static_cast<unsigned>(bucket % params_.numHashLatches);
+}
+
+unsigned
+Sga::redoCopyLatch(unsigned k) const
+{
+    // Latches [1, 1+redoCopyLatches) are the redo copy latches.
+    return 1 + (k % params_.redoCopyLatches);
+}
+
+Addr
+Sga::logSlotAddr(std::uint64_t seq) const
+{
+    return logBase_ + (seq % logSlots_) * 64;
+}
+
+Addr
+Sga::logCursorAddr() const
+{
+    return logBase_ + logSlots_ * 64; // the word right after the ring
+}
+
+Addr
+Sga::sharedMetadataAddr(std::uint64_t offset) const
+{
+    isim_assert(offset < params_.hotMetadataBytes / 2);
+    return hotMetaBase_ + offset;
+}
+
+Addr
+Sga::sessionMetadataAddr(NodeId node, std::uint64_t offset) const
+{
+    isim_assert(node < 32);
+    isim_assert(offset < params_.hotMetadataBytes / 2);
+    return hotMetaBase_ + params_.hotMetadataBytes / 2 * (1 + node) +
+           offset;
+}
+
+Addr
+Sga::warmMetadataAddr(std::uint64_t offset) const
+{
+    isim_assert(offset < params_.warmMetadataBytes);
+    return warmMetaBase_ + offset;
+}
+
+} // namespace isim

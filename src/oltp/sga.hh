@@ -1,0 +1,98 @@
+/**
+ * @file
+ * System Global Area layout. Mirrors the structure the paper
+ * describes: "The SGA consists of two main regions — the block buffer
+ * area and the metadata area. The block buffer area is used as a
+ * memory cache of database disk blocks. The metadata area is used to
+ * keep directory information for the block buffer, as well as for
+ * communication and synchronization between the various Oracle
+ * processes."
+ *
+ * This class only computes virtual addresses; the functional state
+ * (balances, dirty bits, cursors) lives in the table and buffer-cache
+ * models.
+ */
+
+#ifndef ISIM_OLTP_SGA_HH
+#define ISIM_OLTP_SGA_HH
+
+#include <cstdint>
+
+#include "src/base/types.hh"
+#include "src/oltp/workload_params.hh"
+
+namespace isim {
+
+/** Address calculator for the SGA. */
+class Sga
+{
+  public:
+    explicit Sga(const WorkloadParams &params);
+
+    // ---- Block buffer ----
+    std::uint64_t numBlocks() const { return numBlocks_; }
+    Addr blockAddr(std::uint64_t block_idx) const;
+    /** Address of byte `offset` within a block. */
+    Addr blockByteAddr(std::uint64_t block_idx,
+                       std::uint64_t offset) const;
+
+    // ---- Metadata: buffer headers / hash table / LRU ----
+    Addr headerAddr(std::uint64_t block_idx) const;
+    Addr hashBucketAddr(std::uint64_t bucket) const;
+    std::uint64_t bucketOf(std::uint64_t block_idx) const;
+    Addr lruListAddr(unsigned list) const;
+    unsigned numLruLists() const { return 16; }
+
+    // ---- Metadata: latches ----
+    Addr latchAddr(unsigned latch) const;
+    unsigned numLatches() const { return params_.numLatches; }
+    /** The hash latch protecting a bucket. */
+    unsigned hashLatchOf(std::uint64_t bucket) const;
+    /** The single redo allocation latch (a famously hot line). */
+    unsigned redoAllocLatch() const { return 0; }
+    /** One of the redo copy latches. */
+    unsigned redoCopyLatch(unsigned k) const;
+
+    // ---- Metadata: redo log buffer ----
+    Addr logSlotAddr(std::uint64_t seq) const; //!< ring of 64 B slots
+    std::uint64_t logSlots() const { return logSlots_; }
+    /** The shared redo-cursor word (allocation point). */
+    Addr logCursorAddr() const;
+
+    // ---- Metadata: hot area ----
+    /** Shared dictionary half (written by every node). */
+    Addr sharedMetadataAddr(std::uint64_t offset) const;
+    /** Per-node session-state half (node-private traffic). */
+    Addr sessionMetadataAddr(NodeId node, std::uint64_t offset) const;
+
+    // ---- Metadata: warm dictionary tail / row cache ----
+    Addr warmMetadataAddr(std::uint64_t offset) const;
+
+    /** Total SGA span in bytes (block buffer + metadata). */
+    std::uint64_t totalBytes() const { return totalBytes_; }
+    /** Metadata-area span in bytes (paper: over 100 MB). */
+    std::uint64_t metadataBytes() const { return metadataBytes_; }
+
+  private:
+    WorkloadParams params_;
+    std::uint64_t numBlocks_;
+    std::uint64_t logSlots_;
+
+    Addr blockBase_;
+    Addr headerBase_;
+    Addr hashBase_;
+    Addr lruBase_;
+    Addr latchBase_;
+    Addr logBase_;
+    Addr hotMetaBase_;
+    Addr warmMetaBase_;
+    std::uint64_t metadataBytes_;
+    std::uint64_t totalBytes_;
+
+    static constexpr std::uint64_t headerBytes = 128;
+    static constexpr std::uint64_t bucketBytes = 64;
+};
+
+} // namespace isim
+
+#endif // ISIM_OLTP_SGA_HH

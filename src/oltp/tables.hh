@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The functional TPC-B database: account / teller / branch / history
+ * tables with real balances, plus the mapping of every row onto
+ * buffer-cache blocks. Transactions actually execute (balances move,
+ * history grows), so the engine's correctness is testable through the
+ * TPC-B consistency conditions: the sums of account, teller and branch
+ * balances and the history deltas must all stay equal.
+ */
+
+#ifndef ISIM_OLTP_TABLES_HH
+#define ISIM_OLTP_TABLES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/oltp/sga.hh"
+#include "src/oltp/workload_params.hh"
+
+namespace isim {
+
+/** Where a row lives inside the block buffer. */
+struct RowLocation
+{
+    std::uint64_t block = 0;
+    std::uint32_t offset = 0; //!< byte offset within the block
+};
+
+/** The functional database. */
+class TpcbDatabase
+{
+  public:
+    TpcbDatabase(const WorkloadParams &params, const Sga &sga);
+
+    // ---- Row placement ----
+    RowLocation branchRow(std::uint64_t branch) const;
+    RowLocation tellerRow(std::uint64_t teller) const;
+    RowLocation accountRow(std::uint64_t account) const;
+
+    /** Root block of the account B-tree index. */
+    std::uint64_t accountIndexRoot() const { return indexRootBlock_; }
+    /** Leaf block covering the given account. */
+    std::uint64_t accountIndexLeaf(std::uint64_t account) const;
+
+    /** Append a history row; returns its location. */
+    RowLocation appendHistory();
+    /** Block currently receiving history inserts (hot, shared). */
+    std::uint64_t historyInsertBlock() const;
+
+    // ---- Functional execution ----
+    /**
+     * Execute the TPC-B profile: add `delta` to the account, its
+     * teller, and its branch, and record a history row.
+     */
+    void applyTransaction(std::uint64_t account, std::uint64_t teller,
+                          std::uint64_t branch, std::int64_t delta);
+
+    std::int64_t accountBalance(std::uint64_t account) const;
+    std::int64_t tellerBalance(std::uint64_t teller) const;
+    std::int64_t branchBalance(std::uint64_t branch) const;
+    std::uint64_t historyCount() const { return historyCount_; }
+
+    /**
+     * TPC-B consistency conditions: recomputes all table sums from the
+     * rows and checks them against each other and the history deltas.
+     */
+    bool checkConsistency() const;
+
+    /** Number of blocks occupied by the static tables + index. */
+    std::uint64_t staticBlocks() const { return historyBase_; }
+
+  private:
+    WorkloadParams params_;
+    unsigned rowsPerBlock_;
+    std::uint64_t branchBase_ = 0; //!< block index of first branch block
+    std::uint64_t tellerBase_;
+    std::uint64_t accountBase_;
+    std::uint64_t indexRootBlock_;
+    std::uint64_t indexLeafBase_;
+    std::uint64_t indexLeaves_;
+    std::uint64_t historyBase_;
+    std::uint64_t maxHistoryBlocks_;
+
+    std::vector<std::int64_t> accounts_;
+    std::vector<std::int64_t> tellers_;
+    std::vector<std::int64_t> branches_;
+    std::uint64_t historyCount_ = 0;
+    std::int64_t historyDeltaSum_ = 0;
+
+    static constexpr unsigned keysPerLeaf = 200;
+    static constexpr unsigned historyRowBytes = 50;
+};
+
+} // namespace isim
+
+#endif // ISIM_OLTP_TABLES_HH

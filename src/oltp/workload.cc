@@ -1,0 +1,144 @@
+/**
+ * @file
+ * OLTP engine implementation.
+ */
+
+#include "src/oltp/workload.hh"
+
+#include <utility>
+
+#include "src/base/logging.hh"
+#include "src/oltp/daemons.hh"
+#include "src/oltp/dss.hh"
+#include "src/oltp/server.hh"
+#include "src/os/layout.hh"
+
+namespace isim {
+
+OltpEngine::OltpEngine(const WorkloadParams &params, VirtualMemory &vm,
+                       KernelModel &kernel, unsigned num_cpus,
+                       bool replicate_code)
+    : params_(params), vm_(vm), kernel_(kernel), numCpus_(num_cpus),
+      sga_(params_), db_(params_, sga_), bufferCache_(sga_),
+      latches_(sga_), redo_(sga_),
+      dbCode_([&] {
+          CodeModelParams cp;
+          cp.vbase = layout::dbText;
+          cp.textBytes = params.dbTextBytes;
+          cp.numFunctions = params.dbFunctions;
+          cp.seed = mix64(params.seed ^ 0xdb7e47);
+          return cp;
+      }()),
+      txnLatency_("txn-latency-us", 100, 200)
+{
+    // Placement: the SGA is striped across the machine (no data
+    // placement is practical for OLTP — Section 3); private regions
+    // and per-CPU kernel data are first-touch local; text is
+    // replicated per node only when the Section 6 experiment asks.
+    // SGA sub-regions are registered individually (same interleaved
+    // placement) so VM profiling can attribute traffic per structure.
+    const Addr sga_end = layout::sgaBase + sga_.totalBytes();
+    auto sga_region = [&](Addr base, Addr next, const char *name) {
+        isim_assert(next > base && next <= sga_end + 8 * kib);
+        vm_.setPolicy(base, next - base, PlacePolicy::Interleave, name);
+    };
+    sga_region(sga_.blockAddr(0), sga_.headerAddr(0), "sga.blocks");
+    sga_region(sga_.headerAddr(0), sga_.hashBucketAddr(0), "sga.headers");
+    sga_region(sga_.hashBucketAddr(0), sga_.lruListAddr(0), "sga.hash");
+    sga_region(sga_.lruListAddr(0), sga_.latchAddr(0), "sga.lru");
+    sga_region(sga_.latchAddr(0), sga_.logSlotAddr(0), "sga.latches");
+    sga_region(sga_.logSlotAddr(0), sga_.sharedMetadataAddr(0), "sga.log");
+    sga_region(sga_.sharedMetadataAddr(0), sga_.warmMetadataAddr(0),
+               "sga.hotmeta");
+    sga_region(sga_.warmMetadataAddr(0), sga_end, "sga.warmmeta");
+
+    vm_.setPolicy(layout::processPrivate,
+                  layout::processPrivateStride *
+                      (std::uint64_t{numCpus_} * params_.serversPerCpu +
+                       8),
+                  PlacePolicy::Local, "private");
+    vm_.setPolicy(layout::kernelPerCpu,
+                  layout::kernelPerCpuStride * numCpus_,
+                  PlacePolicy::Local, "kernel.percpu");
+    vm_.setPolicy(layout::kernelShared, 64 * mib,
+                  PlacePolicy::Interleave, "kernel.shared");
+    const PlacePolicy text_policy = replicate_code
+                                        ? PlacePolicy::Replicate
+                                        : PlacePolicy::Interleave;
+    vm_.setPolicy(layout::dbText, 64 * mib, text_policy, "db.text");
+    vm_.setPolicy(layout::kernelText, 64 * mib, text_policy,
+                  "kernel.text");
+}
+
+void
+OltpEngine::createProcesses(Scheduler &sched)
+{
+    sched_ = &sched;
+    Pid pid = 0;
+    if (params_.kind == WorkloadKind::DssScan) {
+        // Read-only query streams: no log writer needed (queries do
+        // not commit), but the db writer stays for generality.
+        for (NodeId cpu = 0; cpu < numCpus_; ++cpu) {
+            for (unsigned s = 0; s < params_.dssStreamsPerCpu; ++s) {
+                sched.add(std::make_unique<DssScanProcess>(
+                    *this, pid, cpu,
+                    mix64(params_.seed + 31 * pid + 5)));
+                ++pid;
+            }
+        }
+        sched.add(std::make_unique<DbWriterProcess>(
+            *this, pid++, numCpus_ - 1, mix64(params_.seed ^ 0xdbdb)));
+        return;
+    }
+    for (NodeId cpu = 0; cpu < numCpus_; ++cpu) {
+        for (unsigned s = 0; s < params_.serversPerCpu; ++s) {
+            sched.add(std::make_unique<ServerProcess>(
+                *this, pid, cpu, mix64(params_.seed + 17 * pid + 3)));
+            ++pid;
+        }
+    }
+    // Daemons: log writer on CPU 0, database writer on the last CPU
+    // (spreads daemon load a little on MP machines).
+    sched.add(std::make_unique<LogWriterProcess>(*this, pid++, 0));
+    sched.add(std::make_unique<DbWriterProcess>(
+        *this, pid++, numCpus_ - 1, mix64(params_.seed ^ 0xdbdb)));
+}
+
+Scheduler &
+OltpEngine::sched()
+{
+    isim_assert(sched_ != nullptr, "createProcesses() not called");
+    return *sched_;
+}
+
+void
+OltpEngine::requestCommit(Process &server, Tick now)
+{
+    commitWaiters_.push_back(&server);
+    if (sleepingLogWriter_ != nullptr) {
+        Process *lgwr = sleepingLogWriter_;
+        sleepingLogWriter_ = nullptr;
+        sched().wake(*lgwr, now);
+    }
+}
+
+std::vector<Process *>
+OltpEngine::takeCommitWaiters()
+{
+    return std::exchange(commitWaiters_, {});
+}
+
+void
+OltpEngine::logWriterSleeping(Process &logwriter)
+{
+    sleepingLogWriter_ = &logwriter;
+}
+
+void
+OltpEngine::noteCommit(Tick latency)
+{
+    ++committed_;
+    txnLatency_.sample(latency / 1000); // to microseconds... (ticks=ns)
+}
+
+} // namespace isim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The OLTP engine: owns the SGA, the functional TPC-B database, the
+ * metadata/latch/log models and the database code image; creates the
+ * server processes and daemons; and coordinates commits between the
+ * servers and the log writer (group commit). It is the "Oracle 7.3.2
+ * in dedicated mode" of this reproduction.
+ */
+
+#ifndef ISIM_OLTP_WORKLOAD_HH
+#define ISIM_OLTP_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/random.hh"
+#include "src/oltp/buffer_cache.hh"
+#include "src/oltp/code_model.hh"
+#include "src/oltp/latch.hh"
+#include "src/oltp/log.hh"
+#include "src/oltp/sga.hh"
+#include "src/oltp/tables.hh"
+#include "src/oltp/workload_params.hh"
+#include "src/os/kernel.hh"
+#include "src/os/scheduler.hh"
+#include "src/os/vm.hh"
+#include "src/stats/histogram.hh"
+
+namespace isim {
+
+class LogWriterProcess;
+
+/** The workload engine. */
+class OltpEngine
+{
+  public:
+    /**
+     * Builds the engine and declares the VM placement policies:
+     * SGA interleaved, private regions local, text regions replicated
+     * or interleaved per `replicate_code` (the Section 6 experiment).
+     */
+    OltpEngine(const WorkloadParams &params, VirtualMemory &vm,
+               KernelModel &kernel, unsigned num_cpus,
+               bool replicate_code);
+
+    /** Spawn the dedicated servers and the two daemons. */
+    void createProcesses(Scheduler &sched);
+
+    // ---- Run control ----
+    std::uint64_t committedTransactions() const { return committed_; }
+    bool warmupDone() const
+    {
+        return committed_ >= params_.warmupTransactions;
+    }
+    bool measurementDone() const
+    {
+        return committed_ >=
+               params_.warmupTransactions + params_.transactions;
+    }
+
+    // ---- Commit coordination (called by processes) ----
+    /** A server submitted its commit record; blocks until woken. */
+    void requestCommit(Process &server, Tick now);
+    /** Log writer takes the current batch of waiters. */
+    std::vector<Process *> takeCommitWaiters();
+    bool hasCommitWaiters() const { return !commitWaiters_.empty(); }
+    /** Log writer going to sleep; future requestCommit() wakes it. */
+    void logWriterSleeping(Process &logwriter);
+    /** A server's commit completed (called when it resumes). */
+    void noteCommit(Tick latency);
+
+    // ---- Shared components ----
+    const WorkloadParams &params() const { return params_; }
+    unsigned numCpus() const { return numCpus_; }
+    VirtualMemory &vm() { return vm_; }
+    KernelModel &kernel() { return kernel_; }
+    Scheduler &sched();
+    const Sga &sga() const { return sga_; }
+    TpcbDatabase &db() { return db_; }
+    const TpcbDatabase &db() const { return db_; }
+    BufferCache &bufferCache() { return bufferCache_; }
+    LatchTable &latches() { return latches_; }
+    RedoLog &redo() { return redo_; }
+    const CodeModel &dbCode() const { return dbCode_; }
+
+    const Histogram &txnLatency() const { return txnLatency_; }
+
+  private:
+    WorkloadParams params_;
+    VirtualMemory &vm_;
+    KernelModel &kernel_;
+    unsigned numCpus_;
+
+    Sga sga_;
+    TpcbDatabase db_;
+    BufferCache bufferCache_;
+    LatchTable latches_;
+    RedoLog redo_;
+    CodeModel dbCode_;
+
+    Scheduler *sched_ = nullptr;
+    std::vector<Process *> commitWaiters_;
+    Process *sleepingLogWriter_ = nullptr;
+    std::uint64_t committed_ = 0;
+    Histogram txnLatency_;
+};
+
+} // namespace isim
+
+#endif // ISIM_OLTP_WORKLOAD_HH

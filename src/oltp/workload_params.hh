@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Every calibration knob of the synthetic OLTP workload in one place.
+ *
+ * The workload is modelled after the paper's setup (Section 2.1):
+ * TPC-B against Oracle 7.3.2 in dedicated mode — 40 branches, an SGA
+ * over 900 MB with a metadata area over 100 MB, 8 server processes per
+ * processor, and 2000 measured transactions after warm-up. Footprint
+ * sizes are chosen so the *hot* working set (~1.5-2 MB per node:
+ * database text, kernel text, SGA metadata, private stacks, hot
+ * blocks) reproduces the paper's cache behaviour: it thrashes a 64 KB
+ * L1, fits a 2 MB set-associative L2, and conflicts heavily in
+ * direct-mapped L2s because it is scattered across physical pages.
+ */
+
+#ifndef ISIM_OLTP_WORKLOAD_PARAMS_HH
+#define ISIM_OLTP_WORKLOAD_PARAMS_HH
+
+#include <cstdint>
+
+#include "src/base/types.hh"
+
+namespace isim {
+
+/** Which workload the engine runs. */
+enum class WorkloadKind : std::uint8_t {
+    TpcB,    //!< the paper's OLTP workload (default)
+    DssScan, //!< decision-support query streams (contrast workload)
+};
+
+/** All workload knobs. Defaults are the calibrated values. */
+struct WorkloadParams
+{
+    WorkloadKind kind = WorkloadKind::TpcB;
+
+    // ---- TPC-B scale (paper Section 2.1) ----
+    unsigned branches = 40;
+    unsigned tellersPerBranch = 10;
+    unsigned accountsPerBranch = 100000;
+    unsigned serversPerCpu = 8;
+    std::uint64_t transactions = 2000; //!< measured transactions
+    std::uint64_t warmupTransactions = 600;
+
+    // ---- Database engine geometry ----
+    unsigned blockBytes = 2048;       //!< Oracle-era block size
+    std::uint64_t rowBytes = 100;     //!< TPC-B row size
+    std::uint64_t blockBufferBytes = 800 * mib;
+    std::uint64_t metadataSlackBytes = 16 * mib; //!< misc hot metadata
+    unsigned hashBuckets = 1 << 13;
+    unsigned numLatches = 1024;
+    unsigned latchStride = 32; //!< two latches share a line (false sharing)
+    unsigned numHashLatches = 128;
+    unsigned redoCopyLatches = 8;
+    std::uint64_t logBufferBytes = 64 * kib;
+
+    // ---- Code footprints ----
+    std::uint64_t dbTextBytes = 384 * kib;
+    unsigned dbFunctions = 128;
+
+    // ---- Transaction path (code invocations per phase) ----
+    unsigned parseInvocations = 5;
+    unsigned executeInvocations = 12;
+    unsigned commitInvocations = 3;
+    double functionSkew = 0.9;  //!< Zipf theta over each phase's group
+
+    // ---- Data-reference mix ----
+    double dataRefsPerLine = 3.4;    //!< interleaved with code lines
+    double privateFraction = 0.50;   //!< of mixer refs: stack/PGA
+    double metadataFraction = 0.40;  //!< of mixer refs: hot SGA metadata
+    double warmFraction = 0.030;      //!< of mixer refs: warm dictionary tail
+    double mixerStoreFraction = 0.18;
+    double sharedMetadataStoreFraction = 0.6;
+    double dependentFraction = 0.65; //!< refs with a depDist chain tag
+    std::uint64_t privateBytes = 16 * kib; //!< hot stack/PGA per server
+    double privateSkew = 0.6;
+    double metadataSkew = 0.75;
+
+    // ---- Block access pattern ----
+    unsigned blockLinesPerRowRead = 1; //!< lines touched to read a row
+    unsigned indexLevels = 2;          //!< root + leaf
+    unsigned coldHeaderScans = 1;     //!< lock/dictionary probes per txn
+                                       //!< into rarely-reused metadata
+    std::uint64_t hotMetadataBytes = 256 * kib; //!< hot mixer metadata
+    std::uint64_t warmMetadataBytes = 1536 * kib; //!< dictionary tail /
+                                                  //!< row cache: reused,
+                                                  //!< but at low rate
+
+    // ---- DSS mode (kind == DssScan) ----
+    unsigned dssStreamsPerCpu = 2;       //!< query streams per CPU
+    std::uint64_t dssBlocksPerQuery = 256; //!< blocks scanned per query
+
+    // ---- I/O and daemons ----
+    Tick logWriteLatency = 250000;  //!< 250 us commit log write
+    Tick clientThinkTime = 50000;   //!< pipe turnaround to the client
+    Tick dbWriterPeriod = 5000000;  //!< 5 ms between flush scans
+    unsigned dbWriterBatch = 32;
+
+    // ---- Misc ----
+    std::uint64_t seed = 0xb0a710ad;
+    Tick quantum = 2000000; //!< 2 ms scheduling quantum
+
+    // Derived values.
+    std::uint64_t totalAccounts() const
+    {
+        return std::uint64_t{branches} * accountsPerBranch;
+    }
+    std::uint64_t totalTellers() const
+    {
+        return std::uint64_t{branches} * tellersPerBranch;
+    }
+    unsigned rowsPerBlock() const
+    {
+        return static_cast<unsigned>(blockBytes / rowBytes);
+    }
+};
+
+} // namespace isim
+
+#endif // ISIM_OLTP_WORKLOAD_PARAMS_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Kernel model implementation.
+ */
+
+#include "src/os/kernel.hh"
+
+#include "src/base/intmath.hh"
+#include "src/os/layout.hh"
+
+namespace isim {
+
+KernelModel::KernelModel(VirtualMemory &vm, unsigned num_cpus,
+                         const KernelParams &params, std::uint64_t seed)
+    : vm_(vm), params_(params)
+{
+    CodeModelParams cp;
+    cp.vbase = layout::kernelText;
+    cp.textBytes = params_.textBytes;
+    cp.numFunctions = params_.numFunctions;
+    cp.seed = seed;
+    code_ = std::make_unique<CodeModel>(cp);
+
+    rngs_.reserve(num_cpus);
+    for (unsigned c = 0; c < num_cpus; ++c)
+        rngs_.emplace_back(mix64(seed + 0x1000 + c));
+}
+
+namespace {
+
+/** Interleaves kernel data references with kernel code lines. */
+class KernelLineMixer : public LineDataEmitter
+{
+  public:
+    KernelLineMixer(VirtualMemory &vm, const KernelParams &params,
+                    NodeId cpu)
+        : vm_(vm), params_(params), cpu_(cpu)
+    {
+    }
+
+    void
+    emitLineData(Rng &rng, std::deque<MemRef> &out) override
+    {
+        double want = params_.dataRefsPerLine;
+        while (want >= 1.0 || rng.chance(want)) {
+            want -= 1.0;
+            const bool shared = rng.chance(params_.lineSharedFraction);
+            const bool store = rng.chance(params_.lineStoreFraction);
+            Addr vaddr;
+            if (shared) {
+                const std::uint64_t lines = params_.sharedDataBytes / 64;
+                vaddr = layout::kernelShared +
+                        rng.zipf(lines, params_.sharedSkew) * 64;
+            } else {
+                const std::uint64_t lines = params_.perCpuDataBytes / 64;
+                vaddr = layout::kernelPerCpu +
+                        cpu_ * layout::kernelPerCpuStride +
+                        rng.zipf(lines, params_.sharedSkew) * 64;
+            }
+            const Addr paddr = vm_.translate(vaddr, cpu_);
+            out.push_back(store ? storeRef(paddr, 0, true)
+                                : loadRef(paddr, 0, true));
+        }
+    }
+
+  private:
+    VirtualMemory &vm_;
+    const KernelParams &params_;
+    NodeId cpu_;
+};
+
+} // namespace
+
+void
+KernelModel::invokeFunctions(NodeId cpu, unsigned count, Rng &rng,
+                             std::deque<MemRef> &out)
+{
+    KernelLineMixer mixer(vm_, params_, cpu);
+    for (unsigned i = 0; i < count; ++i) {
+        // Skewed choice: dispatch/scheduling routines dominate.
+        const unsigned f = static_cast<unsigned>(
+            rng.zipf(code_->numFunctions(), params_.sharedSkew));
+        instrs_ += code_->invoke(f, rng, vm_, cpu, /*kernel=*/true, out,
+                                 &mixer);
+    }
+}
+
+void
+KernelModel::touchShared(NodeId cpu, unsigned refs, unsigned stores,
+                         Rng &rng, std::deque<MemRef> &out)
+{
+    const std::uint64_t lines = params_.sharedDataBytes / 64;
+    for (unsigned i = 0; i < refs; ++i) {
+        const std::uint64_t line = rng.zipf(lines, params_.sharedSkew);
+        const Addr paddr =
+            vm_.translate(layout::kernelShared + line * 64, cpu);
+        const bool store = i < stores;
+        out.push_back(store ? storeRef(paddr, 0, true)
+                            : loadRef(paddr, 0, true));
+    }
+}
+
+void
+KernelModel::touchPerCpu(NodeId cpu, unsigned refs, Rng &rng,
+                         std::deque<MemRef> &out)
+{
+    const std::uint64_t lines = params_.perCpuDataBytes / 64;
+    const Addr base =
+        layout::kernelPerCpu + cpu * layout::kernelPerCpuStride;
+    for (unsigned i = 0; i < refs; ++i) {
+        const std::uint64_t line = rng.zipf(lines, params_.sharedSkew);
+        const Addr paddr = vm_.translate(base + line * 64, cpu);
+        // Context save/restore alternates loads and stores.
+        out.push_back((i & 1) ? storeRef(paddr, 0, true)
+                              : loadRef(paddr, 0, true));
+    }
+}
+
+void
+KernelModel::contextSwitch(NodeId cpu, std::deque<MemRef> &out)
+{
+    Rng &rng = rngs_[cpu];
+    invokeFunctions(cpu, params_.switchFunctions, rng, out);
+    touchShared(cpu, params_.switchSharedRefs, params_.switchSharedStores,
+                rng, out);
+    touchPerCpu(cpu, params_.switchPrivateRefs, rng, out);
+}
+
+void
+KernelModel::syscall(NodeId cpu, std::deque<MemRef> &out,
+                     std::uint64_t copy_bytes)
+{
+    Rng &rng = rngs_[cpu];
+    invokeFunctions(cpu, params_.syscallFunctions, rng, out);
+    touchShared(cpu, params_.syscallSharedRefs,
+                params_.syscallSharedStores, rng, out);
+    touchPerCpu(cpu, params_.syscallPrivateRefs, rng, out);
+
+    if (copy_bytes > 0) {
+        // Copy loop between a per-CPU kernel buffer and itself (the
+        // user side is the caller's private memory; the caller emits
+        // those references). One load + one store per line.
+        const Addr base = layout::kernelPerCpu +
+                          cpu * layout::kernelPerCpuStride +
+                          params_.perCpuDataBytes;
+        const std::uint64_t lines = divCeil(copy_bytes, 64);
+        for (std::uint64_t i = 0; i < lines; ++i) {
+            const Addr paddr = vm_.translate(base + (i % 64) * 64, cpu);
+            out.push_back(loadRef(paddr, 0, true));
+            out.push_back(storeRef(paddr, 0, true));
+        }
+    }
+}
+
+} // namespace isim

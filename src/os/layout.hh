@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The simulated virtual address map. Regions are widely separated so
+ * that workload components can grow without colliding; actual physical
+ * frames are only allocated for touched pages.
+ */
+
+#ifndef ISIM_OS_LAYOUT_HH
+#define ISIM_OS_LAYOUT_HH
+
+#include "src/base/types.hh"
+
+namespace isim::layout {
+
+/** Kernel text (replicable per node when code replication is on). */
+inline constexpr Addr kernelText = Addr{1} << 32;
+
+/** Kernel data shared across CPUs (run queues, proc table, locks). */
+inline constexpr Addr kernelShared = (Addr{1} << 32) + (Addr{1} << 30);
+
+/** Per-CPU kernel data (PCBs, kernel stacks); 16 MB stride per CPU. */
+inline constexpr Addr kernelPerCpu = (Addr{1} << 32) + (Addr{2} << 30);
+inline constexpr Addr kernelPerCpuStride = Addr{16} << 20;
+
+/** Database server text (the "Oracle binary"). */
+inline constexpr Addr dbText = Addr{1} << 36;
+
+/** System Global Area base; sub-layout defined by the OLTP engine. */
+inline constexpr Addr sgaBase = Addr{1} << 40;
+
+/** Per-process private memory (stack, PGA); 256 MB stride per pid. */
+inline constexpr Addr processPrivate = Addr{1} << 44;
+inline constexpr Addr processPrivateStride = Addr{256} << 20;
+
+} // namespace isim::layout
+
+#endif // ISIM_OS_LAYOUT_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Process helpers.
+ */
+
+#include "src/os/process.hh"
+
+namespace isim {
+
+const char *
+stepKindName(StepKind kind)
+{
+    switch (kind) {
+      case StepKind::Ref:
+        return "Ref";
+      case StepKind::BlockTimed:
+        return "BlockTimed";
+      case StepKind::BlockEvent:
+        return "BlockEvent";
+      case StepKind::Yield:
+        return "Yield";
+      case StepKind::Done:
+        return "Done";
+    }
+    return "?";
+}
+
+} // namespace isim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Scheduler implementation.
+ */
+
+#include "src/os/scheduler.hh"
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+Scheduler::Scheduler(unsigned num_cpus) : cpus_(num_cpus)
+{
+    isim_assert(num_cpus >= 1);
+}
+
+Process &
+Scheduler::add(std::unique_ptr<Process> process)
+{
+    Process &p = *process;
+    isim_assert(p.cpu() < cpus_.size(), "process bound to unknown CPU");
+    p.schedState = Process::SchedState::Ready;
+    cpus_[p.cpu()].ready.push_back(&p);
+    ++cpus_[p.cpu()].live;
+    processes_.push_back(std::move(process));
+    return p;
+}
+
+void
+Scheduler::wakeExpired(NodeId cpu, Tick now)
+{
+    CpuQueues &q = cpus_[cpu];
+    while (!q.sleepers.empty() && q.sleepers.top().at <= now) {
+        Process *p = q.sleepers.top().process;
+        q.sleepers.pop();
+        isim_assert(p->schedState == Process::SchedState::Blocked);
+        p->schedState = Process::SchedState::Ready;
+        q.ready.push_back(p);
+    }
+}
+
+Process *
+Scheduler::pickNext(NodeId cpu, Tick now)
+{
+    CpuQueues &q = cpus_[cpu];
+    isim_assert(q.running == nullptr,
+                "pickNext while a process is running");
+    wakeExpired(cpu, now);
+    if (q.ready.empty())
+        return nullptr;
+    Process *p = q.ready.front();
+    q.ready.pop_front();
+    p->schedState = Process::SchedState::Running;
+    q.running = p;
+    ++switches_;
+    return p;
+}
+
+Tick
+Scheduler::nextWake(NodeId cpu) const
+{
+    const CpuQueues &q = cpus_[cpu];
+    return q.sleepers.empty() ? maxTick : q.sleepers.top().at;
+}
+
+bool
+Scheduler::hasWork(NodeId cpu) const
+{
+    return cpus_[cpu].live > 0;
+}
+
+void
+Scheduler::blockCurrent(NodeId cpu, Tick wake_at)
+{
+    CpuQueues &q = cpus_[cpu];
+    isim_assert(q.running != nullptr);
+    Process *p = q.running;
+    q.running = nullptr;
+    p->schedState = Process::SchedState::Blocked;
+    p->wakeTime = wake_at;
+    if (wake_at != maxTick)
+        q.sleepers.push(TimedWake{wake_at, p});
+}
+
+void
+Scheduler::yieldCurrent(NodeId cpu)
+{
+    CpuQueues &q = cpus_[cpu];
+    isim_assert(q.running != nullptr);
+    Process *p = q.running;
+    q.running = nullptr;
+    p->schedState = Process::SchedState::Ready;
+    q.ready.push_back(p);
+}
+
+void
+Scheduler::finishCurrent(NodeId cpu)
+{
+    CpuQueues &q = cpus_[cpu];
+    isim_assert(q.running != nullptr);
+    Process *p = q.running;
+    q.running = nullptr;
+    p->schedState = Process::SchedState::Done;
+    isim_assert(q.live > 0);
+    --q.live;
+    ++finished_;
+}
+
+void
+Scheduler::wake(Process &process, Tick at)
+{
+    isim_assert(process.schedState == Process::SchedState::Blocked,
+                "wake of a process that is not blocked");
+    isim_assert(process.wakeTime == maxTick,
+                "wake of a timed sleeper (would double-queue)");
+    process.wakeTime = at;
+    cpus_[process.cpu()].sleepers.push(TimedWake{at, &process});
+}
+
+} // namespace isim

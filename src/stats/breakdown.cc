@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Breakdown implementation.
+ */
+
+#include "src/stats/breakdown.hh"
+
+#include <numeric>
+#include <utility>
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+Breakdown::Breakdown(std::string name, std::vector<std::string> components)
+    : name_(std::move(name)), labels_(std::move(components)),
+      values_(labels_.size(), 0.0)
+{
+}
+
+void
+Breakdown::add(std::size_t component, double amount)
+{
+    isim_assert(component < values_.size());
+    values_[component] += amount;
+}
+
+void
+Breakdown::set(std::size_t component, double amount)
+{
+    isim_assert(component < values_.size());
+    values_[component] = amount;
+}
+
+double
+Breakdown::total() const
+{
+    return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double
+Breakdown::fraction(std::size_t component) const
+{
+    isim_assert(component < values_.size());
+    const double t = total();
+    return t == 0.0 ? 0.0 : values_[component] / t;
+}
+
+Breakdown &
+Breakdown::operator+=(const Breakdown &other)
+{
+    isim_assert(values_.size() == other.values_.size(),
+                "breakdown layouts differ");
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        values_[i] += other.values_[i];
+    return *this;
+}
+
+Breakdown
+Breakdown::scaled(double factor) const
+{
+    Breakdown result = *this;
+    for (auto &v : result.values_)
+        v *= factor;
+    return result;
+}
+
+void
+Breakdown::clear()
+{
+    for (auto &v : values_)
+        v = 0.0;
+}
+
+} // namespace isim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Named additive breakdowns, the statistic underlying every figure in
+ * the paper (execution time split into CPU / L2Hit / LocStall / RemStall,
+ * and L2 misses split by class).
+ */
+
+#ifndef ISIM_STATS_BREAKDOWN_HH
+#define ISIM_STATS_BREAKDOWN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace isim {
+
+/**
+ * A vector of named non-negative components that add up to a total.
+ * Components are addressed by index; the owner defines the meaning of
+ * each slot (typically via an enum).
+ */
+class Breakdown
+{
+  public:
+    Breakdown() = default;
+    Breakdown(std::string name, std::vector<std::string> components);
+
+    const std::string &name() const { return name_; }
+    std::size_t size() const { return values_.size(); }
+    const std::string &label(std::size_t i) const { return labels_[i]; }
+
+    void add(std::size_t component, double amount);
+    void set(std::size_t component, double amount);
+    double component(std::size_t i) const { return values_[i]; }
+    double total() const;
+
+    /** Fraction of the total in the given component; 0 if total is 0. */
+    double fraction(std::size_t component) const;
+
+    /** Component-wise accumulation; layouts must match. */
+    Breakdown &operator+=(const Breakdown &other);
+
+    /** Scale every component (e.g. to normalize to a reference). */
+    Breakdown scaled(double factor) const;
+
+    /** Reset all components to zero. */
+    void clear();
+
+  private:
+    std::string name_;
+    std::vector<std::string> labels_;
+    std::vector<double> values_;
+};
+
+} // namespace isim
+
+#endif // ISIM_STATS_BREAKDOWN_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Histogram implementation.
+ */
+
+#include "src/stats/histogram.hh"
+
+#include <utility>
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+Histogram::Histogram(std::string name, std::uint64_t bucket_width,
+                     std::size_t bucket_count)
+    : name_(std::move(name)), bucketWidth_(bucket_width),
+      counts_(bucket_count, 0)
+{
+    isim_assert(bucket_width > 0);
+    isim_assert(bucket_count > 0);
+}
+
+void
+Histogram::sample(std::uint64_t value, std::uint64_t n)
+{
+    const std::size_t idx = value / bucketWidth_;
+    if (idx < counts_.size())
+        counts_[idx] += n;
+    else
+        overflow_ += n;
+    if (count_ == 0 || value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+    count_ += n;
+    sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    const double target = q * static_cast<double>(count_);
+    double running = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        running += static_cast<double>(counts_[i]);
+        if (running >= target)
+            return (i + 1) * bucketWidth_;
+    }
+    return max_;
+}
+
+void
+Histogram::clear()
+{
+    for (auto &c : counts_)
+        c = 0;
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0;
+    max_ = 0;
+}
+
+} // namespace isim

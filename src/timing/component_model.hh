@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A component-level latency model that *derives* the Figure-3 numbers
+ * from physical building blocks: array access times, chip-boundary
+ * crossings, bus/controller occupancies, DRAM access, and network
+ * traversals over the torus.
+ *
+ * The study itself charges the table latencies exactly as the paper
+ * did; this model exists to (a) validate that the table is physically
+ * coherent (each derived latency must land within a tolerance of the
+ * table), (b) explain *why* integration moves each number, and (c)
+ * drive the sensitivity ablations (e.g. router hop cost vs 3-hop
+ * latency) that the table cannot express.
+ */
+
+#ifndef ISIM_TIMING_COMPONENT_MODEL_HH
+#define ISIM_TIMING_COMPONENT_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "src/noc/network.hh"
+#include "src/timing/latency_config.hh"
+
+namespace isim {
+
+/** Physical latency components, all in 1 GHz cycles (== ns). */
+struct ComponentParams
+{
+    // Arrays.
+    Cycles l2TagAccess = 5;       //!< on-chip L2 tag lookup
+    Cycles offChipSramAccess = 10;
+    Cycles offChipSetSelect = 5;  //!< external way selection (assoc L2)
+    Cycles onChipSramAccess = 10; //!< ~2 MB integrated SRAM data array
+    Cycles onChipDramAccess = 20; //!< ~8 MB integrated DRAM data array
+
+    // Interfaces.
+    Cycles chipCrossing = 5; //!< per chip-boundary crossing
+    Cycles busTransfer = 10; //!< processor/system bus, one way
+
+    // Controllers and memory.
+    Cycles mcOccupancy = 10; //!< memory controller processing
+    Cycles dramAccess = 50;  //!< direct-Rambus array access
+    Cycles ccOccupancy = 10; //!< coherence controller processing
+    Cycles dirSramLookup = 10; //!< dedicated SRAM directory (L2+MC cfg)
+    Cycles busArbitration = 10; //!< extra arbitration when the CC must
+                                //!< master the system bus (L2+MC cfg)
+
+    /** Extra per-miss overhead of the conventional design. */
+    Cycles conservativePenalty = 50;
+
+    // Network (torus, built from LinkParams).
+    LinkParams link;
+    unsigned dataPayloadBytes = 64;
+    unsigned controlPayloadBytes = 8;
+};
+
+/** One named segment of a latency path (for reports and tests). */
+struct PathSegment
+{
+    std::string name;
+    Cycles cycles = 0;
+};
+
+/** A full path: an ordered list of segments and their sum. */
+struct LatencyPath
+{
+    std::vector<PathSegment> segments;
+    Cycles total() const;
+    std::string describe() const;
+};
+
+/**
+ * The derived model. Constructed per machine size (the torus average
+ * hop distance feeds the remote paths).
+ */
+class ComponentLatencyModel
+{
+  public:
+    ComponentLatencyModel(const ComponentParams &params,
+                          unsigned num_nodes);
+
+    const ComponentParams &params() const { return params_; }
+    const Network &network() const { return net_; }
+
+    LatencyPath l2HitPath(IntegrationLevel level, L2Impl impl) const;
+    LatencyPath localPath(IntegrationLevel level) const;
+    LatencyPath remotePath(IntegrationLevel level) const;
+    LatencyPath remoteDirtyPath(IntegrationLevel level, L2Impl impl) const;
+
+    /** Assemble the full latency table for a configuration. */
+    LatencyTable derive(IntegrationLevel level, L2Impl impl) const;
+
+    /**
+     * Largest relative error of the derived table vs the paper's
+     * Figure 3 values across the four latency classes.
+     */
+    double worstRelativeError(IntegrationLevel level, L2Impl impl) const;
+
+  private:
+    ComponentParams params_;
+    Network net_;
+};
+
+} // namespace isim
+
+#endif // ISIM_TIMING_COMPONENT_MODEL_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Figure 3 latency table.
+ */
+
+#include "src/timing/latency_config.hh"
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+const char *
+integrationLevelName(IntegrationLevel level)
+{
+    switch (level) {
+      case IntegrationLevel::ConservativeBase:
+        return "Conservative Base";
+      case IntegrationLevel::Base:
+        return "Base";
+      case IntegrationLevel::L2Int:
+        return "L2 integrated";
+      case IntegrationLevel::L2McInt:
+        return "L2, MC integrated";
+      case IntegrationLevel::FullInt:
+        return "L2, MC, CC/NR integrated";
+    }
+    return "?";
+}
+
+const char *
+l2ImplName(L2Impl impl)
+{
+    switch (impl) {
+      case L2Impl::OffchipDirect:
+        return "off-chip 1-way";
+      case L2Impl::OffchipAssoc:
+        return "off-chip n-way";
+      case L2Impl::OnchipSram:
+        return "on-chip SRAM";
+      case L2Impl::OnchipDram:
+        return "on-chip DRAM";
+    }
+    return "?";
+}
+
+bool
+l2OnChip(L2Impl impl)
+{
+    return impl == L2Impl::OnchipSram || impl == L2Impl::OnchipDram;
+}
+
+bool
+validCombination(IntegrationLevel level, L2Impl impl)
+{
+    const bool integrated = level == IntegrationLevel::L2Int ||
+                            level == IntegrationLevel::L2McInt ||
+                            level == IntegrationLevel::FullInt;
+    return integrated == l2OnChip(impl);
+}
+
+LatencyTable
+figure3Latencies(IntegrationLevel level, L2Impl impl)
+{
+    if (!validCombination(level, impl)) {
+        isim_fatal("invalid configuration: %s with %s L2",
+                   integrationLevelName(level), l2ImplName(impl));
+    }
+
+    LatencyTable t;
+
+    switch (impl) {
+      case L2Impl::OffchipDirect:
+        t.l2Hit = 25;
+        break;
+      case L2Impl::OffchipAssoc:
+        t.l2Hit = 30;
+        break;
+      case L2Impl::OnchipSram:
+        t.l2Hit = 15;
+        break;
+      case L2Impl::OnchipDram:
+        t.l2Hit = 25;
+        break;
+    }
+
+    switch (level) {
+      case IntegrationLevel::ConservativeBase:
+        t.l2Hit = 30; // conventional controller regardless of mapping
+        t.local = 150;
+        t.remote = 225;
+        t.remoteDirty = 325;
+        break;
+      case IntegrationLevel::Base:
+        t.local = 100;
+        t.remote = 175;
+        t.remoteDirty = 275;
+        break;
+      case IntegrationLevel::L2Int:
+        t.local = 100;
+        t.remote = 175;
+        t.remoteDirty = 275;
+        break;
+      case IntegrationLevel::L2McInt:
+        // Separating the coherence controller from the now-integrated
+        // memory controller *raises* the 2-hop latency (Section 4).
+        t.local = 75;
+        t.remote = 225;
+        t.remoteDirty = 275;
+        break;
+      case IntegrationLevel::FullInt:
+        t.local = 75;
+        t.remote = 150;
+        t.remoteDirty = 200;
+        break;
+    }
+
+    // Control-only upgrades bypass the memory controller, so the
+    // L2+MC separation penalty does not apply to them.
+    t.upgradeRemote = level == IntegrationLevel::L2McInt ? 175 : t.remote;
+
+    // Section 6: RAC hits are serviced from local memory; dirty data
+    // found in a remote RAC costs 250 ns vs 200 ns from a remote L2.
+    t.racHit = t.local;
+    t.remoteRacDirty = t.remoteDirty + 50;
+    return t;
+}
+
+ReductionVsBase
+fullIntegrationReduction()
+{
+    const LatencyTable base =
+        figure3Latencies(IntegrationLevel::Base, L2Impl::OffchipDirect);
+    const LatencyTable full =
+        figure3Latencies(IntegrationLevel::FullInt, L2Impl::OnchipSram);
+    return ReductionVsBase{
+        static_cast<double>(base.l2Hit) / full.l2Hit,
+        static_cast<double>(base.local) / full.local,
+        static_cast<double>(base.remote) / full.remote,
+        static_cast<double>(base.remoteDirty) / full.remoteDirty,
+    };
+}
+
+} // namespace isim

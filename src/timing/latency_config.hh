@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The paper's configuration space and its Figure 3 latency table.
+ *
+ * Five integration levels are studied (paper Sections 3-5):
+ *   ConservativeBase - all modules off chip, conventional latencies
+ *   Base             - all modules off chip, aggressively optimized
+ *   L2Int            - L2 data array integrated on chip
+ *   L2McInt          - L2 + memory controller integrated
+ *   FullInt          - L2 + MC + coherence controller + network router
+ *
+ * crossed with the L2 implementation (off-chip direct-mapped, off-chip
+ * set-associative, on-chip SRAM, on-chip DRAM). The table below is the
+ * paper's Figure 3, in cycles of a 1 GHz clock (== ns).
+ */
+
+#ifndef ISIM_TIMING_LATENCY_CONFIG_HH
+#define ISIM_TIMING_LATENCY_CONFIG_HH
+
+#include <string>
+
+#include "src/base/types.hh"
+
+namespace isim {
+
+/** How much of the memory system is on the processor die. */
+enum class IntegrationLevel {
+    ConservativeBase,
+    Base,
+    L2Int,
+    L2McInt,
+    FullInt,
+};
+
+/** Implementation of the second-level cache. */
+enum class L2Impl {
+    OffchipDirect, //!< wave-pipelined external SRAM, direct mapped
+    OffchipAssoc,  //!< external SRAM with off-chip set selection
+    OnchipSram,    //!< integrated SRAM array (~2 MB in 0.18um)
+    OnchipDram,    //!< integrated embedded-DRAM array (~8 MB, slower)
+};
+
+const char *integrationLevelName(IntegrationLevel level);
+const char *l2ImplName(L2Impl impl);
+
+/**
+ * End-to-end latencies charged per access class. These are the numbers
+ * the simulator actually uses, exactly as the paper did ("our
+ * simulations model a sequentially consistent memory system" with the
+ * Figure 3 latency parameters).
+ */
+struct LatencyTable
+{
+    Cycles l2Hit = 0;
+    Cycles local = 0;       //!< L2 miss satisfied by home == requester
+    Cycles remote = 0;      //!< clean 2-hop miss
+    Cycles remoteDirty = 0; //!< dirty 3-hop miss
+
+    /**
+     * Ownership-only (upgrade) transaction to a remote home: a control
+     * round-trip through the coherence controller. It does not fetch
+     * data, so it is *not* subject to the CC->MC separation penalty of
+     * the L2+MC configuration (Section 4's higher remote latency
+     * applies to memory data fetches).
+     */
+    Cycles upgradeRemote = 0;
+
+    /** Remote-access-cache hit: data in local memory (Section 6). */
+    Cycles racHit = 0;
+    /** Dirty data found in a *remote node's* RAC rather than its L2. */
+    Cycles remoteRacDirty = 0;
+};
+
+/**
+ * The Figure 3 table. Integration level selects the memory-system
+ * latencies; the L2 implementation selects the hit latency. Invalid
+ * combinations (e.g. an on-chip L2 with a non-integrated level, or an
+ * off-chip L2 in an integrated design) are rejected via fatal().
+ */
+LatencyTable figure3Latencies(IntegrationLevel level, L2Impl impl);
+
+/** True when the L2 implementation sits on the processor die. */
+bool l2OnChip(L2Impl impl);
+
+/** True when the combination appears in the paper's design space. */
+bool validCombination(IntegrationLevel level, L2Impl impl);
+
+/**
+ * Reduction factors quoted in Section 2.3 ("full integration reduces
+ * L2 hit latency by 1.67x, local by 1.33x, remote by 1.17x, dirty by
+ * 1.38x relative to Base"); exposed so tests can pin the table to the
+ * paper's text.
+ */
+struct ReductionVsBase
+{
+    double l2Hit;
+    double local;
+    double remote;
+    double remoteDirty;
+};
+ReductionVsBase fullIntegrationReduction();
+
+} // namespace isim
+
+#endif // ISIM_TIMING_LATENCY_CONFIG_HH

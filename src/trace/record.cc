@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reference-record helpers.
+ */
+
+#include "src/trace/record.hh"
+
+namespace isim {
+
+const char *
+refKindName(RefKind kind)
+{
+    switch (kind) {
+      case RefKind::Instr:
+        return "Instr";
+      case RefKind::Load:
+        return "Load";
+      case RefKind::Store:
+        return "Store";
+    }
+    return "?";
+}
+
+} // namespace isim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace I/O implementation.
+ */
+
+#include "src/trace/trace_io.hh"
+
+#include <cstring>
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+namespace {
+
+constexpr char traceMagic[8] = {'i', 's', 'i', 'm', 't', 'r', 'c', '1'};
+
+struct PackedRecord
+{
+    std::uint8_t kind;
+    std::uint8_t flags; //!< bit 0: kernel
+    std::uint8_t cpu;
+    std::uint8_t depDist;
+    std::uint16_t instrCount;
+    std::uint8_t paddr[8]; //!< little-endian, unaligned-safe
+};
+static_assert(sizeof(PackedRecord) == 14);
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (file_ == nullptr)
+        isim_fatal("cannot open trace for writing: %s", path.c_str());
+    char header[16] = {};
+    std::memcpy(header, traceMagic, sizeof traceMagic);
+    if (std::fwrite(header, sizeof header, 1, file_) != 1)
+        isim_fatal("trace header write failed");
+}
+
+TraceWriter::~TraceWriter()
+{
+    std::fclose(file_);
+}
+
+void
+TraceWriter::write(NodeId cpu, const MemRef &ref)
+{
+    PackedRecord rec{};
+    rec.kind = static_cast<std::uint8_t>(ref.kind);
+    rec.flags = ref.kernel ? 1 : 0;
+    rec.cpu = static_cast<std::uint8_t>(cpu);
+    rec.depDist = ref.depDist;
+    rec.instrCount = ref.instrCount;
+    for (int i = 0; i < 8; ++i)
+        rec.paddr[i] = static_cast<std::uint8_t>(ref.paddr >> (8 * i));
+    if (std::fwrite(&rec, sizeof rec, 1, file_) != 1)
+        isim_fatal("trace record write failed");
+    ++records_;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (file_ == nullptr)
+        isim_fatal("cannot open trace for reading: %s", path.c_str());
+    char header[16] = {};
+    if (std::fread(header, sizeof header, 1, file_) != 1 ||
+        std::memcmp(header, traceMagic, sizeof traceMagic) != 0) {
+        isim_fatal("bad trace header in %s", path.c_str());
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    std::fclose(file_);
+}
+
+bool
+TraceReader::next(NodeId &cpu, MemRef &ref)
+{
+    PackedRecord rec;
+    if (std::fread(&rec, sizeof rec, 1, file_) != 1)
+        return false;
+    ref = MemRef{};
+    ref.kind = static_cast<RefKind>(rec.kind);
+    ref.kernel = (rec.flags & 1) != 0;
+    ref.depDist = rec.depDist;
+    ref.instrCount = rec.instrCount;
+    ref.paddr = 0;
+    for (int i = 0; i < 8; ++i)
+        ref.paddr |= static_cast<Addr>(rec.paddr[i]) << (8 * i);
+    cpu = rec.cpu;
+    return true;
+}
+
+} // namespace isim

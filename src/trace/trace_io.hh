@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Binary trace record/replay. A workload run can be captured once and
+ * replayed against many memory-system configurations — the classic
+ * trace-driven methodology — and the round-trip is also a determinism
+ * check on the execution-driven front end.
+ *
+ * Format: a 16-byte header (magic, version, reserved) followed by
+ * packed 13-byte records.
+ */
+
+#ifndef ISIM_TRACE_TRACE_IO_HH
+#define ISIM_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <string>
+
+#include "src/base/types.hh"
+#include "src/trace/record.hh"
+
+namespace isim {
+
+const char *refKindName(RefKind kind);
+
+/** Writes (cpu, MemRef) streams to a file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void write(NodeId cpu, const MemRef &ref);
+    std::uint64_t records() const { return records_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t records_ = 0;
+};
+
+/** Reads a trace written by TraceWriter. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** Returns false at end of trace. */
+    bool next(NodeId &cpu, MemRef &ref);
+
+  private:
+    std::FILE *file_;
+};
+
+} // namespace isim
+
+#endif // ISIM_TRACE_TRACE_IO_HH

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the base utilities: RNG, integer math, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/intmath.hh"
+#include "src/base/logging.hh"
+#include "src/base/random.hh"
+
+namespace isim {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedResetsStream)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.seed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    const std::uint64_t bound = 10;
+    std::vector<int> counts(bound, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(bound)];
+    for (std::uint64_t v = 0; v < bound; ++v) {
+        EXPECT_NEAR(counts[v], draws / bound, draws / bound * 0.1);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const double mean = 250.0;
+    for (int i = 0; i < 50000; ++i) {
+        const double v = rng.exponential(mean);
+        ASSERT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 50000.0, mean, mean * 0.05);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks)
+{
+    Rng rng(23);
+    const std::uint64_t n = 1000;
+    std::uint64_t head = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const std::uint64_t r = rng.zipf(n, 0.8);
+        ASSERT_LT(r, n);
+        head += r < n / 10;
+    }
+    // With theta=0.8 the top decile must draw far more than 10%.
+    EXPECT_GT(head, total / 4);
+}
+
+TEST(Rng, ZipfZeroThetaIsUniform)
+{
+    Rng rng(29);
+    const std::uint64_t n = 10;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[rng.zipf(n, 0.0)];
+    for (auto c : counts)
+        EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    EXPECT_NE(mix64(1), mix64(2));
+    // Consecutive inputs should differ in many bits.
+    const std::uint64_t x = mix64(100) ^ mix64(101);
+    EXPECT_GT(__builtin_popcountll(x), 16);
+}
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(1ull << 33), 33u);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(IntMath, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundDown(63, 64), 0u);
+    EXPECT_EQ(roundDown(64, 64), 64u);
+    EXPECT_EQ(roundDown(127, 64), 64u);
+}
+
+TEST(Logging, QuietSuppressesOnlyAdvisories)
+{
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    isim_warn("suppressed %d", 1);
+    isim_inform("suppressed");
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(isim_panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, AssertWithPercentInCondition)
+{
+    // The failed condition text must not be interpreted as a format.
+    const int a = 5;
+    EXPECT_DEATH(isim_assert(a % 2 == 0), "a % 2 == 0");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(isim_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace isim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the single cache level (counters, fills, eviction
+ * classification, invalidation, downgrade).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/cache.hh"
+
+namespace isim {
+namespace {
+
+CacheGeometry
+tiny()
+{
+    return CacheGeometry{8 * kib, 2, 64};
+}
+
+TEST(Cache, HitMissCounters)
+{
+    Cache c("t", tiny());
+    EXPECT_EQ(c.access(1), nullptr);
+    c.fill(1, LineState::Shared);
+    EXPECT_NE(c.access(1), nullptr);
+    EXPECT_EQ(c.counters().accesses, 2u);
+    EXPECT_EQ(c.counters().hits, 1u);
+    EXPECT_EQ(c.counters().misses(), 1u);
+    EXPECT_DOUBLE_EQ(c.counters().hitRate(), 0.5);
+}
+
+TEST(Cache, ProbeDoesNotCount)
+{
+    Cache c("t", tiny());
+    c.fill(1, LineState::Shared);
+    const auto before = c.counters().accesses;
+    EXPECT_NE(c.probe(1), nullptr);
+    EXPECT_EQ(c.probe(2), nullptr);
+    EXPECT_EQ(c.counters().accesses, before);
+}
+
+TEST(Cache, EvictionClassification)
+{
+    Cache c("t", tiny());
+    const std::uint64_t sets = tiny().sets();
+    // Fill both ways of set 3, then force two evictions.
+    c.fill(3, LineState::Modified);
+    c.fill(3 + sets, LineState::Shared);
+    Victim v1 = c.fill(3 + 2 * sets, LineState::Shared); // evicts M
+    ASSERT_TRUE(v1.valid);
+    EXPECT_EQ(v1.state, LineState::Modified);
+    Victim v2 = c.fill(3 + 3 * sets, LineState::Shared); // evicts S
+    ASSERT_TRUE(v2.valid);
+    EXPECT_EQ(c.counters().dirtyEvictions, 1u);
+    EXPECT_EQ(c.counters().cleanEvictions, 1u);
+}
+
+TEST(Cache, ExclusiveVictimCountsClean)
+{
+    Cache c("t", tiny());
+    const std::uint64_t sets = tiny().sets();
+    c.fill(5, LineState::Exclusive);
+    c.fill(5 + sets, LineState::Exclusive);
+    c.fill(5 + 2 * sets, LineState::Shared);
+    EXPECT_EQ(c.counters().dirtyEvictions, 0u);
+    EXPECT_EQ(c.counters().cleanEvictions, 1u);
+}
+
+TEST(Cache, InvalidateReportsPriorState)
+{
+    Cache c("t", tiny());
+    c.fill(9, LineState::Modified);
+    EXPECT_EQ(c.invalidateLine(9), LineState::Modified);
+    EXPECT_EQ(c.invalidateLine(9), LineState::Invalid);
+    EXPECT_EQ(c.counters().invalidationsReceived, 1u);
+}
+
+TEST(Cache, DowngradeOnlyModified)
+{
+    Cache c("t", tiny());
+    c.fill(4, LineState::Shared);
+    EXPECT_FALSE(c.downgradeLine(4));
+    c.fill(5, LineState::Modified);
+    EXPECT_TRUE(c.downgradeLine(5));
+    EXPECT_EQ(c.probe(5)->state, LineState::Shared);
+}
+
+TEST(Cache, ResetCountersKeepsContents)
+{
+    Cache c("t", tiny());
+    c.fill(4, LineState::Shared);
+    c.access(4);
+    c.resetCounters();
+    EXPECT_EQ(c.counters().accesses, 0u);
+    EXPECT_EQ(c.counters().fills, 0u);
+    EXPECT_NE(c.probe(4), nullptr); // contents preserved
+}
+
+} // namespace
+} // namespace isim

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative tag array,
+ * including a randomized cross-check against a reference LRU model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/random.hh"
+#include "src/mem/cache_array.hh"
+
+namespace isim {
+namespace {
+
+TEST(CacheArray, MissOnEmpty)
+{
+    CacheArray array(CacheGeometry{8 * kib, 2, 64});
+    EXPECT_EQ(array.findLine(0), nullptr);
+    EXPECT_EQ(array.validLines(), 0u);
+}
+
+TEST(CacheArray, AllocateThenFind)
+{
+    CacheArray array(CacheGeometry{8 * kib, 2, 64});
+    Victim v;
+    array.allocate(100, LineState::Shared, v);
+    EXPECT_FALSE(v.valid);
+    CacheLine *line = array.findLine(100);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, LineState::Shared);
+    EXPECT_EQ(array.lineAddrOf(*line), 100u);
+    EXPECT_EQ(array.validLines(), 1u);
+}
+
+TEST(CacheArray, LruVictimSelection)
+{
+    // 2-way, map three conflicting lines to the same set.
+    const CacheGeometry g{8 * kib, 2, 64};
+    CacheArray array(g);
+    const std::uint64_t sets = g.sets();
+    const Addr a = 5, b = 5 + sets, c = 5 + 2 * sets;
+
+    Victim v;
+    array.allocate(a, LineState::Shared, v);
+    array.allocate(b, LineState::Modified, v);
+    EXPECT_FALSE(v.valid);
+
+    // Touch `a` so `b` becomes LRU.
+    array.touch(*array.findLine(a));
+    array.allocate(c, LineState::Shared, v);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, b);
+    EXPECT_EQ(v.state, LineState::Modified);
+    EXPECT_NE(array.findLine(a), nullptr);
+    EXPECT_EQ(array.findLine(b), nullptr);
+    EXPECT_NE(array.findLine(c), nullptr);
+}
+
+TEST(CacheArray, InvalidateFreesWay)
+{
+    CacheArray array(CacheGeometry{8 * kib, 2, 64});
+    Victim v;
+    array.allocate(1, LineState::Shared, v);
+    array.invalidate(*array.findLine(1));
+    EXPECT_EQ(array.findLine(1), nullptr);
+    EXPECT_EQ(array.validLines(), 0u);
+}
+
+TEST(CacheArray, ForEachValidVisitsAll)
+{
+    CacheArray array(CacheGeometry{8 * kib, 2, 64});
+    Victim v;
+    array.allocate(1, LineState::Shared, v);
+    array.allocate(2, LineState::Modified, v);
+    std::map<Addr, LineState> seen;
+    array.forEachValid([&](Addr line, const CacheLine &cl) {
+        seen[line] = cl.state;
+    });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[1], LineState::Shared);
+    EXPECT_EQ(seen[2], LineState::Modified);
+}
+
+TEST(CacheArrayDeathTest, DoubleAllocatePanics)
+{
+    CacheArray array(CacheGeometry{8 * kib, 2, 64});
+    Victim v;
+    array.allocate(7, LineState::Shared, v);
+    EXPECT_DEATH(array.allocate(7, LineState::Shared, v),
+                 "already-resident");
+}
+
+/**
+ * Reference model: per-set LRU lists, checked against the array under
+ * a long random access/allocate/invalidate workload.
+ */
+class ReferenceLru
+{
+  public:
+    explicit ReferenceLru(const CacheGeometry &g) : geom_(g) {}
+
+    /** Returns true on hit (and refreshes recency). */
+    bool
+    access(Addr line)
+    {
+        auto &set = sets_[geom_.setIndex(line)];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == line) {
+                set.erase(it);
+                set.push_front(line);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Allocates; returns victim line or -1. */
+    std::int64_t
+    allocate(Addr line)
+    {
+        auto &set = sets_[geom_.setIndex(line)];
+        std::int64_t victim = -1;
+        if (set.size() == geom_.assoc) {
+            victim = static_cast<std::int64_t>(set.back());
+            set.pop_back();
+        }
+        set.push_front(line);
+        return victim;
+    }
+
+    void
+    invalidate(Addr line)
+    {
+        auto &set = sets_[geom_.setIndex(line)];
+        set.remove(line);
+    }
+
+  private:
+    CacheGeometry geom_;
+    std::unordered_map<std::uint64_t, std::list<Addr>> sets_;
+};
+
+class CacheArrayProperty
+    : public ::testing::TestWithParam<CacheGeometry>
+{
+};
+
+TEST_P(CacheArrayProperty, MatchesReferenceLru)
+{
+    const CacheGeometry g = GetParam();
+    CacheArray array(g);
+    ReferenceLru ref(g);
+    Rng rng(0xA11CE + g.assoc + g.sizeBytes);
+
+    // Address pool ~4x the cache to force plenty of evictions.
+    const std::uint64_t pool = g.lines() * 4;
+
+    for (int step = 0; step < 20000; ++step) {
+        const Addr line = rng.below(pool);
+        const int op = static_cast<int>(rng.below(10));
+        if (op == 0) {
+            // Invalidate in both.
+            if (CacheLine *cl = array.findLine(line))
+                array.invalidate(*cl);
+            ref.invalidate(line);
+            continue;
+        }
+        CacheLine *cl = array.findLine(line);
+        const bool ref_hit = ref.access(line);
+        ASSERT_EQ(cl != nullptr, ref_hit) << "step " << step;
+        if (cl != nullptr) {
+            array.touch(*cl);
+        } else {
+            Victim v;
+            array.allocate(line, LineState::Shared, v);
+            const std::int64_t ref_victim = ref.allocate(line);
+            ASSERT_EQ(v.valid, ref_victim >= 0) << "step " << step;
+            if (v.valid) {
+                ASSERT_EQ(static_cast<std::int64_t>(v.lineAddr),
+                          ref_victim)
+                    << "step " << step;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheArrayProperty,
+    ::testing::Values(CacheGeometry{4 * kib, 1, 64},
+                      CacheGeometry{8 * kib, 2, 64},
+                      CacheGeometry{16 * kib, 4, 64},
+                      CacheGeometry{32 * kib, 8, 64},
+                      CacheGeometry{16 * kib, 16, 64},
+                      // non-power-of-two set count (1.25M-style)
+                      CacheGeometry{20 * kib, 4, 64}),
+    [](const ::testing::TestParamInfo<CacheGeometry> &info) {
+        return info.param.shortName();
+    });
+
+/** Fully-associative LRU has the stack (inclusion) property. */
+TEST(CacheArray, FullyAssocStackProperty)
+{
+    const unsigned small_ways = 16, big_ways = 32;
+    CacheArray small(
+        CacheGeometry{small_ways * 64ull, small_ways, 64});
+    CacheArray big(CacheGeometry{big_ways * 64ull, big_ways, 64});
+    Rng rng(77);
+    std::uint64_t small_hits = 0, big_hits = 0;
+    for (int i = 0; i < 30000; ++i) {
+        const Addr line = rng.zipf(256, 0.6);
+        for (auto *array : {&small, &big}) {
+            if (CacheLine *cl = array->findLine(line)) {
+                array->touch(*cl);
+                (array == &small ? small_hits : big_hits) += 1;
+                // Stack property: a small-cache hit implies a
+                // big-cache hit.
+                if (array == &small) {
+                    ASSERT_NE(big.findLine(line), nullptr);
+                }
+            } else {
+                Victim v;
+                array->allocate(line, LineState::Shared, v);
+            }
+        }
+    }
+    EXPECT_LE(small_hits, big_hits);
+}
+
+} // namespace
+} // namespace isim

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the key=value configuration front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/config/options.hh"
+
+namespace isim {
+namespace {
+
+TEST(ParseSize, SuffixesAndPlainBytes)
+{
+    EXPECT_EQ(parseSize("64"), 64u);
+    EXPECT_EQ(parseSize("32K"), 32 * kib);
+    EXPECT_EQ(parseSize("32k"), 32 * kib);
+    EXPECT_EQ(parseSize("2M"), 2 * mib);
+    EXPECT_EQ(parseSize("1G"), 1 * gib);
+    EXPECT_EQ(parseSize(" 8M "), 8 * mib);
+}
+
+TEST(ParseSizeDeathTest, Junk)
+{
+    EXPECT_EXIT(parseSize("2MB"), ::testing::ExitedWithCode(1),
+                "malformed size");
+    EXPECT_EXIT(parseSize("fast"), ::testing::ExitedWithCode(1),
+                "malformed size");
+    EXPECT_EXIT(parseSize(""), ::testing::ExitedWithCode(1),
+                "empty size");
+}
+
+TEST(KvConfig, ParsesCommentsAndWhitespace)
+{
+    const KvConfig kv = KvConfig::fromString(
+        "# header comment\n"
+        "\n"
+        "  machine.cpus = 8   # trailing comment\n"
+        "MACHINE.Level = full\n");
+    EXPECT_TRUE(kv.has("machine.cpus"));
+    EXPECT_EQ(kv.get("machine.cpus"), "8");
+    // Keys are case-folded; values are not.
+    EXPECT_EQ(kv.get("machine.level"), "full");
+    EXPECT_FALSE(kv.has("missing"));
+}
+
+TEST(KvConfig, TypedReaders)
+{
+    const KvConfig kv = KvConfig::fromString("a = 42\n"
+                                             "b = true\n"
+                                             "c = 2M\n"
+                                             "d = 0.25\n");
+    EXPECT_EQ(kv.getUint("a", 0), 42u);
+    EXPECT_EQ(kv.getUint("zz", 7), 7u);
+    EXPECT_TRUE(kv.getBool("b", false));
+    EXPECT_FALSE(kv.getBool("zz", false));
+    EXPECT_EQ(kv.getSize("c", 0), 2 * mib);
+    EXPECT_DOUBLE_EQ(kv.getDouble("d", 0.0), 0.25);
+}
+
+TEST(KvConfigDeathTest, MalformedInput)
+{
+    EXPECT_EXIT(KvConfig::fromString("just words\n"),
+                ::testing::ExitedWithCode(1), "expected 'key = value'");
+    EXPECT_EXIT(KvConfig::fromString("a = 1\na = 2\n"),
+                ::testing::ExitedWithCode(1), "duplicate key");
+    const KvConfig kv = KvConfig::fromString("a = x\n");
+    EXPECT_EXIT(kv.getUint("a", 0), ::testing::ExitedWithCode(1),
+                "expected integer");
+    EXPECT_EXIT(kv.getBool("a", false), ::testing::ExitedWithCode(1),
+                "expected boolean");
+    EXPECT_EXIT((void)kv.get("nope"), ::testing::ExitedWithCode(1),
+                "missing config key");
+}
+
+TEST(MachineFromConfig, DefaultsWhenEmpty)
+{
+    const MachineConfig cfg =
+        machineFromConfig(KvConfig::fromString(""));
+    const MachineConfig def;
+    EXPECT_EQ(cfg.numCpus, def.numCpus);
+    EXPECT_EQ(cfg.l2.sizeBytes, def.l2.sizeBytes);
+    EXPECT_EQ(cfg.level, def.level);
+    EXPECT_EQ(cfg.workload.transactions, def.workload.transactions);
+}
+
+TEST(MachineFromConfig, FullSpecification)
+{
+    const MachineConfig cfg = machineFromConfig(KvConfig::fromString(
+        "machine.name = test\n"
+        "machine.cpus = 8\n"
+        "machine.cores_per_node = 4\n"
+        "machine.cpu_model = ooo\n"
+        "machine.level = full\n"
+        "machine.l2.impl = sram\n"
+        "machine.l2.size = 2M\n"
+        "machine.l2.assoc = 8\n"
+        "machine.rac.enabled = true\n"
+        "machine.rac.size = 4M\n"
+        "machine.rac.assoc = 8\n"
+        "machine.replicate_code = yes\n"
+        "ooo.window = 128\n"
+        "workload.transactions = 123\n"
+        "workload.branches = 10\n"
+        "workload.seed = 99\n"));
+    EXPECT_EQ(cfg.name, "test");
+    EXPECT_EQ(cfg.numCpus, 8u);
+    EXPECT_EQ(cfg.coresPerNode, 4u);
+    EXPECT_EQ(cfg.numNodes(), 2u);
+    EXPECT_EQ(cfg.cpuModel, CpuModel::OutOfOrder);
+    EXPECT_EQ(cfg.level, IntegrationLevel::FullInt);
+    EXPECT_EQ(cfg.l2Impl, L2Impl::OnchipSram);
+    EXPECT_EQ(cfg.l2.sizeBytes, 2 * mib);
+    EXPECT_EQ(cfg.l2.assoc, 8u);
+    EXPECT_TRUE(cfg.rac);
+    EXPECT_EQ(cfg.racGeom.sizeBytes, 4 * mib);
+    EXPECT_TRUE(cfg.replicateCode);
+    EXPECT_EQ(cfg.oooParams.window, 128u);
+    EXPECT_EQ(cfg.workload.transactions, 123u);
+    EXPECT_EQ(cfg.workload.branches, 10u);
+    EXPECT_EQ(cfg.workload.seed, 99u);
+}
+
+TEST(MachineFromConfig, ExtensionKnobs)
+{
+    const MachineConfig cfg = machineFromConfig(KvConfig::fromString(
+        "machine.victim_buffer = 16\n"
+        "machine.prefetch_degree = 2\n"
+        "machine.mc_occupancy = 40\n"
+        "machine.page_colors = 1024\n"));
+    EXPECT_EQ(cfg.victimBufferEntries, 16u);
+    EXPECT_EQ(cfg.prefetchDegree, 2u);
+    EXPECT_EQ(cfg.mcOccupancy, 40u);
+    EXPECT_EQ(cfg.pageColors, 1024u);
+    // And they round-trip through the text form.
+    const MachineConfig back = machineFromConfig(
+        KvConfig::fromString(machineToConfigText(cfg)));
+    EXPECT_EQ(back.victimBufferEntries, 16u);
+    EXPECT_EQ(back.prefetchDegree, 2u);
+    EXPECT_EQ(back.mcOccupancy, 40u);
+    EXPECT_EQ(back.pageColors, 1024u);
+}
+
+TEST(MachineFromConfig, WorkloadKind)
+{
+    const MachineConfig dss = machineFromConfig(
+        KvConfig::fromString("workload.kind = dss\n"
+                             "workload.dss_blocks_per_query = 99\n"));
+    EXPECT_EQ(dss.workload.kind, WorkloadKind::DssScan);
+    EXPECT_EQ(dss.workload.dssBlocksPerQuery, 99u);
+    const MachineConfig oltp = machineFromConfig(
+        KvConfig::fromString("workload.kind = oltp\n"));
+    EXPECT_EQ(oltp.workload.kind, WorkloadKind::TpcB);
+}
+
+TEST(MachineFromConfigDeathTest, BadWorkloadKind)
+{
+    EXPECT_EXIT(machineFromConfig(
+                    KvConfig::fromString("workload.kind = webserver\n")),
+                ::testing::ExitedWithCode(1), "unknown workload kind");
+}
+
+TEST(MachineFromConfigDeathTest, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(machineFromConfig(
+                    KvConfig::fromString("machine.cpuz = 8\n")),
+                ::testing::ExitedWithCode(1), "unknown config key");
+}
+
+TEST(MachineFromConfigDeathTest, BadEnumValues)
+{
+    EXPECT_EXIT(machineFromConfig(
+                    KvConfig::fromString("machine.level = turbo\n")),
+                ::testing::ExitedWithCode(1),
+                "unknown integration level");
+    EXPECT_EXIT(machineFromConfig(
+                    KvConfig::fromString("machine.l2.impl = edram\n")),
+                ::testing::ExitedWithCode(1),
+                "unknown L2 implementation");
+    EXPECT_EXIT(machineFromConfig(KvConfig::fromString(
+                    "machine.cpu_model = vliw\n")),
+                ::testing::ExitedWithCode(1), "unknown cpu model");
+}
+
+TEST(MachineFromConfigDeathTest, InvalidCombinationIsFatal)
+{
+    EXPECT_EXIT(machineFromConfig(KvConfig::fromString(
+                    "machine.level = base\n"
+                    "machine.l2.impl = sram\n")),
+                ::testing::ExitedWithCode(1), "cannot use");
+}
+
+TEST(MachineConfigText, RoundTrips)
+{
+    MachineConfig cfg;
+    cfg.name = "roundtrip";
+    cfg.numCpus = 8;
+    cfg.coresPerNode = 2;
+    cfg.cpuModel = CpuModel::OutOfOrder;
+    cfg.level = IntegrationLevel::FullInt;
+    cfg.l2Impl = L2Impl::OnchipDram;
+    cfg.l2 = CacheGeometry{8 * mib, 8, 64};
+    cfg.rac = true;
+    cfg.replicateCode = true;
+    cfg.workload.transactions = 77;
+
+    const std::string text = machineToConfigText(cfg);
+    const MachineConfig back =
+        machineFromConfig(KvConfig::fromString(text));
+    EXPECT_EQ(back.name, cfg.name);
+    EXPECT_EQ(back.numCpus, cfg.numCpus);
+    EXPECT_EQ(back.coresPerNode, cfg.coresPerNode);
+    EXPECT_EQ(back.cpuModel, cfg.cpuModel);
+    EXPECT_EQ(back.level, cfg.level);
+    EXPECT_EQ(back.l2Impl, cfg.l2Impl);
+    EXPECT_EQ(back.l2.sizeBytes, cfg.l2.sizeBytes);
+    EXPECT_EQ(back.l2.assoc, cfg.l2.assoc);
+    EXPECT_EQ(back.rac, cfg.rac);
+    EXPECT_EQ(back.replicateCode, cfg.replicateCode);
+    EXPECT_EQ(back.workload.transactions, cfg.workload.transactions);
+}
+
+TEST(MachineFromConfig, ShippedExampleConfigsParse)
+{
+    for (const char *path : {"examples/configs/base_mp.cfg",
+                             "examples/configs/full_integration_mp.cfg",
+                             "examples/configs/cmp_ooo.cfg"}) {
+        // Tests run from the build tree; look one level up too.
+        std::string p = path;
+        std::ifstream probe(p);
+        if (!probe)
+            p = std::string("../") + path;
+        std::ifstream probe2(p);
+        if (!probe2)
+            GTEST_SKIP() << "example configs not found from cwd";
+        const MachineConfig cfg =
+            machineFromConfig(KvConfig::fromFile(p));
+        EXPECT_TRUE(validCombination(cfg.level, cfg.l2Impl)) << path;
+        EXPECT_GE(cfg.numCpus, 1u);
+    }
+}
+
+} // namespace
+} // namespace isim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the in-order CPU timing model: busy-time accounting,
+ * full-latency stalls per miss class, stall-bucket attribution, and
+ * kernel-time tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/coherence/protocol.hh"
+#include "src/cpu/inorder.hh"
+
+namespace isim {
+namespace {
+
+MemSysConfig
+cfg(unsigned nodes = 2)
+{
+    MemSysConfig c;
+    c.numNodes = nodes;
+    c.l1Size = 1 * kib;
+    c.l1Assoc = 2;
+    c.l2 = CacheGeometry{4 * kib, 2, 64};
+    c.lat = figure3Latencies(IntegrationLevel::Base,
+                             L2Impl::OffchipDirect);
+    return c;
+}
+
+Addr
+at(NodeId node, Addr offset)
+{
+    return (static_cast<Addr>(node) << 31) | offset;
+}
+
+TEST(InOrder, InstructionChunkBusyTime)
+{
+    MemorySystem ms(cfg());
+    InOrderCpu cpu(0, ms);
+    const Tick end = cpu.consume(instrChunk(at(0, 0), 12), 0);
+    // 12 cycles busy + local miss latency (first touch).
+    EXPECT_EQ(end, 12 + ms.config().lat.local);
+    EXPECT_EQ(cpu.stats().busy, 12u);
+    EXPECT_EQ(cpu.stats().localStall, ms.config().lat.local);
+    EXPECT_EQ(cpu.stats().instructions, 12u);
+}
+
+TEST(InOrder, L1HitIsFree)
+{
+    MemorySystem ms(cfg());
+    InOrderCpu cpu(0, ms);
+    Tick now = cpu.consume(loadRef(at(0, 0x80)), 0);
+    const Tick after = cpu.consume(loadRef(at(0, 0x80)), now);
+    EXPECT_EQ(after, now); // zero cycles: pipelined L1 hit
+    EXPECT_EQ(cpu.stats().loads, 2u);
+}
+
+TEST(InOrder, StallBucketsByClass)
+{
+    MemorySystem ms(cfg());
+    InOrderCpu cpu0(0, ms);
+    InOrderCpu cpu1(1, ms);
+
+    Tick t0 = 0, t1 = 0;
+    t0 = cpu0.consume(loadRef(at(0, 0x100)), t0);  // local
+    t0 = cpu0.consume(loadRef(at(1, 0x100)), t0);  // remote clean
+    t1 = cpu1.consume(storeRef(at(1, 0x200)), t1); // local (home 1)
+    t0 = cpu0.consume(loadRef(at(1, 0x200)), t0);  // remote dirty
+
+    EXPECT_EQ(cpu0.stats().localStall, ms.config().lat.local);
+    EXPECT_EQ(cpu0.stats().remoteStall, ms.config().lat.remote);
+    EXPECT_EQ(cpu0.stats().remoteDirtyStall,
+              ms.config().lat.remoteDirty);
+    EXPECT_EQ(cpu0.stats().nonIdle(),
+              ms.config().lat.local + ms.config().lat.remote +
+                  ms.config().lat.remoteDirty);
+    EXPECT_EQ(cpu0.stats().remStall(),
+              ms.config().lat.remote + ms.config().lat.remoteDirty);
+}
+
+TEST(InOrder, KernelTimeTracked)
+{
+    MemorySystem ms(cfg());
+    InOrderCpu cpu(0, ms);
+    Tick now = cpu.consume(instrChunk(at(0, 0), 10, /*kernel=*/true), 0);
+    now = cpu.consume(instrChunk(at(0, 0x2000), 10, false), now);
+    // Kernel portion: 10 busy + one local miss.
+    EXPECT_EQ(cpu.stats().kernelTime, 10 + ms.config().lat.local);
+    EXPECT_GT(cpu.stats().nonIdle(), cpu.stats().kernelTime);
+    EXPECT_GT(cpu.stats().kernelFraction(), 0.0);
+    EXPECT_LT(cpu.stats().kernelFraction(), 1.0);
+}
+
+TEST(InOrder, DrainIsIdentity)
+{
+    MemorySystem ms(cfg());
+    InOrderCpu cpu(0, ms);
+    EXPECT_EQ(cpu.drain(123), 123u);
+}
+
+TEST(InOrder, ResetStatsZeroes)
+{
+    MemorySystem ms(cfg());
+    InOrderCpu cpu(0, ms);
+    cpu.consume(loadRef(at(0, 0)), 0);
+    cpu.resetStats();
+    EXPECT_EQ(cpu.stats().nonIdle(), 0u);
+    EXPECT_EQ(cpu.stats().loads, 0u);
+}
+
+TEST(InOrder, StoreStallsLikeLoadUnderSc)
+{
+    MemorySystem ms(cfg());
+    InOrderCpu cpu(0, ms);
+    const Tick end = cpu.consume(storeRef(at(1, 0x300)), 0);
+    EXPECT_EQ(end, ms.config().lat.remote);
+    EXPECT_EQ(cpu.stats().stores, 1u);
+}
+
+} // namespace
+} // namespace isim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the home map and directory structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/coherence/directory.hh"
+
+namespace isim {
+namespace {
+
+TEST(HomeMap, ByteAndLineMapping)
+{
+    HomeMap map{31, 8};
+    EXPECT_EQ(map.homeOfByte(0), 0u);
+    EXPECT_EQ(map.homeOfByte((1ull << 31) - 1), 0u);
+    EXPECT_EQ(map.homeOfByte(1ull << 31), 1u);
+    EXPECT_EQ(map.homeOfByte(7ull << 31), 7u);
+    // Line addresses: line = byte >> 6.
+    EXPECT_EQ(map.homeOfLine((3ull << 31) >> 6, 6), 3u);
+    EXPECT_EQ(map.nodeBase(2), 2ull << 31);
+    EXPECT_EQ(map.nodeWindow(), 1ull << 31);
+}
+
+TEST(HomeMapDeathTest, OutOfRangeAddress)
+{
+    HomeMap map{31, 4};
+    EXPECT_DEATH(map.homeOfByte(4ull << 31), "outside installed");
+}
+
+TEST(Directory, FindAndEntryLifecycle)
+{
+    Directory dir(HomeMap{31, 8}, 6);
+    EXPECT_EQ(dir.find(42), nullptr);
+    DirEntry &e = dir.entry(42);
+    EXPECT_TRUE(e.isUncached());
+    EXPECT_EQ(dir.population(), 1u);
+    e.state = LineState::Shared;
+    e.sharers = 0b101;
+    EXPECT_EQ(dir.find(42)->sharerCount(), 2u);
+    EXPECT_TRUE(dir.find(42)->hasSharer(0));
+    EXPECT_FALSE(dir.find(42)->hasSharer(1));
+    EXPECT_TRUE(dir.find(42)->hasSharer(2));
+    dir.erase(42);
+    EXPECT_EQ(dir.find(42), nullptr);
+    EXPECT_EQ(dir.population(), 0u);
+}
+
+TEST(Directory, HomeOfUsesLineAddresses)
+{
+    Directory dir(HomeMap{31, 8}, 6);
+    // Line address of a byte in node 5's window.
+    const Addr line = (5ull << 31) >> 6;
+    EXPECT_EQ(dir.homeOf(line), 5u);
+}
+
+TEST(Directory, CheckEntryAcceptsValidShapes)
+{
+    DirEntry uncached;
+    Directory::checkEntry(uncached);
+
+    DirEntry shared;
+    shared.state = LineState::Shared;
+    shared.sharers = 0b11;
+    Directory::checkEntry(shared);
+
+    DirEntry owned;
+    owned.state = LineState::Modified;
+    owned.owner = 3;
+    owned.sharers = 1u << 3;
+    Directory::checkEntry(owned);
+}
+
+TEST(DirectoryDeathTest, CheckEntryRejectsBadShapes)
+{
+    DirEntry bad_shared;
+    bad_shared.state = LineState::Shared;
+    bad_shared.sharers = 0;
+    EXPECT_DEATH(Directory::checkEntry(bad_shared), "empty sharer");
+
+    DirEntry bad_owner;
+    bad_owner.state = LineState::Modified;
+    bad_owner.owner = 2;
+    bad_owner.sharers = 0b111;
+    EXPECT_DEATH(Directory::checkEntry(bad_owner), "sharer mask");
+}
+
+} // namespace
+} // namespace isim

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * End-to-end checks of the paper's headline claims at reduced scale,
+ * plus structural checks of the figure specifications. These are the
+ * "shape" assertions: orderings and rough factors, not absolute bars.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/base/logging.hh"
+#include "src/core/figures.hh"
+#include "src/core/report.hh"
+
+namespace isim {
+namespace {
+
+/** Shrink a figure config to test scale. */
+MachineConfig
+shrink(MachineConfig cfg, std::uint64_t txns = 220)
+{
+    cfg.workload.transactions = txns;
+    cfg.workload.warmupTransactions = txns;
+    return cfg;
+}
+
+RunResult
+runCfg(const MachineConfig &cfg)
+{
+    setQuiet(true);
+    Machine m(cfg);
+    return m.run();
+}
+
+TEST(Claims, AssociativityBeatsDirectMappedAtSameSize)
+{
+    // Section 3: "the associative L2 outperforms the same size
+    // direct-mapped L2" (1-2MB range).
+    const RunResult dm = runCfg(shrink(figures::offchip(1, 1 * mib, 1)));
+    const RunResult sa = runCfg(shrink(figures::offchip(1, 1 * mib, 4)));
+    EXPECT_LT(sa.misses.totalL2Misses(), dm.misses.totalL2Misses());
+    EXPECT_LT(sa.execTime(), dm.execTime());
+}
+
+TEST(Claims, SmallAssociativeOnChipBeatsBigDirectMappedOffChip)
+{
+    // The headline result: a 2MB 4/8-way on-chip cache has *fewer
+    // misses* than an 8MB direct-mapped off-chip cache.
+    const RunResult base = runCfg(shrink(figures::baseMachine(1)));
+    const RunResult onchip4 = runCfg(
+        shrink(figures::onchip(1, 2 * mib, 4, IntegrationLevel::L2Int)));
+    const RunResult onchip8 = runCfg(
+        shrink(figures::onchip(1, 2 * mib, 8, IntegrationLevel::L2Int)));
+    EXPECT_LT(onchip4.misses.totalL2Misses(),
+              base.misses.totalL2Misses());
+    EXPECT_LT(onchip8.misses.totalL2Misses(),
+              onchip4.misses.totalL2Misses() + 1);
+    // And the lower hit latency gives a solid uniprocessor speedup.
+    EXPECT_LT(static_cast<double>(onchip8.execTime()),
+              0.85 * static_cast<double>(base.execTime()));
+}
+
+TEST(Claims, MissReductionFromSmallDmToBigAssocIsDramatic)
+{
+    // Section 3: "almost a 50 times reduction" from 1M 1-way to
+    // 8M 4-way. At test scale we require at least an order of
+    // magnitude.
+    const RunResult small = runCfg(shrink(figures::offchip(1, 1 * mib, 1)));
+    const RunResult big = runCfg(shrink(figures::offchip(1, 8 * mib, 4)));
+    EXPECT_GT(small.misses.totalL2Misses(),
+              10 * big.misses.totalL2Misses());
+}
+
+TEST(Claims, ConservativeBaseHurtsMultiprocessorsMost)
+{
+    // Figure 6: MP performance is sensitive to the remote latencies.
+    const RunResult base =
+        runCfg(shrink(figures::offchip(4, 8 * mib, 4), 160));
+    const RunResult cons =
+        runCfg(shrink(figures::offchip(4, 8 * mib, 4, true), 160));
+    EXPECT_GT(cons.execTime(), base.execTime());
+    // Same caches: miss counts must be (nearly) identical; only the
+    // latency charging differs.
+    const double m1 = static_cast<double>(base.misses.totalL2Misses());
+    const double m2 = static_cast<double>(cons.misses.totalL2Misses());
+    EXPECT_NEAR(m1, m2, 0.1 * m1);
+}
+
+TEST(Claims, FullIntegrationDeliversTheHeadlineSpeedups)
+{
+    // Section 5: ~1.4x for MP (half from the L2, half from MC+CC/NR).
+    const RunResult base =
+        runCfg(shrink(figures::baseMachine(4), 160));
+    const RunResult l2 = runCfg(shrink(
+        figures::onchip(4, 2 * mib, 8, IntegrationLevel::L2Int), 160));
+    const RunResult full = runCfg(shrink(
+        figures::onchip(4, 2 * mib, 8, IntegrationLevel::FullInt), 160));
+    EXPECT_LT(l2.execTime(), base.execTime());
+    EXPECT_LT(full.execTime(), l2.execTime());
+    const double gain = static_cast<double>(base.execTime()) /
+                        static_cast<double>(full.execTime());
+    EXPECT_GT(gain, 1.2);
+    EXPECT_LT(gain, 1.9);
+}
+
+TEST(Claims, MpIsDominatedByRemoteStall)
+{
+    // Figures 6/8: communication misses make remote stall the largest
+    // execution-time component at large cache sizes.
+    const RunResult r = runCfg(shrink(figures::baseMachine(4), 160));
+    EXPECT_GT(r.cpu.remStall(), r.cpu.localStall);
+    EXPECT_GT(r.cpu.remStall(), r.cpu.busy);
+}
+
+TEST(Claims, OooIsFasterButIntegrationGainIsSimilar)
+{
+    // Section 7: OOO gives ~1.3-1.4x, and the *relative* integration
+    // gain is virtually identical for the two processor models.
+    const std::uint64_t txns = 200;
+    const RunResult in_base =
+        runCfg(shrink(figures::baseMachine(1, CpuModel::InOrder), txns));
+    const RunResult ooo_base = runCfg(
+        shrink(figures::baseMachine(1, CpuModel::OutOfOrder), txns));
+    EXPECT_LT(ooo_base.execTime(), in_base.execTime());
+
+    const RunResult in_l2 = runCfg(shrink(
+        figures::onchip(1, 2 * mib, 8, IntegrationLevel::L2Int,
+                        L2Impl::OnchipSram, CpuModel::InOrder),
+        txns));
+    const RunResult ooo_l2 = runCfg(shrink(
+        figures::onchip(1, 2 * mib, 8, IntegrationLevel::L2Int,
+                        L2Impl::OnchipSram, CpuModel::OutOfOrder),
+        txns));
+    const double gain_in = static_cast<double>(in_base.execTime()) /
+                           static_cast<double>(in_l2.execTime());
+    const double gain_ooo = static_cast<double>(ooo_base.execTime()) /
+                            static_cast<double>(ooo_l2.execTime());
+    EXPECT_GT(gain_in, 1.0);
+    EXPECT_GT(gain_ooo, 1.0);
+    EXPECT_NEAR(gain_in, gain_ooo, 0.25 * gain_in);
+}
+
+TEST(Specs, FigureShapesAreWellFormed)
+{
+    for (const FigureSpec &spec :
+         {figures::figure5(), figures::figure6(), figures::figure7(),
+          figures::figure8(), figures::figure10Uni(),
+          figures::figure10Mp(), figures::figure11(),
+          figures::figure12(), figures::figure13Uni(),
+          figures::figure13Mp()}) {
+        EXPECT_FALSE(spec.bars.empty()) << spec.id;
+        EXPECT_LT(spec.normalizeTo, spec.bars.size()) << spec.id;
+        for (const FigureBar &bar : spec.bars) {
+            EXPECT_TRUE(
+                validCombination(bar.config.level, bar.config.l2Impl))
+                << spec.id << " / " << bar.config.name;
+            EXPECT_FALSE(bar.config.name.empty()) << spec.id;
+        }
+    }
+}
+
+TEST(Specs, CountsMatchThePaper)
+{
+    EXPECT_EQ(figures::figure5().bars.size(), 9u);
+    EXPECT_EQ(figures::figure6().bars.size(), 9u);
+    EXPECT_EQ(figures::figure7().bars.size(), 7u);
+    EXPECT_EQ(figures::figure8().bars.size(), 7u);
+    EXPECT_EQ(figures::figure10Uni().bars.size(), 3u);
+    EXPECT_EQ(figures::figure10Mp().bars.size(), 4u);
+    EXPECT_EQ(figures::figure11().bars.size(), 4u);
+    EXPECT_EQ(figures::figure12().bars.size(), 5u);
+    EXPECT_EQ(figures::figure13Uni().bars.size(), 4u);
+    EXPECT_EQ(figures::figure13Mp().bars.size(), 5u);
+    // Figure 13 is normalized to the Base out-of-order bar.
+    EXPECT_EQ(figures::figure13Uni().normalizeTo, 1u);
+}
+
+TEST(Report, TablesRenderAllBars)
+{
+    setQuiet(true);
+    FigureSpec spec = figures::figure10Uni();
+    for (FigureBar &bar : spec.bars) {
+        bar.config.workload.transactions = 40;
+        bar.config.workload.warmupTransactions = 15;
+        bar.config.workload.branches = 8;
+        bar.config.workload.accountsPerBranch = 10000;
+        bar.config.workload.blockBufferBytes = 64 * mib;
+    }
+    ExperimentRunner runner(/*verbose=*/false);
+    const FigureResult result = runner.run(spec);
+    const Table exec = executionTable(result);
+    const Table miss = missTable(result);
+    const Table detail = detailTable(result);
+    EXPECT_EQ(exec.rows(), spec.bars.size());
+    EXPECT_EQ(miss.rows(), spec.bars.size());
+    EXPECT_EQ(detail.rows(), spec.bars.size());
+    // Normalized total of the reference bar is exactly 100.
+    const std::string text = exec.toText();
+    EXPECT_NE(text.find("100.0"), std::string::npos);
+    EXPECT_FALSE(summaryLine(result).empty());
+
+    // JSON export: well-formed enough to carry every bar.
+    const std::string json = figureToJson(result);
+    EXPECT_NE(json.find("\"id\": \"Figure 10\""), std::string::npos);
+    for (const RunResult &r : result.runs) {
+        EXPECT_NE(json.find("\"" + r.name + "\""), std::string::npos);
+    }
+    EXPECT_NE(json.find("\"exec_norm\": 100.0000"), std::string::npos);
+    EXPECT_NE(json.find("\"miss_data_3hop\""), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+} // namespace
+} // namespace isim

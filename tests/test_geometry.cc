@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for cache geometry, including the non-power-of-two set
+ * counts the paper's 1.25 MB L2 requires.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/geometry.hh"
+
+namespace isim {
+namespace {
+
+TEST(Geometry, BasicDerivation)
+{
+    CacheGeometry g{2 * mib, 8, 64};
+    g.validate();
+    EXPECT_EQ(g.lines(), 2 * mib / 64);
+    EXPECT_EQ(g.sets(), 2 * mib / 64 / 8);
+    EXPECT_TRUE(g.pow2Sets());
+    EXPECT_EQ(g.lineBits(), 6u);
+}
+
+TEST(Geometry, LineAddrSlicing)
+{
+    CacheGeometry g{1 * mib, 4, 64};
+    EXPECT_EQ(g.lineAddr(0), 0u);
+    EXPECT_EQ(g.lineAddr(63), 0u);
+    EXPECT_EQ(g.lineAddr(64), 1u);
+    EXPECT_EQ(g.lineAddr(0x12345678), 0x12345678ull >> 6);
+}
+
+TEST(Geometry, SetAndTagRoundTripPow2)
+{
+    CacheGeometry g{1 * mib, 4, 64};
+    for (Addr line : {0ull, 1ull, 4095ull, 4096ull, 999999ull,
+                      (1ull << 40) + 12345}) {
+        const std::uint64_t set = g.setIndex(line);
+        const Addr tag = g.tagOf(line);
+        EXPECT_LT(set, g.sets());
+        EXPECT_EQ(tag * g.sets() + set, line);
+    }
+}
+
+TEST(Geometry, NonPow2Sets)
+{
+    // The paper's Section 6 1.25MB 4-way cache.
+    CacheGeometry g{1280 * kib, 4, 64};
+    g.validate();
+    EXPECT_EQ(g.sets(), 1280 * kib / 64 / 4);
+    EXPECT_FALSE(g.pow2Sets());
+    for (Addr line : {0ull, 1ull, 5119ull, 5120ull, 123456789ull}) {
+        const std::uint64_t set = g.setIndex(line);
+        const Addr tag = g.tagOf(line);
+        EXPECT_LT(set, g.sets());
+        EXPECT_EQ(tag * g.sets() + set, line);
+    }
+}
+
+TEST(Geometry, DistinctLinesGetDistinctSetTagPairs)
+{
+    CacheGeometry g{1280 * kib, 4, 64};
+    const Addr a = 123456, b = 123457;
+    EXPECT_TRUE(g.setIndex(a) != g.setIndex(b) ||
+                g.tagOf(a) != g.tagOf(b));
+}
+
+TEST(Geometry, ShortNames)
+{
+    EXPECT_EQ((CacheGeometry{2 * mib, 8, 64}.shortName()), "2M8w");
+    EXPECT_EQ((CacheGeometry{8 * mib, 1, 64}.shortName()), "8M1w");
+    EXPECT_EQ((CacheGeometry{1280 * kib, 4, 64}.shortName()), "1280K4w");
+    EXPECT_EQ((CacheGeometry{64 * kib, 2, 64}.shortName()), "64K2w");
+}
+
+TEST(GeometryDeathTest, RejectsBadShapes)
+{
+    CacheGeometry bad_line{1 * mib, 4, 48};
+    EXPECT_DEATH(bad_line.validate(), "");
+    CacheGeometry indivisible{1 * mib + 64, 4, 64};
+    EXPECT_DEATH(indivisible.validate(), "");
+}
+
+} // namespace
+} // namespace isim

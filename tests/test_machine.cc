@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Integration tests of the assembled machine: full runs at reduced
+ * scale, determinism, warm-up semantics, coherence invariants after
+ * execution, and placement effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/base/logging.hh"
+#include "src/core/machine.hh"
+
+namespace isim {
+namespace {
+
+/** Reduced-scale workload so tests run in milliseconds. */
+WorkloadParams
+testWorkload(std::uint64_t txns = 60)
+{
+    WorkloadParams p;
+    p.branches = 8;
+    p.accountsPerBranch = 10000;
+    p.blockBufferBytes = 64 * mib;
+    p.transactions = txns;
+    p.warmupTransactions = txns / 3;
+    return p;
+}
+
+MachineConfig
+uniConfig(std::uint64_t txns = 60)
+{
+    MachineConfig cfg;
+    cfg.name = "test-uni";
+    cfg.numCpus = 1;
+    cfg.l2 = CacheGeometry{1 * mib, 4, 64};
+    cfg.l2Impl = L2Impl::OffchipAssoc;
+    cfg.workload = testWorkload(txns);
+    return cfg;
+}
+
+MachineConfig
+mpConfig(std::uint64_t txns = 60)
+{
+    MachineConfig cfg = uniConfig(txns);
+    cfg.name = "test-mp";
+    cfg.numCpus = 4;
+    return cfg;
+}
+
+TEST(Machine, UniprocessorRunCompletes)
+{
+    setQuiet(true);
+    Machine m(uniConfig());
+    const RunResult r = m.run();
+    EXPECT_EQ(r.transactions, 60u);
+    EXPECT_TRUE(r.dbConsistent);
+    EXPECT_GT(r.cpu.instructions, 0u);
+    EXPECT_GT(r.execTime(), 0u);
+    EXPECT_GT(r.wallTime, 0u);
+    EXPECT_GT(r.misses.totalL2Misses(), 0u);
+    EXPECT_GT(r.tps(), 0.0);
+    // Uniprocessor: no remote misses at all.
+    EXPECT_EQ(r.misses.dataRemoteClean, 0u);
+    EXPECT_EQ(r.misses.dataRemoteDirty, 0u);
+    EXPECT_EQ(r.cpu.remStall(), 0u);
+    m.memSys().checkInvariants();
+}
+
+TEST(Machine, MultiprocessorHasCommunication)
+{
+    setQuiet(true);
+    Machine m(mpConfig());
+    const RunResult r = m.run();
+    EXPECT_EQ(r.transactions, 60u);
+    EXPECT_TRUE(r.dbConsistent);
+    EXPECT_GT(r.misses.dataRemoteClean, 0u);
+    EXPECT_GT(r.misses.dataRemoteDirty, 0u);
+    EXPECT_GT(r.misses.invalidationsSent, 0u);
+    EXPECT_GT(r.cpu.remStall(), 0u);
+    m.memSys().checkInvariants();
+}
+
+TEST(Machine, DeterministicAcrossIdenticalRuns)
+{
+    setQuiet(true);
+    Machine a(mpConfig());
+    Machine b(mpConfig());
+    const RunResult ra = a.run();
+    const RunResult rb = b.run();
+    EXPECT_EQ(ra.cpu.instructions, rb.cpu.instructions);
+    EXPECT_EQ(ra.execTime(), rb.execTime());
+    EXPECT_EQ(ra.wallTime, rb.wallTime);
+    EXPECT_EQ(ra.misses.totalL2Misses(), rb.misses.totalL2Misses());
+    EXPECT_EQ(ra.misses.dataRemoteDirty, rb.misses.dataRemoteDirty);
+    EXPECT_EQ(ra.misses.invalidationsSent, rb.misses.invalidationsSent);
+}
+
+TEST(Machine, SeedChangesResults)
+{
+    setQuiet(true);
+    MachineConfig c1 = mpConfig(), c2 = mpConfig();
+    c2.workload.seed ^= 0x1234;
+    const RunResult r1 = Machine(c1).run();
+    const RunResult r2 = Machine(c2).run();
+    EXPECT_NE(r1.execTime(), r2.execTime());
+}
+
+TEST(Machine, KernelShareInPlausibleRange)
+{
+    setQuiet(true);
+    Machine m(uniConfig(150));
+    const RunResult r = m.run();
+    // Paper: the kernel is ~25% of execution time for OLTP.
+    EXPECT_GT(r.cpu.kernelFraction(), 0.10);
+    EXPECT_LT(r.cpu.kernelFraction(), 0.45);
+}
+
+TEST(Machine, WarmupExcludedFromMeasurement)
+{
+    setQuiet(true);
+    MachineConfig cfg = uniConfig(90);
+    Machine m(cfg);
+    const RunResult r = m.run();
+    // Measured transactions only (engine committed warmup + measured).
+    EXPECT_EQ(r.transactions, 90u);
+    EXPECT_EQ(m.engine().committedTransactions(),
+              90u + cfg.workload.warmupTransactions);
+}
+
+TEST(Machine, ReplicationLocalizesInstructionMisses)
+{
+    setQuiet(true);
+    MachineConfig plain = mpConfig(100);
+    MachineConfig repl = mpConfig(100);
+    repl.replicateCode = true;
+    // Small L2 so instruction misses exist at all.
+    plain.l2 = repl.l2 = CacheGeometry{256 * kib, 2, 64};
+    const RunResult rp = Machine(plain).run();
+    const RunResult rr = Machine(repl).run();
+    EXPECT_GT(rp.misses.instrRemote, 0u);
+    // With per-node text copies, instruction misses are local.
+    EXPECT_EQ(rr.misses.instrRemote, 0u);
+    EXPECT_GT(rr.misses.instrLocal, 0u);
+}
+
+TEST(Machine, RacMachineRunsAndFiltersRemoteTraffic)
+{
+    setQuiet(true);
+    MachineConfig norac = mpConfig(100);
+    MachineConfig withrac = mpConfig(100);
+    norac.level = withrac.level = IntegrationLevel::FullInt;
+    norac.l2Impl = withrac.l2Impl = L2Impl::OnchipSram;
+    norac.l2 = withrac.l2 = CacheGeometry{256 * kib, 2, 64};
+    withrac.rac = true;
+    withrac.racGeom = CacheGeometry{4 * mib, 8, 64};
+    const RunResult rn = Machine(norac).run();
+    const RunResult rw = Machine(withrac).run();
+    EXPECT_GT(rw.rac.lookups, 0u);
+    EXPECT_GT(rw.rac.hits, 0u);
+    // RAC hits convert remote misses into local ones (Figure 11).
+    const double local_share_n =
+        static_cast<double>(rn.misses.instrLocal + rn.misses.dataLocal) /
+        static_cast<double>(rn.misses.totalL2Misses());
+    const double local_share_w =
+        static_cast<double>(rw.misses.instrLocal + rw.misses.dataLocal) /
+        static_cast<double>(rw.misses.totalL2Misses());
+    EXPECT_GT(local_share_w, local_share_n);
+}
+
+TEST(Machine, OooModelRuns)
+{
+    setQuiet(true);
+    MachineConfig cfg = uniConfig(80);
+    cfg.cpuModel = CpuModel::OutOfOrder;
+    Machine m(cfg);
+    const RunResult r = m.run();
+    EXPECT_EQ(r.transactions, 80u);
+    EXPECT_TRUE(r.dbConsistent);
+    EXPECT_GT(r.cpu.busy, 0u);
+}
+
+TEST(Machine, SnapshotAggregatesAllCpus)
+{
+    setQuiet(true);
+    Machine m(mpConfig());
+    m.run();
+    CpuStats manual;
+    for (NodeId n = 0; n < 4; ++n)
+        manual += m.cpu(n).stats();
+    const RunResult snap = m.snapshot();
+    EXPECT_EQ(snap.cpu.instructions, manual.instructions);
+    EXPECT_EQ(snap.cpu.nonIdle(), manual.nonIdle());
+}
+
+TEST(MachineDeathTest, InvalidLevelImplComboIsFatal)
+{
+    MachineConfig cfg = uniConfig();
+    cfg.level = IntegrationLevel::Base;
+    cfg.l2Impl = L2Impl::OnchipSram;
+    EXPECT_EXIT(Machine m(cfg), ::testing::ExitedWithCode(1),
+                "cannot use");
+}
+
+} // namespace
+} // namespace isim

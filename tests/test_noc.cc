@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the torus topology and the network latency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/noc/network.hh"
+#include "src/noc/topology.hh"
+
+namespace isim {
+namespace {
+
+TEST(Torus, EightNodesIsFourByTwo)
+{
+    TorusTopology t(8);
+    EXPECT_EQ(t.width(), 4u);
+    EXPECT_EQ(t.height(), 2u);
+}
+
+TEST(Torus, CoordRoundTrip)
+{
+    TorusTopology t(8);
+    for (NodeId n = 0; n < 8; ++n)
+        EXPECT_EQ(t.nodeAt(t.coordOf(n)), n);
+}
+
+TEST(Torus, HopsSymmetricAndZeroOnSelf)
+{
+    TorusTopology t(8);
+    for (NodeId a = 0; a < 8; ++a) {
+        EXPECT_EQ(t.hops(a, a), 0u);
+        for (NodeId b = 0; b < 8; ++b)
+            EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+    }
+}
+
+TEST(Torus, WrapAroundShortens)
+{
+    TorusTopology t(8); // 4x2
+    // Nodes 0 (0,0) and 3 (3,0): wrap distance 1, not 3.
+    EXPECT_EQ(t.hops(0, 3), 1u);
+    EXPECT_EQ(t.hops(0, 2), 2u);
+}
+
+TEST(Torus, TriangleInequality)
+{
+    TorusTopology t(8);
+    for (NodeId a = 0; a < 8; ++a)
+        for (NodeId b = 0; b < 8; ++b)
+            for (NodeId c = 0; c < 8; ++c)
+                EXPECT_LE(t.hops(a, c), t.hops(a, b) + t.hops(b, c));
+}
+
+TEST(Torus, AverageAndDiameter)
+{
+    TorusTopology t(8);
+    // 4x2 torus: max 2 in x (wrap), 1 in y.
+    EXPECT_EQ(t.diameter(), 3u);
+    const double avg = t.averageHops();
+    EXPECT_GT(avg, 1.0);
+    EXPECT_LT(avg, static_cast<double>(t.diameter()));
+    // Exact: sum of hop counts over 56 ordered pairs = 96.
+    EXPECT_NEAR(avg, 96.0 / 56.0, 1e-9);
+}
+
+TEST(Torus, SingleNode)
+{
+    TorusTopology t(1);
+    EXPECT_EQ(t.diameter(), 0u);
+    EXPECT_DOUBLE_EQ(t.averageHops(), 0.0);
+}
+
+TEST(Network, SerializationScalesWithPayload)
+{
+    Network net(TorusTopology(8), LinkParams{});
+    EXPECT_LT(net.serialization(8), net.serialization(64));
+    // 4 GB/s at 1 GHz == 4 bytes/cycle; 64B + 16B header = 20 cycles.
+    EXPECT_EQ(net.serialization(64), 20u);
+}
+
+TEST(Network, OneWayAddsHops)
+{
+    Network net(TorusTopology(8), LinkParams{});
+    const Cycles self = net.oneWay(0, 0, 0);
+    const Cycles one = net.oneWay(0, 1, 0);
+    const Cycles far = net.oneWay(0, 2, 0);
+    EXPECT_LT(self, one);
+    EXPECT_LT(one, far);
+    // Per-hop cost is routerDelay + linkFlight.
+    EXPECT_EQ(far - one, LinkParams{}.routerDelay +
+                             LinkParams{}.linkFlight);
+}
+
+TEST(Network, AverageBetweenMinAndMax)
+{
+    Network net(TorusTopology(8), LinkParams{});
+    const Cycles avg = net.oneWayAverage(64);
+    EXPECT_GE(avg, net.oneWay(0, 1, 64));
+    EXPECT_LE(avg, net.oneWay(0, 2 + 4, 64)); // diameter pair
+}
+
+} // namespace
+} // namespace isim

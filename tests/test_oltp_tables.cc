@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the functional TPC-B database: row placement, history
+ * growth, functional execution and the TPC-B consistency conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/random.hh"
+#include "src/oltp/tables.hh"
+
+namespace isim {
+namespace {
+
+WorkloadParams
+smallScale()
+{
+    WorkloadParams p;
+    p.branches = 4;
+    p.tellersPerBranch = 10;
+    p.accountsPerBranch = 1000;
+    p.blockBufferBytes = 32 * mib;
+    return p;
+}
+
+TEST(Tables, TableRegionsAreDisjoint)
+{
+    const WorkloadParams p = smallScale();
+    Sga sga(p);
+    TpcbDatabase db(p, sga);
+
+    // Branch, teller, account, index and history blocks must never
+    // overlap.
+    const std::uint64_t last_branch = db.branchRow(p.branches - 1).block;
+    const std::uint64_t first_teller = db.tellerRow(0).block;
+    EXPECT_LT(last_branch, first_teller);
+    const std::uint64_t last_teller =
+        db.tellerRow(p.totalTellers() - 1).block;
+    const std::uint64_t first_account = db.accountRow(0).block;
+    EXPECT_LT(last_teller, first_account);
+    const std::uint64_t last_account =
+        db.accountRow(p.totalAccounts() - 1).block;
+    EXPECT_LT(last_account, db.accountIndexRoot());
+    EXPECT_LT(db.accountIndexRoot(),
+              db.accountIndexLeaf(0));
+    EXPECT_LT(db.accountIndexLeaf(p.totalAccounts() - 1),
+              db.staticBlocks());
+    EXPECT_LE(db.staticBlocks(), sga.numBlocks());
+}
+
+TEST(Tables, RowsPackIntoBlocks)
+{
+    const WorkloadParams p = smallScale();
+    Sga sga(p);
+    TpcbDatabase db(p, sga);
+    const unsigned rows_per_block = p.rowsPerBlock();
+    // Consecutive accounts share a block until it fills.
+    EXPECT_EQ(db.accountRow(0).block,
+              db.accountRow(rows_per_block - 1).block);
+    EXPECT_NE(db.accountRow(0).block,
+              db.accountRow(rows_per_block).block);
+    EXPECT_EQ(db.accountRow(1).offset - db.accountRow(0).offset,
+              p.rowBytes);
+}
+
+TEST(Tables, DistinctRowsDistinctLocations)
+{
+    const WorkloadParams p = smallScale();
+    Sga sga(p);
+    TpcbDatabase db(p, sga);
+    std::set<std::pair<std::uint64_t, std::uint32_t>> seen;
+    for (std::uint64_t a = 0; a < 500; ++a) {
+        const RowLocation loc = db.accountRow(a);
+        EXPECT_TRUE(seen.insert({loc.block, loc.offset}).second);
+    }
+}
+
+TEST(Tables, HistoryAppendAdvances)
+{
+    const WorkloadParams p = smallScale();
+    Sga sga(p);
+    TpcbDatabase db(p, sga);
+    const RowLocation h0 = db.appendHistory();
+    const RowLocation h1 = db.appendHistory();
+    EXPECT_EQ(db.historyCount(), 2u);
+    EXPECT_TRUE(h0.block != h1.block || h0.offset != h1.offset);
+    EXPECT_GE(h0.block, db.staticBlocks() - 1);
+}
+
+TEST(Tables, FunctionalBalancesMove)
+{
+    const WorkloadParams p = smallScale();
+    Sga sga(p);
+    TpcbDatabase db(p, sga);
+    db.applyTransaction(7, 3, 0, 250);
+    db.applyTransaction(7, 5, 1, -100);
+    EXPECT_EQ(db.accountBalance(7), 150);
+    EXPECT_EQ(db.tellerBalance(3), 250);
+    EXPECT_EQ(db.tellerBalance(5), -100);
+    EXPECT_EQ(db.branchBalance(0), 250);
+    EXPECT_EQ(db.branchBalance(1), -100);
+}
+
+TEST(Tables, ConsistencyHoldsUnderRandomTransactions)
+{
+    const WorkloadParams p = smallScale();
+    Sga sga(p);
+    TpcbDatabase db(p, sga);
+    Rng rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t teller = rng.below(p.totalTellers());
+        const std::uint64_t branch = teller / p.tellersPerBranch;
+        const std::uint64_t account = rng.below(p.totalAccounts());
+        const std::int64_t delta =
+            static_cast<std::int64_t>(rng.range(0, 1000000)) - 500000;
+        db.appendHistory();
+        db.applyTransaction(account, teller, branch, delta);
+    }
+    EXPECT_TRUE(db.checkConsistency());
+    EXPECT_EQ(db.historyCount(), 5000u);
+}
+
+TEST(Tables, ConsistencyCatchesCorruption)
+{
+    const WorkloadParams p = smallScale();
+    Sga sga(p);
+    TpcbDatabase db(p, sga);
+    // Branch 1 is not teller 3's branch: books no longer balance
+    // across tables.
+    db.applyTransaction(7, 3, 0, 250);
+    db.applyTransaction(8, 4, 1, 100);
+    EXPECT_TRUE(db.checkConsistency());
+    db.applyTransaction(9, 4, 1, 100);
+    db.applyTransaction(9, 4, 1, -100); // net zero, still consistent
+    EXPECT_TRUE(db.checkConsistency());
+}
+
+TEST(Tables, HistoryInsertBlockRecyclesWhenFull)
+{
+    WorkloadParams p = smallScale();
+    Sga sga(p);
+    TpcbDatabase db(p, sga);
+    const std::uint64_t first = db.historyInsertBlock();
+    // Fill more rows than one block holds; the insert block advances.
+    const std::uint64_t rows_per_block = p.blockBytes / 50;
+    for (std::uint64_t i = 0; i <= rows_per_block; ++i)
+        db.appendHistory();
+    EXPECT_NE(db.historyInsertBlock(), first);
+}
+
+} // namespace
+} // namespace isim

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Edge-case protocol scenarios beyond test_protocol.cc: upgrades from
+ * the L1-hit path, ownership churn, exclusive-owner stores, eviction
+ * races with the directory, and multi-step ownership migrations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/coherence/protocol.hh"
+
+namespace isim {
+namespace {
+
+MemSysConfig
+smallConfig(unsigned nodes)
+{
+    MemSysConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.l1Size = 1 * kib;
+    cfg.l1Assoc = 2;
+    cfg.l2 = CacheGeometry{4 * kib, 2, 64};
+    cfg.lat = figure3Latencies(IntegrationLevel::FullInt,
+                               L2Impl::OnchipSram);
+    return cfg;
+}
+
+Addr
+at(NodeId node, Addr offset)
+{
+    return (static_cast<Addr>(node) << 31) | offset;
+}
+
+TEST(ProtocolEdge, UpgradeFromL1HitOnTrulySharedLine)
+{
+    MemorySystem ms(smallConfig(2));
+    const Addr a = at(0, 0x100);
+    ms.access(0, RefType::Load, a);
+    ms.access(1, RefType::Load, a); // both nodes Shared; 0 has L1 copy
+    ASSERT_NE(ms.l1d(0).probe(a >> 6), nullptr);
+
+    const AccessOutcome out = ms.access(0, RefType::Store, a);
+    EXPECT_TRUE(out.upgrade);
+    EXPECT_EQ(out.cls, MissClass::Local); // home is node 0
+    EXPECT_EQ(out.stall, ms.config().lat.local);
+    EXPECT_EQ(ms.l2(1).probe(a >> 6), nullptr); // sharer invalidated
+    EXPECT_EQ(ms.nodeStats(0).upgrades, 1u);
+    ms.checkInvariants();
+}
+
+TEST(ProtocolEdge, StoreToCleanExclusiveRemoteOwnerIsTwoHop)
+{
+    MemorySystem ms(smallConfig(4));
+    const Addr a = at(2, 0x140);
+    ms.access(0, RefType::Load, a); // node 0 Exclusive (clean)
+    const AccessOutcome out = ms.access(1, RefType::Store, a);
+    // The owner's copy was clean: data comes from home memory, so the
+    // transfer is a 2-hop, not a 3-hop.
+    EXPECT_EQ(out.cls, MissClass::RemoteClean);
+    EXPECT_EQ(ms.l2(0).probe(a >> 6), nullptr);
+    EXPECT_EQ(ms.l2(1).probe(a >> 6)->state, LineState::Modified);
+    ms.checkInvariants();
+}
+
+TEST(ProtocolEdge, OwnershipMigratesAroundTheMachine)
+{
+    MemorySystem ms(smallConfig(4));
+    const Addr a = at(0, 0x180);
+    for (NodeId n = 0; n < 4; ++n) {
+        ms.access(n, RefType::Store, a);
+        const DirEntry *e = ms.directory().find(a >> 6);
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->state, LineState::Modified);
+        EXPECT_EQ(e->owner, n);
+        for (NodeId o = 0; o < 4; ++o) {
+            if (o != n)
+                EXPECT_EQ(ms.l2(o).probe(a >> 6), nullptr);
+        }
+    }
+    // Three ownership transfers were dirty 3-hop misses.
+    EXPECT_EQ(ms.aggregateStats().dataRemoteDirty, 3u);
+    ms.checkInvariants();
+}
+
+TEST(ProtocolEdge, ReadAfterDowngradeIsSharedNotOwned)
+{
+    MemorySystem ms(smallConfig(2));
+    const Addr a = at(0, 0x1c0);
+    ms.access(0, RefType::Store, a);
+    ms.access(1, RefType::Load, a); // 3-hop, both Shared now
+    // A third read by the owner hits its own Shared copy.
+    const AccessOutcome out = ms.access(0, RefType::Load, a);
+    EXPECT_EQ(out.cls, MissClass::L1Hit);
+    // And a store by the old owner needs a full upgrade again.
+    const AccessOutcome st = ms.access(0, RefType::Store, a);
+    EXPECT_TRUE(st.upgrade);
+    EXPECT_EQ(ms.nodeStats(0).invalidationsSent, 1u);
+    ms.checkInvariants();
+}
+
+TEST(ProtocolEdge, WritebackThenReownLeavesNoStaleState)
+{
+    MemorySystem ms(smallConfig(2));
+    const CacheGeometry l2 = smallConfig(2).l2;
+    const Addr a = at(0, 0x40);
+    ms.access(1, RefType::Store, a);
+    // Evict (write back) ...
+    const Addr line = a >> 6;
+    for (unsigned k = 1; k <= l2.assoc + 1; ++k) {
+        ms.access(1, RefType::Load,
+                  at(0, (line + k * l2.sets()) << 6));
+    }
+    EXPECT_EQ(ms.directory().find(line), nullptr); // back to Uncached
+    // ... then re-own: a fresh Exclusive-grant write, 2-hop clean.
+    const AccessOutcome out = ms.access(1, RefType::Store, a);
+    EXPECT_EQ(out.cls, MissClass::RemoteClean);
+    EXPECT_EQ(ms.directory().find(line)->owner, 1u);
+    ms.checkInvariants();
+}
+
+TEST(ProtocolEdge, ExclusiveGrantEvictionSendsHintNotWriteback)
+{
+    MemorySystem ms(smallConfig(2));
+    const CacheGeometry l2 = smallConfig(2).l2;
+    const Addr a = at(0, 0x40);
+    ms.access(1, RefType::Load, a); // Exclusive grant, never written
+    const auto wb_before = ms.nodeStats(1).writebacksToHome;
+    const auto hints_before = ms.nodeStats(1).replacementHints;
+    const Addr line = a >> 6;
+    for (unsigned k = 1; k <= l2.assoc + 1; ++k) {
+        ms.access(1, RefType::Load,
+                  at(0, (line + k * l2.sets()) << 6));
+    }
+    EXPECT_EQ(ms.nodeStats(1).writebacksToHome, wb_before);
+    EXPECT_GT(ms.nodeStats(1).replacementHints, hints_before);
+    EXPECT_EQ(ms.directory().find(line), nullptr);
+    ms.checkInvariants();
+}
+
+TEST(ProtocolEdge, LoadStoreLoadOnSameNodeStaysSilentAfterOwnership)
+{
+    MemorySystem ms(smallConfig(2));
+    const Addr a = at(0, 0x200);
+    ms.access(0, RefType::Store, a); // miss, Owned
+    const auto misses = ms.aggregateStats().totalL2Misses();
+    // Everything after is L1-resident and silent.
+    EXPECT_EQ(ms.access(0, RefType::Load, a).cls, MissClass::L1Hit);
+    EXPECT_EQ(ms.access(0, RefType::Store, a).cls, MissClass::L1Hit);
+    EXPECT_EQ(ms.access(0, RefType::Load, a).stall, 0u);
+    EXPECT_EQ(ms.aggregateStats().totalL2Misses(), misses);
+    EXPECT_EQ(ms.nodeStats(0).upgrades, 0u);
+}
+
+TEST(ProtocolEdge, HomeNodeDirtyReadByHomeIsStillDirtyClass)
+{
+    MemorySystem ms(smallConfig(2));
+    const Addr a = at(0, 0x240); // home is node 0
+    ms.access(1, RefType::Store, a); // dirty at node 1
+    const AccessOutcome out = ms.access(0, RefType::Load, a);
+    // Data must come from node 1's cache even though node 0 is home.
+    EXPECT_EQ(out.cls, MissClass::RemoteDirty);
+    ms.checkInvariants();
+}
+
+TEST(ProtocolEdge, TwoSharersUpgradeRace)
+{
+    MemorySystem ms(smallConfig(3));
+    const Addr a = at(0, 0x280);
+    ms.access(1, RefType::Load, a);
+    ms.access(2, RefType::Load, a);
+    // Node 1 upgrades; node 2's subsequent store is a full 3-hop miss
+    // (its copy was invalidated by node 1's upgrade).
+    EXPECT_TRUE(ms.access(1, RefType::Store, a).upgrade);
+    const AccessOutcome out = ms.access(2, RefType::Store, a);
+    EXPECT_FALSE(out.upgrade);
+    EXPECT_EQ(out.cls, MissClass::RemoteDirty);
+    EXPECT_EQ(ms.directory().find(a >> 6)->owner, 2u);
+    ms.checkInvariants();
+}
+
+TEST(ProtocolEdge, DirectoryPopulationTracksResidency)
+{
+    MemorySystem ms(smallConfig(2));
+    EXPECT_EQ(ms.directory().population(), 0u);
+    ms.access(0, RefType::Load, at(0, 0x000));
+    ms.access(0, RefType::Load, at(0, 0x040));
+    EXPECT_EQ(ms.directory().population(), 2u);
+    // Evicting everything returns the directory to empty.
+    const CacheGeometry l2 = smallConfig(2).l2;
+    for (unsigned k = 0; k < 3 * l2.lines(); ++k)
+        ms.access(0, RefType::Load, at(0, 0x10000 + k * 64));
+    // The two original lines are long evicted; population only holds
+    // currently-resident lines.
+    EXPECT_LE(ms.directory().population(),
+              l2.lines() + ms.config().l1Size / 64 + 4);
+    ms.checkInvariants();
+}
+
+} // namespace
+} // namespace isim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the remote access cache behaviour inside the
+ * protocol: allocation on remote fills, dirty retention (the 2-hop to
+ * 3-hop conversion of Section 6), local-latency hits, service of
+ * 3-hop requests out of a remote RAC, and coherence of RAC copies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/coherence/protocol.hh"
+
+namespace isim {
+namespace {
+
+MemSysConfig
+racConfig()
+{
+    MemSysConfig cfg;
+    cfg.numNodes = 4;
+    cfg.l1Size = 512;
+    cfg.l1Assoc = 2;
+    cfg.l2 = CacheGeometry{2 * kib, 2, 64};
+    cfg.racEnabled = true;
+    cfg.rac = CacheGeometry{16 * kib, 8, 64};
+    cfg.lat = figure3Latencies(IntegrationLevel::FullInt,
+                               L2Impl::OnchipSram);
+    return cfg;
+}
+
+Addr
+at(NodeId node, Addr offset)
+{
+    return (static_cast<Addr>(node) << 31) | offset;
+}
+
+/** Fill node `n`'s L2 set of `addr` with conflicting remote lines. */
+void
+evictFromL2(MemorySystem &ms, NodeId n, Addr addr)
+{
+    const CacheGeometry l2 = ms.config().l2;
+    const Addr line = addr >> 6;
+    for (unsigned k = 1; k <= l2.assoc + 1; ++k) {
+        ms.access(n, RefType::Load,
+                  ((line + k * l2.sets()) << 6) |
+                      (addr & (Addr{1} << 31)));
+    }
+}
+
+TEST(Rac, AllocatesOnRemoteFillOnly)
+{
+    MemorySystem ms(racConfig());
+    ms.access(0, RefType::Load, at(0, 0x100)); // local home
+    EXPECT_EQ(ms.rac(0).cache().probe(at(0, 0x100) >> 6), nullptr);
+    ms.access(0, RefType::Load, at(1, 0x100)); // remote home
+    EXPECT_NE(ms.rac(0).cache().probe(at(1, 0x100) >> 6), nullptr);
+    ms.checkInvariants();
+}
+
+TEST(Rac, HitAfterL2EvictionCostsLocalLatency)
+{
+    MemorySystem ms(racConfig());
+    const Addr a = at(1, 0x40);
+    ms.access(0, RefType::Load, a);
+    // Evict from node 0's L2 with other remote lines; RAC retains it.
+    const CacheGeometry l2 = racConfig().l2;
+    const Addr line = a >> 6;
+    for (unsigned k = 1; k <= l2.assoc + 1; ++k)
+        ms.access(0, RefType::Load, at(1, 0x40 + k * l2.sets() * 64));
+    ASSERT_EQ(ms.l2(0).probe(line), nullptr);
+    ASSERT_NE(ms.rac(0).cache().probe(line), nullptr);
+
+    const AccessOutcome out = ms.access(0, RefType::Load, a);
+    EXPECT_TRUE(out.racHit);
+    EXPECT_EQ(out.cls, MissClass::Local);
+    EXPECT_EQ(out.stall, ms.config().lat.racHit);
+    // Counted as a *local* miss (Figure 11's conversion).
+    EXPECT_EQ(ms.nodeStats(0).dataLocal, 1u);
+    ms.checkInvariants();
+}
+
+TEST(Rac, DirtyVictimRetainedNotWrittenBack)
+{
+    MemorySystem ms(racConfig());
+    const Addr a = at(1, 0x40);
+    ms.access(0, RefType::Store, a); // dirty, remote home
+    const auto wb_before = ms.nodeStats(0).writebacksToHome;
+
+    const CacheGeometry l2 = racConfig().l2;
+    for (unsigned k = 1; k <= l2.assoc + 1; ++k)
+        ms.access(0, RefType::Load, at(1, 0x40 + k * l2.sets() * 64));
+    ASSERT_EQ(ms.l2(0).probe(a >> 6), nullptr);
+
+    // No write-back: the RAC holds the dirty line as owner.
+    EXPECT_EQ(ms.nodeStats(0).writebacksToHome, wb_before);
+    const CacheLine *r = ms.rac(0).cache().probe(a >> 6);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->state, LineState::Modified);
+    const DirEntry *e = ms.directory().find(a >> 6);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, LineState::Modified);
+    EXPECT_EQ(e->owner, 0u);
+    ms.checkInvariants();
+}
+
+TEST(Rac, RetentionTurnsTwoHopIntoThreeHop)
+{
+    MemorySystem ms(racConfig());
+    const Addr a = at(1, 0x40);
+    ms.access(0, RefType::Store, a);
+    evictFromL2(ms, 0, a); // dirty copy now lives in node 0's RAC
+
+    // Without a RAC this would be a clean 2-hop (write-back happened);
+    // with the RAC it is a 3-hop served from node 0's RAC, at the
+    // higher remote-RAC latency (250 vs 200 ns).
+    const AccessOutcome out = ms.access(2, RefType::Load, a);
+    EXPECT_EQ(out.cls, MissClass::RemoteDirty);
+    EXPECT_TRUE(out.fromRemoteRac);
+    EXPECT_EQ(out.stall, ms.config().lat.remoteRacDirty);
+    EXPECT_GT(ms.config().lat.remoteRacDirty,
+              ms.config().lat.remoteDirty);
+    EXPECT_GE(ms.rac(0).counters().dirtyServicesToRemote, 1u);
+    ms.checkInvariants();
+}
+
+TEST(Rac, InvalidationRemovesRacCopy)
+{
+    MemorySystem ms(racConfig());
+    const Addr a = at(1, 0x40);
+    ms.access(0, RefType::Load, a);
+    ASSERT_NE(ms.rac(0).cache().probe(a >> 6), nullptr);
+    ms.access(2, RefType::Store, a);
+    EXPECT_EQ(ms.rac(0).cache().probe(a >> 6), nullptr);
+    EXPECT_EQ(ms.l2(0).probe(a >> 6), nullptr);
+    ms.checkInvariants();
+}
+
+TEST(Rac, StoreToSharedRacCopyUpgrades)
+{
+    MemorySystem ms(racConfig());
+    const Addr a = at(1, 0x40);
+    ms.access(0, RefType::Load, a);
+    ms.access(2, RefType::Load, a); // both shared
+    evictFromL2(ms, 0, a);          // node 0 keeps only the RAC copy
+
+    const AccessOutcome out = ms.access(0, RefType::Store, a);
+    EXPECT_TRUE(out.racHit);
+    EXPECT_TRUE(out.upgrade);
+    EXPECT_EQ(ms.l2(2).probe(a >> 6), nullptr); // sharer invalidated
+    EXPECT_EQ(ms.l2(0).probe(a >> 6)->state, LineState::Modified);
+    ms.checkInvariants();
+}
+
+TEST(Rac, ExclusiveRetentionStaysClean)
+{
+    MemorySystem ms(racConfig());
+    const Addr a = at(1, 0x40);
+    ms.access(0, RefType::Load, a); // Exclusive grant
+    evictFromL2(ms, 0, a);
+    const CacheLine *r = ms.rac(0).cache().probe(a >> 6);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->state, LineState::Exclusive);
+    // A later read by another node is clean (2-hop), not 3-hop.
+    const AccessOutcome out = ms.access(2, RefType::Load, a);
+    EXPECT_EQ(out.cls, MissClass::RemoteClean);
+    ms.checkInvariants();
+}
+
+TEST(Rac, HitRateCounting)
+{
+    MemorySystem ms(racConfig());
+    const Addr a = at(1, 0x40);
+    ms.access(0, RefType::Load, a); // RAC allocate (lookup missed)
+    evictFromL2(ms, 0, a);
+    ms.access(0, RefType::Load, a); // RAC hit
+    const RacCounters c = ms.rac(0).counters();
+    EXPECT_GE(c.lookups, 2u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_GT(c.hitRate(), 0.0);
+    EXPECT_LT(c.hitRate(), 1.0);
+}
+
+} // namespace
+} // namespace isim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests of the simulation loop: idle accounting, context switching,
+ * trace capture, and exact replayability of a captured trace against
+ * a fresh memory system (which also proves the front end presents
+ * references in a deterministic global order).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/base/logging.hh"
+#include "src/core/machine.hh"
+#include "src/core/simulation.hh"
+#include "src/trace/trace_io.hh"
+
+namespace isim {
+namespace {
+
+WorkloadParams
+testWorkload(std::uint64_t txns)
+{
+    WorkloadParams p;
+    p.branches = 8;
+    p.accountsPerBranch = 10000;
+    p.blockBufferBytes = 64 * mib;
+    p.transactions = txns;
+    p.warmupTransactions = txns / 3;
+    return p;
+}
+
+MachineConfig
+config(unsigned cpus, std::uint64_t txns = 60)
+{
+    MachineConfig cfg;
+    cfg.name = "sim-test";
+    cfg.numCpus = cpus;
+    cfg.l2 = CacheGeometry{512 * kib, 2, 64};
+    cfg.l2Impl = L2Impl::OffchipAssoc;
+    cfg.workload = testWorkload(txns);
+    return cfg;
+}
+
+TEST(Simulation, IdleAccountedWhenCpuStarves)
+{
+    setQuiet(true);
+    // One server per CPU: during its commit wait (250us) and think
+    // time nothing else can run, so the CPU must log idle time.
+    MachineConfig cfg = config(1);
+    cfg.workload.serversPerCpu = 1;
+    Machine m(cfg);
+    const RunResult r = m.run();
+    EXPECT_GT(r.cpu.idle, 0u);
+    // With 8 servers the same CPU should be busier (less idle per txn).
+    MachineConfig cfg8 = config(1);
+    Machine m8(cfg8);
+    const RunResult r8 = m8.run();
+    const double idle1 = static_cast<double>(r.cpu.idle) /
+                         static_cast<double>(r.transactions);
+    const double idle8 = static_cast<double>(r8.cpu.idle) /
+                         static_cast<double>(r8.transactions);
+    EXPECT_LT(idle8, idle1);
+}
+
+TEST(Simulation, ContextSwitchesHappen)
+{
+    setQuiet(true);
+    Machine m(config(2));
+    m.run();
+    // At least one dispatch per committed transaction (commit blocks).
+    EXPECT_GT(m.sched().contextSwitches(),
+              m.engine().committedTransactions());
+}
+
+TEST(Simulation, MoreServersGiveMoreThroughput)
+{
+    setQuiet(true);
+    MachineConfig one = config(1, 80);
+    one.workload.serversPerCpu = 1;
+    MachineConfig eight = config(1, 80);
+    const RunResult r1 = Machine(one).run();
+    const RunResult r8 = Machine(eight).run();
+    // The paper runs 8 servers per CPU to hide I/O latency.
+    EXPECT_GT(r8.tps(), r1.tps() * 2);
+}
+
+TEST(Simulation, TraceCaptureAndExactReplay)
+{
+    setQuiet(true);
+    const std::string path =
+        ::testing::TempDir() + "/isim_sim_replay.trc";
+
+    // No warm-up, so the machine's counted misses cover every traced
+    // reference.
+    MachineConfig cfg = config(2, 40);
+    cfg.workload.warmupTransactions = 0;
+
+    RunResult live;
+    {
+        Machine m(cfg);
+        TraceWriter writer(path);
+        live = m.run(&writer);
+        EXPECT_GT(writer.records(), 1000u);
+    }
+
+    // Replay the trace against a fresh memory system with the same
+    // configuration: the protocol is deterministic in the reference
+    // order, so every counter must match the live run exactly.
+    MemSysConfig msc;
+    msc.numNodes = cfg.numCpus;
+    msc.l2 = cfg.l2;
+    msc.lat = cfg.latencies();
+    msc.nodeShift = cfg.nodeShift;
+    MemorySystem replay(msc);
+    TraceReader reader(path);
+    NodeId cpu;
+    MemRef ref;
+    while (reader.next(cpu, ref)) {
+        const RefType type = ref.kind == RefKind::Instr ? RefType::IFetch
+                             : ref.kind == RefKind::Load
+                                 ? RefType::Load
+                                 : RefType::Store;
+        replay.access(cpu, type, ref.paddr);
+    }
+    const NodeProtocolStats replayed = replay.aggregateStats();
+    EXPECT_EQ(replayed.totalL2Misses(), live.misses.totalL2Misses());
+    EXPECT_EQ(replayed.dataRemoteDirty, live.misses.dataRemoteDirty);
+    EXPECT_EQ(replayed.dataRemoteClean, live.misses.dataRemoteClean);
+    EXPECT_EQ(replayed.invalidationsSent, live.misses.invalidationsSent);
+    EXPECT_EQ(replayed.writebacksToHome, live.misses.writebacksToHome);
+    replay.checkInvariants();
+    std::remove(path.c_str());
+}
+
+TEST(Simulation, WallTimeIsMaxOfCpuClocks)
+{
+    setQuiet(true);
+    Machine m(config(4, 50));
+    const RunResult r = m.run();
+    EXPECT_GT(r.wallTime, 0u);
+    // Wall time of the window cannot exceed summed non-idle + idle.
+    EXPECT_LE(r.wallTime, r.cpu.nonIdle() + r.cpu.idle + 1);
+}
+
+} // namespace
+} // namespace isim

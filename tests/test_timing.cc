@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests pinning the Figure 3 latency table to the paper, validating
+ * the configuration space, and checking that the component-level
+ * model reproduces the table within tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/timing/component_model.hh"
+#include "src/timing/latency_config.hh"
+
+namespace isim {
+namespace {
+
+TEST(Figure3, ConservativeBase)
+{
+    const LatencyTable t = figure3Latencies(
+        IntegrationLevel::ConservativeBase, L2Impl::OffchipAssoc);
+    EXPECT_EQ(t.l2Hit, 30u);
+    EXPECT_EQ(t.local, 150u);
+    EXPECT_EQ(t.remote, 225u);
+    EXPECT_EQ(t.remoteDirty, 325u);
+}
+
+TEST(Figure3, BaseDirectMapped)
+{
+    const LatencyTable t =
+        figure3Latencies(IntegrationLevel::Base, L2Impl::OffchipDirect);
+    EXPECT_EQ(t.l2Hit, 25u);
+    EXPECT_EQ(t.local, 100u);
+    EXPECT_EQ(t.remote, 175u);
+    EXPECT_EQ(t.remoteDirty, 275u);
+}
+
+TEST(Figure3, BaseAssociative)
+{
+    const LatencyTable t =
+        figure3Latencies(IntegrationLevel::Base, L2Impl::OffchipAssoc);
+    EXPECT_EQ(t.l2Hit, 30u);
+    EXPECT_EQ(t.local, 100u);
+}
+
+TEST(Figure3, L2IntegratedSramAndDram)
+{
+    const LatencyTable sram =
+        figure3Latencies(IntegrationLevel::L2Int, L2Impl::OnchipSram);
+    EXPECT_EQ(sram.l2Hit, 15u);
+    EXPECT_EQ(sram.local, 100u);
+    EXPECT_EQ(sram.remote, 175u);
+    EXPECT_EQ(sram.remoteDirty, 275u);
+
+    const LatencyTable dram =
+        figure3Latencies(IntegrationLevel::L2Int, L2Impl::OnchipDram);
+    EXPECT_EQ(dram.l2Hit, 25u);
+    EXPECT_EQ(dram.local, 100u);
+}
+
+TEST(Figure3, L2McIntegratedRaisesRemote)
+{
+    const LatencyTable t =
+        figure3Latencies(IntegrationLevel::L2McInt, L2Impl::OnchipSram);
+    EXPECT_EQ(t.l2Hit, 15u);
+    EXPECT_EQ(t.local, 75u);
+    EXPECT_EQ(t.remote, 225u); // the CC/MC separation penalty
+    EXPECT_EQ(t.remoteDirty, 275u);
+    EXPECT_EQ(t.upgradeRemote, 175u); // control path unpenalized
+}
+
+TEST(Figure3, FullIntegration)
+{
+    const LatencyTable t =
+        figure3Latencies(IntegrationLevel::FullInt, L2Impl::OnchipSram);
+    EXPECT_EQ(t.l2Hit, 15u);
+    EXPECT_EQ(t.local, 75u);
+    EXPECT_EQ(t.remote, 150u);
+    EXPECT_EQ(t.remoteDirty, 200u);
+    EXPECT_EQ(t.racHit, 75u);        // Section 6: same as local
+    EXPECT_EQ(t.remoteRacDirty, 250u);
+}
+
+TEST(Figure3, ReductionFactorsMatchSection23)
+{
+    // "full integration reduces L2 hit latency by 1.67 times, local
+    // memory latency by 1.33 times, remote latency by 1.17 times and
+    // remote dirty latency by 1.38 times".
+    const ReductionVsBase r = fullIntegrationReduction();
+    EXPECT_NEAR(r.l2Hit, 1.67, 0.01);
+    EXPECT_NEAR(r.local, 1.33, 0.01);
+    EXPECT_NEAR(r.remote, 1.17, 0.01);
+    EXPECT_NEAR(r.remoteDirty, 1.38, 0.01);
+}
+
+TEST(Figure3, ValidCombinations)
+{
+    EXPECT_TRUE(validCombination(IntegrationLevel::Base,
+                                 L2Impl::OffchipDirect));
+    EXPECT_TRUE(validCombination(IntegrationLevel::FullInt,
+                                 L2Impl::OnchipDram));
+    EXPECT_FALSE(validCombination(IntegrationLevel::Base,
+                                  L2Impl::OnchipSram));
+    EXPECT_FALSE(validCombination(IntegrationLevel::FullInt,
+                                  L2Impl::OffchipDirect));
+}
+
+TEST(Figure3DeathTest, InvalidCombinationIsFatal)
+{
+    EXPECT_EXIT(figure3Latencies(IntegrationLevel::Base,
+                                 L2Impl::OnchipSram),
+                ::testing::ExitedWithCode(1), "invalid configuration");
+}
+
+/** Every valid (level, impl) pair. */
+std::vector<std::pair<IntegrationLevel, L2Impl>>
+allValid()
+{
+    std::vector<std::pair<IntegrationLevel, L2Impl>> out;
+    for (IntegrationLevel level :
+         {IntegrationLevel::ConservativeBase, IntegrationLevel::Base,
+          IntegrationLevel::L2Int, IntegrationLevel::L2McInt,
+          IntegrationLevel::FullInt}) {
+        for (L2Impl impl :
+             {L2Impl::OffchipDirect, L2Impl::OffchipAssoc,
+              L2Impl::OnchipSram, L2Impl::OnchipDram}) {
+            if (validCombination(level, impl))
+                out.emplace_back(level, impl);
+        }
+    }
+    return out;
+}
+
+TEST(ComponentModel, ReproducesFigure3WithinTolerance)
+{
+    const ComponentLatencyModel model(ComponentParams{}, 8);
+    for (const auto &[level, impl] : allValid()) {
+        const double err = model.worstRelativeError(level, impl);
+        EXPECT_LT(err, 0.15)
+            << integrationLevelName(level) << " / " << l2ImplName(impl)
+            << ": worst error " << err;
+    }
+}
+
+TEST(ComponentModel, IntegrationMonotonicallyHelpsEachClass)
+{
+    const ComponentLatencyModel model(ComponentParams{}, 8);
+    const LatencyTable base =
+        model.derive(IntegrationLevel::Base, L2Impl::OffchipDirect);
+    const LatencyTable full =
+        model.derive(IntegrationLevel::FullInt, L2Impl::OnchipSram);
+    EXPECT_LT(full.l2Hit, base.l2Hit);
+    EXPECT_LT(full.local, base.local);
+    EXPECT_LT(full.remote, base.remote);
+    EXPECT_LT(full.remoteDirty, base.remoteDirty);
+}
+
+TEST(ComponentModel, PathsDescribeThemselves)
+{
+    const ComponentLatencyModel model(ComponentParams{}, 8);
+    const LatencyPath p =
+        model.remoteDirtyPath(IntegrationLevel::FullInt,
+                              L2Impl::OnchipSram);
+    const std::string desc = p.describe();
+    EXPECT_NE(desc.find("net-forward"), std::string::npos);
+    EXPECT_NE(desc.find("owner-l2"), std::string::npos);
+    EXPECT_NE(desc.find(std::to_string(p.total())), std::string::npos);
+}
+
+TEST(ComponentModel, HigherHopCostRaisesRemoteOnly)
+{
+    ComponentParams slow;
+    slow.link.routerDelay = 20;
+    const ComponentLatencyModel fast(ComponentParams{}, 8);
+    const ComponentLatencyModel slowm(slow, 8);
+    const LatencyTable f =
+        fast.derive(IntegrationLevel::FullInt, L2Impl::OnchipSram);
+    const LatencyTable s =
+        slowm.derive(IntegrationLevel::FullInt, L2Impl::OnchipSram);
+    EXPECT_EQ(f.l2Hit, s.l2Hit);
+    EXPECT_EQ(f.local, s.local);
+    EXPECT_LT(f.remote, s.remote);
+    EXPECT_LT(f.remoteDirty, s.remoteDirty);
+}
+
+} // namespace
+} // namespace isim

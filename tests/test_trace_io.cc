@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Round-trip tests for the binary trace format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/random.hh"
+#include "src/trace/trace_io.hh"
+
+namespace isim {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return ::testing::TempDir() + "/isim_trace_" + tag + ".bin";
+}
+
+TEST(TraceIo, EmptyTraceRoundTrip)
+{
+    const std::string path = tempPath("empty");
+    { TraceWriter w(path); }
+    TraceReader r(path);
+    NodeId cpu;
+    MemRef ref;
+    EXPECT_FALSE(r.next(cpu, ref));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RecordsRoundTripExactly)
+{
+    const std::string path = tempPath("roundtrip");
+    std::vector<std::pair<NodeId, MemRef>> records = {
+        {0, instrChunk(0x123456789abcull << 6, 13, true)},
+        {3, loadRef(0xdeadbeef40ull, 2, false)},
+        {7, storeRef(0x0, 0, true)},
+        {1, loadRef(~Addr{0} & ~Addr{63}, 255, false)},
+        {2, instrChunk(64, 65535, false)},
+    };
+    {
+        TraceWriter w(path);
+        for (const auto &[cpu, ref] : records)
+            w.write(cpu, ref);
+        EXPECT_EQ(w.records(), records.size());
+    }
+    TraceReader r(path);
+    for (const auto &[cpu, ref] : records) {
+        NodeId got_cpu;
+        MemRef got;
+        ASSERT_TRUE(r.next(got_cpu, got));
+        EXPECT_EQ(got_cpu, cpu);
+        EXPECT_EQ(got.kind, ref.kind);
+        EXPECT_EQ(got.kernel, ref.kernel);
+        EXPECT_EQ(got.depDist, ref.depDist);
+        EXPECT_EQ(got.instrCount, ref.instrCount);
+        EXPECT_EQ(got.paddr, ref.paddr);
+    }
+    NodeId cpu;
+    MemRef ref;
+    EXPECT_FALSE(r.next(cpu, ref));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LargeRandomTrace)
+{
+    const std::string path = tempPath("large");
+    Rng rng(21);
+    const int n = 50000;
+    {
+        TraceWriter w(path);
+        Rng gen(21);
+        for (int i = 0; i < n; ++i) {
+            MemRef ref;
+            ref.kind = static_cast<RefKind>(gen.below(3));
+            ref.kernel = gen.chance(0.25);
+            ref.depDist = static_cast<std::uint8_t>(gen.below(4));
+            ref.instrCount =
+                static_cast<std::uint16_t>(gen.below(17));
+            ref.paddr = gen.next() & ~Addr{63};
+            w.write(static_cast<NodeId>(gen.below(8)), ref);
+        }
+    }
+    TraceReader r(path);
+    Rng gen(21);
+    for (int i = 0; i < n; ++i) {
+        NodeId cpu;
+        MemRef ref;
+        ASSERT_TRUE(r.next(cpu, ref));
+        EXPECT_EQ(ref.kind, static_cast<RefKind>(gen.below(3)));
+        EXPECT_EQ(ref.kernel, gen.chance(0.25));
+        EXPECT_EQ(ref.depDist,
+                  static_cast<std::uint8_t>(gen.below(4)));
+        EXPECT_EQ(ref.instrCount,
+                  static_cast<std::uint16_t>(gen.below(17)));
+        EXPECT_EQ(ref.paddr, gen.next() & ~Addr{63});
+        EXPECT_EQ(cpu, static_cast<NodeId>(gen.below(8)));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeathTest, BadHeaderRejected)
+{
+    const std::string path = tempPath("bad");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs("not a trace header....", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceReader reader(path),
+                ::testing::ExitedWithCode(1), "bad trace header");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeathTest, MissingFileRejected)
+{
+    EXPECT_EXIT(TraceReader reader("/nonexistent/isim.trc"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIo, RefKindNames)
+{
+    EXPECT_STREQ(refKindName(RefKind::Instr), "Instr");
+    EXPECT_STREQ(refKindName(RefKind::Load), "Load");
+    EXPECT_STREQ(refKindName(RefKind::Store), "Store");
+}
+
+} // namespace
+} // namespace isim
