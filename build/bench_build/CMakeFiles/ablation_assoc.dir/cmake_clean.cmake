@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_assoc"
+  "../bench/ablation_assoc.pdb"
+  "CMakeFiles/ablation_assoc.dir/ablation_assoc.cpp.o"
+  "CMakeFiles/ablation_assoc.dir/ablation_assoc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

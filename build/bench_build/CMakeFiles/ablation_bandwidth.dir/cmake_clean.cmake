@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bandwidth"
+  "../bench/ablation_bandwidth.pdb"
+  "CMakeFiles/ablation_bandwidth.dir/ablation_bandwidth.cpp.o"
+  "CMakeFiles/ablation_bandwidth.dir/ablation_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

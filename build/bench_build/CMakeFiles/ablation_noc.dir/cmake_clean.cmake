@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_noc"
+  "../bench/ablation_noc.pdb"
+  "CMakeFiles/ablation_noc.dir/ablation_noc.cpp.o"
+  "CMakeFiles/ablation_noc.dir/ablation_noc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

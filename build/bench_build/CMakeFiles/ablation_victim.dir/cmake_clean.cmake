@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_victim"
+  "../bench/ablation_victim.pdb"
+  "CMakeFiles/ablation_victim.dir/ablation_victim.cpp.o"
+  "CMakeFiles/ablation_victim.dir/ablation_victim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cmp"
+  "../bench/ext_cmp.pdb"
+  "CMakeFiles/ext_cmp.dir/ext_cmp.cpp.o"
+  "CMakeFiles/ext_cmp.dir/ext_cmp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

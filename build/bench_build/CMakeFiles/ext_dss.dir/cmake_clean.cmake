@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dss"
+  "../bench/ext_dss.pdb"
+  "CMakeFiles/ext_dss.dir/ext_dss.cpp.o"
+  "CMakeFiles/ext_dss.dir/ext_dss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

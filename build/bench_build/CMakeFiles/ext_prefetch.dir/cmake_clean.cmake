@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_prefetch"
+  "../bench/ext_prefetch.pdb"
+  "CMakeFiles/ext_prefetch.dir/ext_prefetch.cpp.o"
+  "CMakeFiles/ext_prefetch.dir/ext_prefetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

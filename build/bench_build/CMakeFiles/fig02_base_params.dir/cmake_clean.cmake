@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_base_params"
+  "../bench/fig02_base_params.pdb"
+  "CMakeFiles/fig02_base_params.dir/fig02_base_params.cpp.o"
+  "CMakeFiles/fig02_base_params.dir/fig02_base_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_base_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_latencies"
+  "../bench/fig03_latencies.pdb"
+  "CMakeFiles/fig03_latencies.dir/fig03_latencies.cpp.o"
+  "CMakeFiles/fig03_latencies.dir/fig03_latencies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_latencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

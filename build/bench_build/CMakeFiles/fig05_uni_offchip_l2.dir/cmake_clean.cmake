@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_uni_offchip_l2"
+  "../bench/fig05_uni_offchip_l2.pdb"
+  "CMakeFiles/fig05_uni_offchip_l2.dir/fig05_uni_offchip_l2.cpp.o"
+  "CMakeFiles/fig05_uni_offchip_l2.dir/fig05_uni_offchip_l2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_uni_offchip_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

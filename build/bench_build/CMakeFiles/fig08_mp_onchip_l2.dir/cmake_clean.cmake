@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_mp_onchip_l2"
+  "../bench/fig08_mp_onchip_l2.pdb"
+  "CMakeFiles/fig08_mp_onchip_l2.dir/fig08_mp_onchip_l2.cpp.o"
+  "CMakeFiles/fig08_mp_onchip_l2.dir/fig08_mp_onchip_l2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mp_onchip_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_mp_onchip_l2.
+# This may be replaced when dependencies are built.

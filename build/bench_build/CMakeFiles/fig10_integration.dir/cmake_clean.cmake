@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_integration"
+  "../bench/fig10_integration.pdb"
+  "CMakeFiles/fig10_integration.dir/fig10_integration.cpp.o"
+  "CMakeFiles/fig10_integration.dir/fig10_integration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

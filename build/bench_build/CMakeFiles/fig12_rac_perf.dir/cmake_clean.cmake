@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_rac_perf"
+  "../bench/fig12_rac_perf.pdb"
+  "CMakeFiles/fig12_rac_perf.dir/fig12_rac_perf.cpp.o"
+  "CMakeFiles/fig12_rac_perf.dir/fig12_rac_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rac_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

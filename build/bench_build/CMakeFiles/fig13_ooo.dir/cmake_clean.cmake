@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ooo"
+  "../bench/fig13_ooo.pdb"
+  "CMakeFiles/fig13_ooo.dir/fig13_ooo.cpp.o"
+  "CMakeFiles/fig13_ooo.dir/fig13_ooo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_study.dir/integration_study.cpp.o"
+  "CMakeFiles/integration_study.dir/integration_study.cpp.o.d"
+  "integration_study"
+  "integration_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/isim.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/isim.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/isim.dir/base/random.cc.o" "gcc" "src/CMakeFiles/isim.dir/base/random.cc.o.d"
+  "/root/repo/src/coherence/directory.cc" "src/CMakeFiles/isim.dir/coherence/directory.cc.o" "gcc" "src/CMakeFiles/isim.dir/coherence/directory.cc.o.d"
+  "/root/repo/src/coherence/protocol.cc" "src/CMakeFiles/isim.dir/coherence/protocol.cc.o" "gcc" "src/CMakeFiles/isim.dir/coherence/protocol.cc.o.d"
+  "/root/repo/src/config/options.cc" "src/CMakeFiles/isim.dir/config/options.cc.o" "gcc" "src/CMakeFiles/isim.dir/config/options.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/isim.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/isim.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/figures.cc" "src/CMakeFiles/isim.dir/core/figures.cc.o" "gcc" "src/CMakeFiles/isim.dir/core/figures.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/CMakeFiles/isim.dir/core/machine.cc.o" "gcc" "src/CMakeFiles/isim.dir/core/machine.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/isim.dir/core/report.cc.o" "gcc" "src/CMakeFiles/isim.dir/core/report.cc.o.d"
+  "/root/repo/src/core/simulation.cc" "src/CMakeFiles/isim.dir/core/simulation.cc.o" "gcc" "src/CMakeFiles/isim.dir/core/simulation.cc.o.d"
+  "/root/repo/src/cpu/inorder.cc" "src/CMakeFiles/isim.dir/cpu/inorder.cc.o" "gcc" "src/CMakeFiles/isim.dir/cpu/inorder.cc.o.d"
+  "/root/repo/src/cpu/ooo.cc" "src/CMakeFiles/isim.dir/cpu/ooo.cc.o" "gcc" "src/CMakeFiles/isim.dir/cpu/ooo.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/isim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/isim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/isim.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/isim.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/rac.cc" "src/CMakeFiles/isim.dir/mem/rac.cc.o" "gcc" "src/CMakeFiles/isim.dir/mem/rac.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/CMakeFiles/isim.dir/noc/network.cc.o" "gcc" "src/CMakeFiles/isim.dir/noc/network.cc.o.d"
+  "/root/repo/src/noc/topology.cc" "src/CMakeFiles/isim.dir/noc/topology.cc.o" "gcc" "src/CMakeFiles/isim.dir/noc/topology.cc.o.d"
+  "/root/repo/src/oltp/buffer_cache.cc" "src/CMakeFiles/isim.dir/oltp/buffer_cache.cc.o" "gcc" "src/CMakeFiles/isim.dir/oltp/buffer_cache.cc.o.d"
+  "/root/repo/src/oltp/code_model.cc" "src/CMakeFiles/isim.dir/oltp/code_model.cc.o" "gcc" "src/CMakeFiles/isim.dir/oltp/code_model.cc.o.d"
+  "/root/repo/src/oltp/daemons.cc" "src/CMakeFiles/isim.dir/oltp/daemons.cc.o" "gcc" "src/CMakeFiles/isim.dir/oltp/daemons.cc.o.d"
+  "/root/repo/src/oltp/dss.cc" "src/CMakeFiles/isim.dir/oltp/dss.cc.o" "gcc" "src/CMakeFiles/isim.dir/oltp/dss.cc.o.d"
+  "/root/repo/src/oltp/latch.cc" "src/CMakeFiles/isim.dir/oltp/latch.cc.o" "gcc" "src/CMakeFiles/isim.dir/oltp/latch.cc.o.d"
+  "/root/repo/src/oltp/log.cc" "src/CMakeFiles/isim.dir/oltp/log.cc.o" "gcc" "src/CMakeFiles/isim.dir/oltp/log.cc.o.d"
+  "/root/repo/src/oltp/server.cc" "src/CMakeFiles/isim.dir/oltp/server.cc.o" "gcc" "src/CMakeFiles/isim.dir/oltp/server.cc.o.d"
+  "/root/repo/src/oltp/sga.cc" "src/CMakeFiles/isim.dir/oltp/sga.cc.o" "gcc" "src/CMakeFiles/isim.dir/oltp/sga.cc.o.d"
+  "/root/repo/src/oltp/tables.cc" "src/CMakeFiles/isim.dir/oltp/tables.cc.o" "gcc" "src/CMakeFiles/isim.dir/oltp/tables.cc.o.d"
+  "/root/repo/src/oltp/workload.cc" "src/CMakeFiles/isim.dir/oltp/workload.cc.o" "gcc" "src/CMakeFiles/isim.dir/oltp/workload.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/isim.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/isim.dir/os/kernel.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/CMakeFiles/isim.dir/os/process.cc.o" "gcc" "src/CMakeFiles/isim.dir/os/process.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/CMakeFiles/isim.dir/os/scheduler.cc.o" "gcc" "src/CMakeFiles/isim.dir/os/scheduler.cc.o.d"
+  "/root/repo/src/os/vm.cc" "src/CMakeFiles/isim.dir/os/vm.cc.o" "gcc" "src/CMakeFiles/isim.dir/os/vm.cc.o.d"
+  "/root/repo/src/stats/breakdown.cc" "src/CMakeFiles/isim.dir/stats/breakdown.cc.o" "gcc" "src/CMakeFiles/isim.dir/stats/breakdown.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/isim.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/isim.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/isim.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/isim.dir/stats/table.cc.o.d"
+  "/root/repo/src/timing/component_model.cc" "src/CMakeFiles/isim.dir/timing/component_model.cc.o" "gcc" "src/CMakeFiles/isim.dir/timing/component_model.cc.o.d"
+  "/root/repo/src/timing/latency_config.cc" "src/CMakeFiles/isim.dir/timing/latency_config.cc.o" "gcc" "src/CMakeFiles/isim.dir/timing/latency_config.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/CMakeFiles/isim.dir/trace/record.cc.o" "gcc" "src/CMakeFiles/isim.dir/trace/record.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/isim.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/isim.dir/trace/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_code_model.dir/test_code_model.cc.o"
+  "CMakeFiles/test_code_model.dir/test_code_model.cc.o.d"
+  "test_code_model"
+  "test_code_model.pdb"
+  "test_code_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_code_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

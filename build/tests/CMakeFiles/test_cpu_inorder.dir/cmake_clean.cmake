@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_inorder.dir/test_cpu_inorder.cc.o"
+  "CMakeFiles/test_cpu_inorder.dir/test_cpu_inorder.cc.o.d"
+  "test_cpu_inorder"
+  "test_cpu_inorder.pdb"
+  "test_cpu_inorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

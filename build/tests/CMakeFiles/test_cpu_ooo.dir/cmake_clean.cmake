@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_ooo.dir/test_cpu_ooo.cc.o"
+  "CMakeFiles/test_cpu_ooo.dir/test_cpu_ooo.cc.o.d"
+  "test_cpu_ooo"
+  "test_cpu_ooo.pdb"
+  "test_cpu_ooo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

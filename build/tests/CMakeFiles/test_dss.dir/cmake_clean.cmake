@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dss.dir/test_dss.cc.o"
+  "CMakeFiles/test_dss.dir/test_dss.cc.o.d"
+  "test_dss"
+  "test_dss.pdb"
+  "test_dss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oltp_tables.dir/test_oltp_tables.cc.o"
+  "CMakeFiles/test_oltp_tables.dir/test_oltp_tables.cc.o.d"
+  "test_oltp_tables"
+  "test_oltp_tables.pdb"
+  "test_oltp_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oltp_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

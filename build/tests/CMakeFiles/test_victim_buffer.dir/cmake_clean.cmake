@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_victim_buffer.dir/test_victim_buffer.cc.o"
+  "CMakeFiles/test_victim_buffer.dir/test_victim_buffer.cc.o.d"
+  "test_victim_buffer"
+  "test_victim_buffer.pdb"
+  "test_victim_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_victim_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
