@@ -8,12 +8,17 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace isim {
 
 namespace {
 
 bool quietFlag = false;
+bool panicThrowFlag = false;
+
+/** Condition text of the most recent isim_assert, in throw mode. */
+std::string pendingCondition;
 
 void
 vreport(const char *tag, const char *fmt, std::va_list ap)
@@ -38,14 +43,50 @@ quiet()
 }
 
 void
+setPanicThrow(bool throws)
+{
+    panicThrowFlag = throws;
+    pendingCondition.clear();
+}
+
+bool
+panicThrows()
+{
+    return panicThrowFlag;
+}
+
+void
 assertNote(const char *condition_text)
 {
+    if (panicThrowFlag) {
+        // Defer; panicImpl folds the condition into the exception.
+        pendingCondition = condition_text;
+        return;
+    }
     std::fprintf(stderr, "assertion '%s' failed\n", condition_text);
 }
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
+    if (panicThrowFlag) {
+        char body[1024];
+        std::va_list ap;
+        va_start(ap, fmt);
+        std::vsnprintf(body, sizeof(body), fmt, ap);
+        va_end(ap);
+        std::string msg = "panic: ";
+        msg += file;
+        msg += ':';
+        msg += std::to_string(line);
+        msg += ": ";
+        if (!pendingCondition.empty()) {
+            msg += "assertion '" + pendingCondition + "' failed. ";
+            pendingCondition.clear();
+        }
+        msg += body;
+        throw PanicError(msg);
+    }
     std::fprintf(stderr, "panic: %s:%d: ", file, line);
     std::va_list ap;
     va_start(ap, fmt);

@@ -13,9 +13,25 @@
 #define ISIM_BASE_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace isim {
+
+/**
+ * Thrown instead of aborting when panic-throw mode is active (see
+ * setPanicThrow). Carries the fully formatted panic message, so
+ * verification harnesses can report *which* invariant broke and keep
+ * exploring.
+ */
+class PanicError : public std::runtime_error
+{
+  public:
+    explicit PanicError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));
@@ -30,6 +46,29 @@ void assertNote(const char *condition_text);
 /** Suppress warn()/inform() output (used by tests). */
 void setQuiet(bool quiet);
 bool quiet();
+
+/**
+ * When enabled, panicImpl (and therefore isim_panic / isim_assert)
+ * throws PanicError instead of aborting. The default (abort) is right
+ * for simulation runs — a failed invariant means results are garbage —
+ * but the model checker and the mutation tests need to observe
+ * violations and report a trace instead of dying.
+ */
+void setPanicThrow(bool throws);
+bool panicThrows();
+
+/** RAII scope for setPanicThrow; restores the previous mode. */
+class ScopedPanicThrow
+{
+  public:
+    ScopedPanicThrow() : prev_(panicThrows()) { setPanicThrow(true); }
+    ~ScopedPanicThrow() { setPanicThrow(prev_); }
+    ScopedPanicThrow(const ScopedPanicThrow &) = delete;
+    ScopedPanicThrow &operator=(const ScopedPanicThrow &) = delete;
+
+  private:
+    bool prev_;
+};
 
 } // namespace isim
 

@@ -41,6 +41,32 @@ Directory::erase(Addr line_addr)
 }
 
 void
+Directory::forEachEntry(
+    const std::function<void(Addr line_addr, const DirEntry &)> &fn) const
+{
+    for (const auto &[line_addr, e] : map_)
+        fn(line_addr, e);
+}
+
+void
+Directory::checkEntry(const DirEntry &e, unsigned num_nodes)
+{
+    checkEntry(e);
+    isim_assert(num_nodes >= 1 && num_nodes <= 32);
+    const std::uint32_t installed =
+        num_nodes == 32 ? ~0u : ((1u << num_nodes) - 1u);
+    isim_assert((e.sharers & ~installed) == 0,
+                "sharer vector names an uninstalled node");
+    if (e.state == LineState::Modified) {
+        isim_assert(e.owner < num_nodes,
+                    "owner outside the installed node count");
+    } else {
+        isim_assert(e.owner == invalidNode,
+                    "non-owned entry carries a stale owner");
+    }
+}
+
+void
 Directory::checkEntry(const DirEntry &e)
 {
     switch (e.state) {

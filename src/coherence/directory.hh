@@ -14,6 +14,7 @@
 #define ISIM_COHERENCE_DIRECTORY_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "src/base/logging.hh"
@@ -96,9 +97,20 @@ class Directory
     /**
      * Structural self-check of one entry; panics on violation.
      * (Node-vs-directory cross checks live in the protocol engine,
-     * which can see the caches.)
+     * which can see the caches.) The two-argument form additionally
+     * verifies the sharer vector and owner stay within the installed
+     * node count.
      */
     static void checkEntry(const DirEntry &e);
+    static void checkEntry(const DirEntry &e, unsigned num_nodes);
+
+    /**
+     * Visit every entry (for whole-directory audits). The entry's home
+     * is derivable from the line address via homeOf().
+     */
+    void forEachEntry(
+        const std::function<void(Addr line_addr, const DirEntry &)> &fn)
+        const;
 
   private:
     HomeMap homeMap_;

@@ -24,6 +24,10 @@
 
 #include <algorithm>
 
+#ifdef ISIM_CHECK_INVARIANTS
+#include "src/verify/invariants.hh"
+#endif
+
 namespace isim {
 
 const char *
@@ -44,6 +48,26 @@ missClassName(MissClass cls)
     return "?";
 }
 
+const char *
+protocolMutationName(ProtocolMutation m)
+{
+    switch (m) {
+      case ProtocolMutation::None:
+        return "None";
+      case ProtocolMutation::SkipUpgradeInval:
+        return "SkipUpgradeInval";
+      case ProtocolMutation::ForgetSharerBit:
+        return "ForgetSharerBit";
+      case ProtocolMutation::MisclassifyDirty:
+        return "MisclassifyDirty";
+      case ProtocolMutation::DropVictimRelease:
+        return "DropVictimRelease";
+      case ProtocolMutation::SkipVictimBackInval:
+        return "SkipVictimBackInval";
+    }
+    return "?";
+}
+
 NodeProtocolStats &
 NodeProtocolStats::operator+=(const NodeProtocolStats &o)
 {
@@ -59,6 +83,7 @@ NodeProtocolStats::operator+=(const NodeProtocolStats &o)
     intraNodeInvals += o.intraNodeInvals;
     writebacksToHome += o.writebacksToHome;
     victimHits += o.victimHits;
+    racUpgrades += o.racUpgrades;
     prefetchesIssued += o.prefetchesIssued;
     prefetchHits += o.prefetchHits;
     mcQueueCycles += o.mcQueueCycles;
@@ -168,6 +193,7 @@ MemorySystem::aggregateRacCounters() const
 void
 MemorySystem::resetStats()
 {
+    transitionCount_ = 0;
     for (auto &node : nodes_) {
         node->stats = NodeProtocolStats{};
         for (auto &c : node->l1i)
@@ -232,6 +258,20 @@ MemorySystem::countMiss(NodeId node, RefType type, MissClass cls,
 
 AccessOutcome
 MemorySystem::access(NodeId core, RefType type, Addr paddr, Tick now)
+{
+    ++transitionCount_;
+#ifdef ISIM_CHECK_INVARIANTS
+    verify::TransitionAudit audit(*this, core, type, paddr);
+    const AccessOutcome out = accessImpl(core, type, paddr, now);
+    audit.finish(out);
+    return out;
+#else
+    return accessImpl(core, type, paddr, now);
+#endif
+}
+
+AccessOutcome
+MemorySystem::accessImpl(NodeId core, RefType type, Addr paddr, Tick now)
 {
     isim_assert(core < totalCores());
     const NodeId node = nodeOfCore(core);
@@ -300,6 +340,7 @@ MemorySystem::access(NodeId core, RefType type, Addr paddr, Tick now)
                 // Data is local but ownership must still be acquired.
                 out.cls = upgradeTx(node, line);
                 out.upgrade = true;
+                ++nd.stats.racUpgrades;
                 invalidateSiblingL1s(nd, &l1, line);
                 fillHierarchy(node, l1, line, LineState::Modified);
                 out.stall = latencyFor(out.cls, false, false, true);
@@ -458,6 +499,8 @@ MemorySystem::upgradeTx(NodeId node, Addr line_addr)
     for (NodeId s = 0; s < config_.numNodes; ++s) {
         if (s == node || !e->hasSharer(s))
             continue;
+        if (mutation_ == ProtocolMutation::SkipUpgradeInval)
+            continue; // injected bug: stale copies survive the upgrade
         invalidateNode(s, line_addr);
         ++invals;
     }
@@ -490,7 +533,8 @@ MemorySystem::dirRead(NodeId node, Addr line_addr)
         r.grant = LineState::Exclusive;
         break;
       case LineState::Shared:
-        e.sharers |= 1u << node;
+        if (mutation_ != ProtocolMutation::ForgetSharerBit)
+            e.sharers |= 1u << node;
         r.cls = home == node ? MissClass::Local : MissClass::RemoteClean;
         r.grant = LineState::Shared;
         break;
@@ -502,7 +546,8 @@ MemorySystem::dirRead(NodeId node, Addr line_addr)
         e.state = LineState::Shared;
         e.sharers = (1u << e.owner) | (1u << node);
         e.owner = invalidNode;
-        if (probe.wasDirty) {
+        if (probe.wasDirty &&
+            mutation_ != ProtocolMutation::MisclassifyDirty) {
             r.cls = MissClass::RemoteDirty;
             r.fromRemoteRac = probe.dirtyInRacOnly;
         } else {
@@ -551,7 +596,8 @@ MemorySystem::dirWrite(NodeId node, Addr line_addr)
         const ProbeResult probe = invalidateNode(e.owner, line_addr);
         ++s.invalidationsSent;
         ++s.storesCausingInval;
-        if (probe.wasDirty) {
+        if (probe.wasDirty &&
+            mutation_ != ProtocolMutation::MisclassifyDirty) {
             r.cls = MissClass::RemoteDirty;
             r.fromRemoteRac = probe.dirtyInRacOnly;
         } else {
@@ -749,7 +795,8 @@ MemorySystem::handleL2Victim(NodeId node, const Victim &victim)
     Node &nd = *nodes_[node];
 
     // Inclusion: drop any L1 copies of the displaced line.
-    invalidateAllL1s(nd, victim.lineAddr);
+    if (mutation_ != ProtocolMutation::SkipVictimBackInval)
+        invalidateAllL1s(nd, victim.lineAddr);
 
     if (hasVictimBuffer()) {
         // Park the victim; the directory still sees the node holding
@@ -768,6 +815,8 @@ MemorySystem::handleL2Victim(NodeId node, const Victim &victim)
 void
 MemorySystem::releaseLine(NodeId node, Addr vline, LineState state)
 {
+    if (mutation_ == ProtocolMutation::DropVictimRelease)
+        return; // injected bug: the directory keeps a phantom sharer
     Node &nd = *nodes_[node];
 
     const NodeId home = homeOf(vline);

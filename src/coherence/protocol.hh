@@ -43,6 +43,29 @@ enum class MissClass : std::uint8_t {
 
 const char *missClassName(MissClass cls);
 
+/**
+ * Deliberate protocol bugs, injectable for tests *of the verification
+ * layer itself* (mutation testing): each mutant must be caught by the
+ * model checker (tools/mcheck) and by the runtime invariant auditor
+ * (src/verify/invariants.hh). None of these alter behavior unless a
+ * test opts in via MemorySystem::setMutationForTest.
+ */
+enum class ProtocolMutation : std::uint8_t {
+    None = 0,
+    /** A store upgrade leaves the other sharers' copies intact. */
+    SkipUpgradeInval,
+    /** A read miss on a Shared line doesn't record the new sharer. */
+    ForgetSharerBit,
+    /** A 3-hop dirty miss is misclassified as a 2-hop clean miss. */
+    MisclassifyDirty,
+    /** Lines leaving a node never notify the directory. */
+    DropVictimRelease,
+    /** An L2 eviction forgets to back-invalidate the L1s. */
+    SkipVictimBackInval,
+};
+
+const char *protocolMutationName(ProtocolMutation m);
+
 /** Result of one memory access. */
 struct AccessOutcome
 {
@@ -72,6 +95,15 @@ struct NodeProtocolStats
     std::uint64_t writebacksToHome = 0;
     std::uint64_t replacementHints = 0;
     std::uint64_t victimHits = 0; //!< L2 victim-buffer recoveries
+    /**
+     * Stores that missed the L2 but found the data Shared in the RAC,
+     * so only ownership was acquired. These are L2 misses that appear
+     * in neither the per-class miss counters nor `victimHits`; the
+     * invariant auditor's conservation identity
+     *   l2.misses == totalL2Misses() + victimHits + racUpgrades
+     * needs them split out.
+     */
+    std::uint64_t racUpgrades = 0;
     std::uint64_t prefetchesIssued = 0;
     std::uint64_t prefetchHits = 0; //!< demand hits on prefetched lines
     std::uint64_t mcQueueCycles = 0; //!< stall added by MC contention
@@ -182,6 +214,30 @@ class MemorySystem
     RacCounters aggregateRacCounters() const;
     const Directory &directory() const { return dir_; }
 
+    /**
+     * The node's L2 victim FIFO, oldest first (exposed for the
+     * verification layer; empty when victim buffers are disabled).
+     */
+    const std::deque<std::pair<Addr, LineState>> &
+    victimBuffer(NodeId node) const
+    {
+        return nodes_[node]->victims;
+    }
+
+    /**
+     * Number of access() calls since construction / the last
+     * resetStats(). Equals the summed L1 access counters — an identity
+     * the invariant auditor checks.
+     */
+    std::uint64_t transitionCount() const { return transitionCount_; }
+
+    /**
+     * Inject a deliberate protocol bug (mutation testing of the
+     * verification layer). Tests only; never set during measurement.
+     */
+    void setMutationForTest(ProtocolMutation m) { mutation_ = m; }
+    ProtocolMutation mutationForTest() const { return mutation_; }
+
     /** Latency charged for a class (exposed for the CPU models). */
     Cycles latencyFor(MissClass cls, bool rac_hit, bool from_remote_rac,
                       bool upgrade = false) const;
@@ -236,6 +292,10 @@ class MemorySystem
         return homeMap_.homeOfLine(line_addr, lineBits_);
     }
 
+    /** The access path proper (access() wraps it with auditing). */
+    AccessOutcome accessImpl(NodeId core, RefType type, Addr paddr,
+                             Tick now);
+
     /** Directory transaction for a read (load or ifetch) L2+RAC miss. */
     DirResult dirRead(NodeId node, Addr line_addr);
     /** Directory transaction for a store L2+RAC miss. */
@@ -285,6 +345,8 @@ class MemorySystem
     Cycles mcQueueDelay(NodeId home, Tick now);
 
     MissHook missHook_;
+    ProtocolMutation mutation_ = ProtocolMutation::None;
+    std::uint64_t transitionCount_ = 0;
     std::vector<Tick> mcBusyUntil_; //!< per-home controller horizon
     MemSysConfig config_;
     HomeMap homeMap_;

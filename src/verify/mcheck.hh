@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Murphi-style explicit-state model checker for the directory
+ * protocol.
+ *
+ * Instead of checking a hand-transcribed abstraction (which can drift
+ * from the code), the checker enumerates the reachable state space of
+ * the *real* MemorySystem for deliberately tiny configurations: 2-4
+ * nodes, 1-2 cache lines per home, caches shrunk until evictions and
+ * victim-buffer spills happen within a handful of events. Events are
+ * every (core, load/store/ifetch, line) combination; states are
+ * canonical fingerprints of every structure that can influence future
+ * behavior (directory entries, L1/L2/RAC states, victim-FIFO order,
+ * per-set LRU order, shadow-data freshness). Exploration is
+ * breadth-first, so the first violation found is reported with a
+ * shortest event trace.
+ *
+ * Checked on every explored transition:
+ *  - no protocol panic (absence of stuck states: the transition
+ *    relation is total — every event applies in every reachable state);
+ *  - MissClass matches the reference oracle (classifyOracle), i.e.
+ *    Local / RemoteClean 2-hop / RemoteDirty 3-hop classification is
+ *    exact — the paper's figures depend on this;
+ *  - the full invariant audit (auditFull): single-writer /
+ *    multiple-reader, directory-vs-cache agreement both directions,
+ *    victim-buffer exclusivity, inclusion, stats conservation;
+ *  - data-value coherence via a shadow memory: every line carries a
+ *    version number bumped per store; the checker models where data
+ *    travels according to the protocol's *claimed* outcome and panics
+ *    if any read would observe a stale version (a misclassified 3-hop
+ *    miss surfaces here as stale data from home memory).
+ *
+ * Because the checker replays event paths to rebuild states (the
+ * MemorySystem is not copyable), configurations must stay small; the
+ * presets in tools/mcheck exhaust in seconds.
+ */
+
+#ifndef ISIM_VERIFY_MCHECK_HH
+#define ISIM_VERIFY_MCHECK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coherence/protocol.hh"
+
+namespace isim::verify {
+
+/** One model-checking event: a single memory access. */
+struct McheckEvent
+{
+    NodeId core = 0;
+    RefType type = RefType::Load;
+    Addr line = 0; //!< line address
+};
+
+/** A small configuration to exhaust. */
+struct McheckConfig
+{
+    unsigned numNodes = 2;
+    unsigned coresPerNode = 1;
+    /** Data lines, distributed round-robin across homes and placed in
+     *  the same L2 set so evictions happen. */
+    unsigned dataLines = 2;
+    /** Add one ifetch-only line (code is never stored, matching the
+     *  workload invariant the protocol asserts). */
+    bool codeLine = true;
+    bool racEnabled = false;
+    unsigned victimBufferEntries = 0;
+    /** Stop (exhausted=false) after this many distinct states. */
+    std::uint64_t maxStates = 1u << 22;
+    /** Injected bug for mutation testing of the checker itself. */
+    ProtocolMutation mutation = ProtocolMutation::None;
+
+    /** The tiny MemSysConfig the checker instantiates. */
+    MemSysConfig memConfig() const;
+    /** All tracked line addresses (data lines then the code line). */
+    std::vector<Addr> trackedLines() const;
+    /** The event alphabet. */
+    std::vector<McheckEvent> events() const;
+    /** Short name, e.g. "2n1c-2d+code-rac-vb1". */
+    std::string name() const;
+};
+
+/** Result of one model-checking run. */
+struct McheckResult
+{
+    bool ok = false;        //!< no violation found
+    bool exhausted = false; //!< the full reachable space was explored
+    std::uint64_t states = 0;
+    std::uint64_t transitions = 0;
+    std::string violation;          //!< empty when ok
+    std::vector<McheckEvent> trace; //!< shortest path ending in the bug
+
+    /** Render the trace, one event per line. */
+    std::string traceString(const McheckConfig &cfg) const;
+};
+
+/** Exhaustively explore `cfg`; never aborts (uses panic-throw mode). */
+McheckResult modelCheck(const McheckConfig &cfg);
+
+} // namespace isim::verify
+
+#endif // ISIM_VERIFY_MCHECK_HH

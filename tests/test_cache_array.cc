@@ -198,8 +198,8 @@ INSTANTIATE_TEST_SUITE_P(
                       CacheGeometry{16 * kib, 16, 64},
                       // non-power-of-two set count (1.25M-style)
                       CacheGeometry{20 * kib, 4, 64}),
-    [](const ::testing::TestParamInfo<CacheGeometry> &info) {
-        return info.param.shortName();
+    [](const ::testing::TestParamInfo<CacheGeometry> &tpi) {
+        return tpi.param.shortName();
     });
 
 /** Fully-associative LRU has the stack (inclusion) property. */

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the runtime invariant auditor (src/verify/invariants.hh)
+ * and the panic-throw mode it relies on.
+ *
+ * The stock protocol must drive arbitrary workloads through
+ * auditedAccess without a single audit firing; each injected
+ * ProtocolMutation must make the auditor throw PanicError. This is
+ * mutation testing of the auditor itself: a bug class the auditor
+ * cannot catch here would also slip through in instrumented
+ * simulation runs.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/logging.hh"
+#include "src/verify/invariants.hh"
+
+namespace isim::verify {
+namespace {
+
+/** Tiny two-node system: single-set L1s over a 4-set direct L2, so
+ *  evictions (and the mutants hiding in them) trigger quickly. */
+MemSysConfig
+tinyConfig(bool rac, unsigned vb_entries)
+{
+    MemSysConfig cfg;
+    cfg.numNodes = 2;
+    cfg.coresPerNode = 1;
+    cfg.lineBytes = 64;
+    cfg.l1Size = 128;
+    cfg.l1Assoc = 2;
+    cfg.l2 = CacheGeometry{256, 1, 64};
+    cfg.racEnabled = rac;
+    cfg.rac = CacheGeometry{128, 1, 64};
+    cfg.victimBufferEntries = vb_entries;
+    return cfg;
+}
+
+/** Byte address of the i-th contending line (all in L2 set 0, homes
+ *  alternating) — the same placement scheme the model checker uses. */
+Addr
+lineAddr(unsigned i)
+{
+    const Addr line =
+        (static_cast<Addr>(i % 2) << 25) | static_cast<Addr>((i / 2) * 4);
+    return line << 6;
+}
+
+struct Ev
+{
+    NodeId core;
+    RefType type;
+    Addr paddr;
+};
+
+void
+drive(MemorySystem &ms, const std::vector<Ev> &evs)
+{
+    for (const Ev &ev : evs)
+        auditedAccess(ms, ev.core, ev.type, ev.paddr);
+    auditFull(ms);
+}
+
+/** Deterministic mixed workload over four contending lines. */
+std::vector<Ev>
+workload(unsigned length)
+{
+    std::vector<Ev> evs;
+    std::uint64_t x = 0x2545F4914F6CDD1Dull;
+    for (unsigned i = 0; i < length; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const NodeId core = static_cast<NodeId>(x % 2);
+        const RefType type = (x >> 8) % 3 == 0 ? RefType::Store
+                                               : RefType::Load;
+        evs.push_back({core, type, lineAddr((x >> 16) % 4)});
+    }
+    return evs;
+}
+
+TEST(PanicThrow, ScopedModeThrowsAndRestores)
+{
+    EXPECT_FALSE(panicThrows());
+    {
+        ScopedPanicThrow scope;
+        EXPECT_TRUE(panicThrows());
+        try {
+            isim_panic("test panic %d", 42);
+            FAIL() << "panic did not throw";
+        } catch (const PanicError &e) {
+            EXPECT_NE(std::string(e.what()).find("test panic 42"),
+                      std::string::npos);
+            EXPECT_NE(std::string(e.what()).find("panic: "),
+                      std::string::npos);
+        }
+    }
+    EXPECT_FALSE(panicThrows());
+}
+
+TEST(PanicThrow, AssertCarriesConditionText)
+{
+    ScopedPanicThrow scope;
+    try {
+        isim_assert(1 == 2, "math still works");
+        FAIL() << "assert did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("1 == 2"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("math still works"),
+                  std::string::npos);
+    }
+}
+
+TEST(Auditor, StockProtocolPassesPlain)
+{
+    ScopedPanicThrow scope;
+    MemorySystem ms(tinyConfig(false, 0));
+    EXPECT_NO_THROW(drive(ms, workload(2000)));
+}
+
+TEST(Auditor, StockProtocolPassesWithRacAndVictimBuffer)
+{
+    ScopedPanicThrow scope;
+    MemorySystem ms(tinyConfig(true, 1));
+    EXPECT_NO_THROW(drive(ms, workload(2000)));
+}
+
+TEST(Auditor, StockProtocolPassesOnLargeGeometry)
+{
+    // Default-sized caches: nothing contends, everything hits; the
+    // oracle must agree on hits too.
+    ScopedPanicThrow scope;
+    MemSysConfig cfg;
+    cfg.numNodes = 2;
+    cfg.racEnabled = true;
+    MemorySystem ms(cfg);
+    EXPECT_NO_THROW(drive(ms, workload(500)));
+}
+
+TEST(Auditor, TransitionCountMatchesAccesses)
+{
+    MemorySystem ms(tinyConfig(false, 0));
+    const auto evs = workload(100);
+    for (const Ev &ev : evs)
+        ms.access(ev.core, ev.type, ev.paddr);
+    EXPECT_EQ(ms.transitionCount(), evs.size());
+    ms.resetStats();
+    EXPECT_EQ(ms.transitionCount(), 0u);
+}
+
+/** Each mutant must make the auditor throw on a directed sequence. */
+void
+expectMutantCaught(MemSysConfig cfg, ProtocolMutation m,
+                   const std::vector<Ev> &evs)
+{
+    ScopedPanicThrow scope;
+    MemorySystem ms(cfg);
+    ms.setMutationForTest(m);
+    EXPECT_THROW(drive(ms, evs), PanicError)
+        << protocolMutationName(m) << " escaped the auditor";
+}
+
+TEST(AuditorMutation, SkipUpgradeInvalCaught)
+{
+    // Two sharers, then an upgrade that (mutated) leaves the other
+    // sharer's copy in place.
+    expectMutantCaught(tinyConfig(false, 0),
+                       ProtocolMutation::SkipUpgradeInval,
+                       {{0, RefType::Load, lineAddr(0)},
+                        {1, RefType::Load, lineAddr(0)},
+                        {0, RefType::Store, lineAddr(0)}});
+}
+
+TEST(AuditorMutation, ForgetSharerBitCaught)
+{
+    // Get the line Shared, evict it at node 1, re-read it there: the
+    // mutated directory forgets to re-add node 1 to the sharer vector.
+    expectMutantCaught(tinyConfig(false, 0),
+                       ProtocolMutation::ForgetSharerBit,
+                       {{0, RefType::Load, lineAddr(0)},
+                        {1, RefType::Load, lineAddr(0)},
+                        {1, RefType::Load, lineAddr(2)},
+                        {1, RefType::Load, lineAddr(0)}});
+}
+
+TEST(AuditorMutation, MisclassifyDirtyCaught)
+{
+    // A dirty remote line read as if it were clean: the
+    // classification oracle disagrees immediately.
+    expectMutantCaught(tinyConfig(false, 0),
+                       ProtocolMutation::MisclassifyDirty,
+                       {{0, RefType::Store, lineAddr(0)},
+                        {1, RefType::Load, lineAddr(0)}});
+}
+
+TEST(AuditorMutation, DropVictimReleaseCaught)
+{
+    // A conflicting fill evicts line 0 without telling the directory:
+    // the reverse audit sees a phantom sharer.
+    expectMutantCaught(tinyConfig(false, 0),
+                       ProtocolMutation::DropVictimRelease,
+                       {{0, RefType::Load, lineAddr(0)},
+                        {0, RefType::Load, lineAddr(2)}});
+}
+
+TEST(AuditorMutation, SkipVictimBackInvalCaught)
+{
+    // The L2 eviction leaves the L1D copy in place: inclusion breaks.
+    expectMutantCaught(tinyConfig(false, 0),
+                       ProtocolMutation::SkipVictimBackInval,
+                       {{0, RefType::Load, lineAddr(0)},
+                        {0, RefType::Load, lineAddr(2)}});
+}
+
+TEST(DirectoryAudit, CheckEntryRejectsSharersBeyondNodeCount)
+{
+    ScopedPanicThrow scope;
+    DirEntry e;
+    e.state = LineState::Shared;
+    e.sharers = 0b101; // node 2 does not exist in a 2-node system
+    EXPECT_THROW(Directory::checkEntry(e, 2), PanicError);
+    EXPECT_NO_THROW(Directory::checkEntry(e, 4));
+}
+
+TEST(DirectoryAudit, CheckEntryRejectsStaleOwnerOnSharedEntry)
+{
+    ScopedPanicThrow scope;
+    DirEntry e;
+    e.state = LineState::Shared;
+    e.sharers = 0b01;
+    e.owner = 1; // must be invalidNode unless Modified
+    EXPECT_THROW(Directory::checkEntry(e, 2), PanicError);
+}
+
+TEST(DirectoryAudit, CheckEntryRejectsOutOfRangeOwner)
+{
+    ScopedPanicThrow scope;
+    DirEntry e;
+    e.state = LineState::Modified;
+    e.owner = 5;
+    e.sharers = 1u << 5;
+    EXPECT_THROW(Directory::checkEntry(e, 2), PanicError);
+}
+
+} // namespace
+} // namespace isim::verify

@@ -128,8 +128,8 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{4, 512 * kib, 4, true, CpuModel::OutOfOrder},
         SweepParam{8, 512 * kib, 2, false, CpuModel::InOrder},
         SweepParam{8, 1 * mib, 4, true, CpuModel::InOrder}),
-    [](const ::testing::TestParamInfo<SweepParam> &info) {
-        return info.param.name();
+    [](const ::testing::TestParamInfo<SweepParam> &tpi) {
+        return tpi.param.name();
     });
 
 /** Miss monotonicity: growing an associative L2 cannot hurt much. */

@@ -73,8 +73,9 @@ TEST(ProtocolEdge, OwnershipMigratesAroundTheMachine)
         EXPECT_EQ(e->state, LineState::Modified);
         EXPECT_EQ(e->owner, n);
         for (NodeId o = 0; o < 4; ++o) {
-            if (o != n)
+            if (o != n) {
                 EXPECT_EQ(ms.l2(o).probe(a >> 6), nullptr);
+            }
         }
     }
     // Three ownership transfers were dirty 3-hop misses.

@@ -110,10 +110,10 @@ INSTANTIATE_TEST_SUITE_P(
                       StressParam{2, 2, true}, StressParam{4, 2, false},
                       StressParam{4, 4, true}, StressParam{8, 2, false},
                       StressParam{8, 1, true}),
-    [](const ::testing::TestParamInfo<StressParam> &info) {
-        return "n" + std::to_string(info.param.nodes) + "_a" +
-               std::to_string(info.param.l2Assoc) +
-               (info.param.rac ? "_rac" : "_norac");
+    [](const ::testing::TestParamInfo<StressParam> &tpi) {
+        return "n" + std::to_string(tpi.param.nodes) + "_a" +
+               std::to_string(tpi.param.l2Assoc) +
+               (tpi.param.rac ? "_rac" : "_norac");
     });
 
 } // namespace

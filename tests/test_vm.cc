@@ -153,8 +153,9 @@ TEST(Vm, PageColoringTilesConsecutivePages)
         const std::uint64_t frame =
             (p & ((Addr{1} << 31) - 1)) / (8 * kib);
         const std::uint64_t color = frame % 256;
-        if (prev_color != ~0ull && i % 256 != 0)
+        if (prev_color != ~0ull && i % 256 != 0) {
             EXPECT_EQ(color, (prev_color + 1) % 256) << "page " << i;
+        }
         prev_color = color;
     }
 }
