@@ -12,9 +12,12 @@
 #include "fig_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace isim;
+
+    const obs::ObsConfig obs_config =
+        benchmain::parseArgsOrExit(argc, argv);
 
     for (unsigned cpus : {1u, figures::mpNodes}) {
         FigureSpec spec;
@@ -30,7 +33,7 @@ main()
             spec.bars.push_back(bar);
         }
         spec.normalizeTo = 0;
-        benchmain::runAndPrint(spec);
+        benchmain::runAndPrint(spec, obs_config);
     }
     return 0;
 }

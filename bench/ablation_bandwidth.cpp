@@ -14,9 +14,12 @@
 #include "fig_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace isim;
+
+    const obs::ObsConfig obs_config =
+        benchmain::parseArgsOrExit(argc, argv);
 
     FigureSpec spec;
     spec.id = "Ablation A5";
@@ -39,7 +42,7 @@ main()
     }
     spec.normalizeTo = 0;
 
-    const int rc = benchmain::runAndPrint(spec);
+    const int rc = benchmain::runAndPrint(spec, obs_config);
     std::cout << "Reading: a fixed per-miss occupancy costs the "
                  "integrated design relatively\nmore — its miss "
                  "latencies are short, so queueing is a larger "

@@ -13,9 +13,12 @@
 #include "fig_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace isim;
+
+    const obs::ObsConfig obs_config =
+        benchmain::parseArgsOrExit(argc, argv);
 
     FigureSpec spec;
     spec.id = "Ablation A3";
@@ -39,7 +42,7 @@ main()
     }
     spec.normalizeTo = 0;
 
-    const int rc = benchmain::runAndPrint(spec);
+    const int rc = benchmain::runAndPrint(spec, obs_config);
     std::cout << "Reading: colouring tiles the hot footprint across "
                  "cache sets, recovering much\nof the direct-mapped "
                  "conflict volume — but OLTP's hot lines come from "

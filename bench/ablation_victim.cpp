@@ -13,9 +13,12 @@
 #include "fig_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace isim;
+
+    const obs::ObsConfig obs_config =
+        benchmain::parseArgsOrExit(argc, argv);
 
     FigureSpec spec;
     spec.id = "Ablation A4";
@@ -39,5 +42,5 @@ main()
     spec.bars.push_back(assoc);
     spec.normalizeTo = 0;
 
-    return benchmain::runAndPrint(spec);
+    return benchmain::runAndPrint(spec, obs_config);
 }

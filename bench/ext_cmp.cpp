@@ -16,9 +16,12 @@
 #include "fig_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace isim;
+
+    const obs::ObsConfig obs_config =
+        benchmain::parseArgsOrExit(argc, argv);
 
     FigureSpec spec;
     spec.id = "Extension E1";
@@ -38,7 +41,7 @@ main()
     }
     spec.normalizeTo = 0;
 
-    const int rc = benchmain::runAndPrint(spec);
+    const int rc = benchmain::runAndPrint(spec, obs_config);
     std::cout << "Reading: intra-chip sharing converts 3-hop dirty "
                  "misses into shared-L2 hits;\nthe capacity cost shows "
                  "up as extra local/remote-clean misses when 8 cores\n"

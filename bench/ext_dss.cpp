@@ -55,12 +55,15 @@ ladder(isim::WorkloadKind kind, const char *tag)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace isim;
-    benchmain::runAndPrint(ladder(WorkloadKind::TpcB, "OLTP"));
+
+    const obs::ObsConfig obs_config =
+        benchmain::parseArgsOrExit(argc, argv);
+    benchmain::runAndPrint(ladder(WorkloadKind::TpcB, "OLTP"), obs_config);
     const int rc =
-        benchmain::runAndPrint(ladder(WorkloadKind::DssScan, "DSS"));
+        benchmain::runAndPrint(ladder(WorkloadKind::DssScan, "DSS"), obs_config);
     std::cout << "Reading: OLTP gains ~1.4x from full integration; the "
                  "DSS scan streams are\nnearly insensitive — their "
                  "misses are streaming (no reuse for caches to\n"

@@ -41,9 +41,12 @@ sweep(isim::WorkloadKind kind, const char *tag)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace isim;
-    benchmain::runAndPrint(sweep(WorkloadKind::TpcB, "OLTP"));
-    return benchmain::runAndPrint(sweep(WorkloadKind::DssScan, "DSS"));
+
+    const obs::ObsConfig obs_config =
+        benchmain::parseArgsOrExit(argc, argv);
+    benchmain::runAndPrint(sweep(WorkloadKind::TpcB, "OLTP"), obs_config);
+    return benchmain::runAndPrint(sweep(WorkloadKind::DssScan, "DSS"), obs_config);
 }

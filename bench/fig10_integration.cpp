@@ -8,8 +8,10 @@
 #include "fig_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    isim::benchmain::runAndPrint(isim::figures::figure10Uni());
-    return isim::benchmain::runAndPrint(isim::figures::figure10Mp());
+    const isim::obs::ObsConfig obs_config =
+        isim::benchmain::parseArgsOrExit(argc, argv);
+    isim::benchmain::runAndPrint(isim::figures::figure10Uni(), obs_config);
+    return isim::benchmain::runAndPrint(isim::figures::figure10Mp(), obs_config);
 }

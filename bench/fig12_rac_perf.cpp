@@ -6,7 +6,9 @@
 #include "fig_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return isim::benchmain::runAndPrint(isim::figures::figure12());
+    const isim::obs::ObsConfig obs_config =
+        isim::benchmain::parseArgsOrExit(argc, argv);
+    return isim::benchmain::runAndPrint(isim::figures::figure12(), obs_config);
 }

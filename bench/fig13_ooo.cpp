@@ -7,8 +7,10 @@
 #include "fig_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    isim::benchmain::runAndPrint(isim::figures::figure13Uni());
-    return isim::benchmain::runAndPrint(isim::figures::figure13Mp());
+    const isim::obs::ObsConfig obs_config =
+        isim::benchmain::parseArgsOrExit(argc, argv);
+    isim::benchmain::runAndPrint(isim::figures::figure13Uni(), obs_config);
+    return isim::benchmain::runAndPrint(isim::figures::figure13Mp(), obs_config);
 }

@@ -10,18 +10,49 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
+#include "src/config/options.hh"
 #include "src/core/figures.hh"
 #include "src/core/report.hh"
 
 namespace isim::benchmain {
 
+/**
+ * Parse the common figure-binary command line: the observability
+ * flags (config/options.hh). Prints usage and exits on --help / -h or
+ * an unrecognized argument.
+ */
+inline obs::ObsConfig
+parseArgsOrExit(int argc, char **argv)
+{
+    const obs::ObsConfig cfg = obsFromCommandLine(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        const bool help = std::strcmp(argv[i], "--help") == 0 ||
+                          std::strcmp(argv[i], "-h") == 0;
+        (help ? std::cout : std::cerr)
+            << "usage: " << argv[0] << " [options]\n\n"
+            << "Regenerates one figure of the paper; prints the "
+               "report to stdout.\nOptions:\n"
+            << obsOptionsHelp()
+            << "Environment: ISIM_TXNS / ISIM_WARMUP override the "
+               "transaction counts;\nISIM_JSON_DIR=DIR writes the "
+               "figure JSON there.\n";
+        if (!help)
+            std::cerr << "\nunknown argument: " << argv[i] << "\n";
+        std::exit(help ? 0 : 2);
+    }
+    return cfg;
+}
+
 inline int
-runAndPrint(const FigureSpec &spec)
+runAndPrint(const FigureSpec &spec,
+            const obs::ObsConfig &obs_config = {})
 {
     ExperimentRunner runner(/*verbose=*/true);
+    runner.setObsConfig(obs_config);
     const FigureResult result = runner.run(spec);
     printFigureReport(std::cout, result);
     if (const char *dir = std::getenv("ISIM_JSON_DIR")) {

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * JSON writer / validator implementation.
+ */
+
+#include "src/base/json.hh"
+
+#include <cctype>
+#include <cstdio>
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newlineAndIndent()
+{
+    os_ << "\n";
+    for (int i = 0; i < depth_; ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beforeEntry()
+{
+    if (pendingKey_) {
+        // Value completes a key; no separator.
+        pendingKey_ = false;
+        return;
+    }
+    if (depth_ == 0)
+        return;
+    const std::uint64_t bit = std::uint64_t{1} << depth_;
+    if (hasEntry_ & bit)
+        os_ << (depth_ <= prettyDepth_ ? "," : ", ");
+    hasEntry_ |= bit;
+    if (depth_ <= prettyDepth_)
+        newlineAndIndent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeEntry();
+    os_ << "{";
+    ++depth_;
+    isim_assert(depth_ < 64, "JsonWriter nesting too deep");
+    hasEntry_ &= ~(std::uint64_t{1} << depth_);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    isim_assert(depth_ > 0 && !pendingKey_);
+    const bool had = hasEntry_ & (std::uint64_t{1} << depth_);
+    --depth_;
+    if (had && depth_ + 1 <= prettyDepth_)
+        newlineAndIndent();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeEntry();
+    os_ << "[";
+    ++depth_;
+    isim_assert(depth_ < 64, "JsonWriter nesting too deep");
+    hasEntry_ &= ~(std::uint64_t{1} << depth_);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    isim_assert(depth_ > 0 && !pendingKey_);
+    const bool had = hasEntry_ & (std::uint64_t{1} << depth_);
+    --depth_;
+    if (had && depth_ + 1 <= prettyDepth_)
+        newlineAndIndent();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    isim_assert(!pendingKey_, "key() after key()");
+    beforeEntry();
+    os_ << "\"" << jsonEscape(k) << "\": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeEntry();
+    os_ << "\"" << jsonEscape(v) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v, int precision)
+{
+    beforeEntry();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeEntry();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeEntry();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeEntry();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+namespace {
+
+/** Recursive-descent JSON syntax checker. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool run()
+    {
+        skipWs();
+        if (!parseValue())
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after value");
+        return true;
+    }
+
+  private:
+    bool fail(const std::string &what)
+    {
+        if (err_ != nullptr && err_->empty()) {
+            *err_ = what + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool parseString()
+    {
+        if (text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (static_cast<unsigned char>(text_[pos_]) < 0x20)
+                return fail("raw control character in string");
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return fail("truncated escape");
+                const char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_]))) {
+                            return fail("bad \\u escape");
+                        }
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            return fail("bad number");
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return fail("bad fraction");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return fail("bad exponent");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        return pos_ > start;
+    }
+
+    bool parseObject()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || !parseString())
+                return fail("expected object key");
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool parseArray()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parseValue()
+    {
+        if (pos_ >= text_.size())
+            return fail("empty value");
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return parseNumber();
+        }
+    }
+
+    const std::string &text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+jsonValidate(const std::string &text, std::string *err)
+{
+    if (err != nullptr)
+        err->clear();
+    return JsonParser(text, err).run();
+}
+
+} // namespace isim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal JSON emission and validation. JsonWriter produces
+ * well-formed JSON with proper string escaping and automatic comma
+ * handling; it is shared by the figure reports (core/report.cc) and
+ * the observability exporters (obs/export.cc). jsonValidate() is a
+ * strict syntax checker used by tests and tools to prove emitted
+ * documents parse back.
+ */
+
+#ifndef ISIM_BASE_JSON_HH
+#define ISIM_BASE_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace isim {
+
+/** Escape a string for inclusion inside JSON quotes. */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Streaming JSON writer. Containers opened at nesting depth <=
+ * prettyDepth get one entry per line (indented); deeper containers are
+ * written inline — which yields the compact-but-diffable layout the
+ * figure JSON always had ("bars" one per line, each bar inline).
+ *
+ * Keys are emitted as `"key": value` (space after the colon);
+ * numbers use a fixed precision chosen per value.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, int pretty_depth = 2)
+        : os_(os), prettyDepth_(pretty_depth)
+    {
+    }
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit `"key": ` (inside an object, before its value). */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v, int precision = 4);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(unsigned v);
+    JsonWriter &value(bool v);
+
+    // Key/value in one call.
+    template <typename T>
+    JsonWriter &kv(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+    JsonWriter &kv(const std::string &k, double v, int precision)
+    {
+        key(k);
+        return value(v, precision);
+    }
+
+    /** Depth of currently open containers. */
+    int depth() const { return depth_; }
+
+  private:
+    /** Comma/newline bookkeeping before a new entry at this depth. */
+    void beforeEntry();
+    void newlineAndIndent();
+
+    std::ostream &os_;
+    int prettyDepth_;
+    int depth_ = 0;
+    /** Whether the container at each depth already has an entry. */
+    std::uint64_t hasEntry_ = 0; //!< bitset over depths (max 64 deep)
+    bool pendingKey_ = false;
+};
+
+/**
+ * Strict JSON syntax check (objects, arrays, strings with escapes,
+ * numbers, true/false/null). Returns true when `text` is a single
+ * valid JSON value; on failure `err` (if non-null) describes the
+ * first problem and its offset.
+ */
+bool jsonValidate(const std::string &text, std::string *err = nullptr);
+
+} // namespace isim
+
+#endif // ISIM_BASE_JSON_HH

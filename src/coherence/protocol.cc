@@ -24,6 +24,8 @@
 
 #include <algorithm>
 
+#include "src/obs/tracer.hh"
+
 #ifdef ISIM_CHECK_INVARIANTS
 #include "src/verify/invariants.hh"
 #endif
@@ -264,10 +266,30 @@ MemorySystem::access(NodeId core, RefType type, Addr paddr, Tick now)
     verify::TransitionAudit audit(*this, core, type, paddr);
     const AccessOutcome out = accessImpl(core, type, paddr, now);
     audit.finish(out);
-    return out;
 #else
-    return accessImpl(core, type, paddr, now);
+    const AccessOutcome out = accessImpl(core, type, paddr, now);
 #endif
+    if (ISIM_OBS_ACTIVE(tracer_) && out.cls != MissClass::L1Hit) {
+        const Addr line = paddr >> lineBits_;
+        const Addr line_paddr = line << lineBits_;
+        const auto home = static_cast<std::uint32_t>(homeOf(line));
+        const auto cpu = static_cast<std::uint16_t>(core);
+        const auto cls = static_cast<std::uint8_t>(
+            static_cast<std::uint8_t>(out.cls) |
+            (out.upgrade ? obs::clsUpgrade : 0) |
+            (out.racHit ? obs::clsRacHit : 0));
+        tracer_->span(obs::EventKind::MissCompleted, now, out.stall,
+                      cpu, cls, home, line_paddr);
+        if (out.cls != MissClass::L2Hit) {
+            tracer_->instant(obs::EventKind::MissIssued, now, cpu, cls,
+                             home, line_paddr);
+        }
+        if (out.upgrade) {
+            tracer_->span(obs::EventKind::DirUpgrade, now, out.stall,
+                          cpu, cls, home, line_paddr);
+        }
+    }
+    return out;
 }
 
 AccessOutcome
@@ -389,9 +411,55 @@ MemorySystem::accessImpl(NodeId core, RefType type, Addr paddr, Tick now)
         out.stall += queued;
         nd.stats.mcQueueCycles += queued;
     }
+    if (ISIM_OBS_ACTIVE(tracer_))
+        traceDirectoryMiss(core, node, home, dr.peer, type, out, line, now);
     if (config_.prefetchDegree > 0)
         issuePrefetches(node, line);
     return out;
+}
+
+void
+MemorySystem::traceDirectoryMiss(NodeId core, NodeId node, NodeId home,
+                                 NodeId peer, RefType type,
+                                 const AccessOutcome &out, Addr line_addr,
+                                 Tick now)
+{
+    const Addr addr = line_addr << lineBits_;
+    const auto cls = static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(out.cls) |
+        (out.fromRemoteRac ? obs::clsRacHit : 0));
+    tracer_->span(type == RefType::Store ? obs::EventKind::DirWrite
+                                         : obs::EventKind::DirRead,
+                  now, out.stall, static_cast<std::uint16_t>(core), cls,
+                  static_cast<std::uint32_t>(home), addr);
+
+    // Reconstruct the logical interconnect legs of the transaction.
+    // The Network model charges latency without per-message queues, so
+    // the hop events are synthesized here: request to home, optional
+    // probe to the former owner, data back to the requester, with the
+    // timestamps spread across the charged stall.
+    constexpr unsigned ctrlBytes = 16; //!< header-only message
+    constexpr unsigned dataBytes = 80; //!< header + 64B line
+    struct Leg { NodeId src, dst; unsigned bytes; };
+    Leg legs[3];
+    unsigned nlegs = 0;
+    const bool probed = peer != invalidNode && peer != node;
+    if (home != node)
+        legs[nlegs++] = {node, home, ctrlBytes};
+    if (probed) {
+        legs[nlegs++] = {home, peer, ctrlBytes};
+        legs[nlegs++] = {peer, node, dataBytes};
+    } else if (home != node) {
+        legs[nlegs++] = {home, node, dataBytes};
+    }
+    for (unsigned i = 0; i < nlegs; ++i) {
+        const Tick depart = now + (out.stall * i) / nlegs;
+        const Tick arrive = now + (out.stall * (i + 1)) / nlegs;
+        tracer_->nocHop(obs::EventKind::NocEnqueue, depart, legs[i].src,
+                        legs[i].dst, legs[i].bytes, addr);
+        tracer_->nocHop(obs::EventKind::NocDequeue, arrive, legs[i].src,
+                        legs[i].dst, legs[i].bytes, addr);
+    }
 }
 
 Cycles
@@ -540,6 +608,7 @@ MemorySystem::dirRead(NodeId node, Addr line_addr)
         break;
       case LineState::Modified: { // owned by someone
         isim_assert(e.owner != node, "read miss while owning the line");
+        r.peer = e.owner;
         const ProbeResult probe = downgradeNode(e.owner, line_addr);
         // If the owner's copy was dirty it is written back to home as
         // part of the downgrade; either way memory is valid now.
@@ -593,6 +662,7 @@ MemorySystem::dirWrite(NodeId node, Addr line_addr)
       }
       case LineState::Modified: { // owned by someone
         isim_assert(e.owner != node, "store miss while owning the line");
+        r.peer = e.owner;
         const ProbeResult probe = invalidateNode(e.owner, line_addr);
         ++s.invalidationsSent;
         ++s.storesCausingInval;

@@ -29,6 +29,10 @@
 
 namespace isim {
 
+namespace obs {
+class Tracer;
+}
+
 /** Kind of memory reference issued by a CPU. */
 enum class RefType : std::uint8_t { IFetch, Load, Store };
 
@@ -260,6 +264,15 @@ class MemorySystem
                                         MissClass cls)>;
     void setMissHook(MissHook hook) { missHook_ = std::move(hook); }
 
+    /**
+     * Attach the observability tracer (nullptr detaches). Tracing
+     * never alters protocol state or charged latencies; with no
+     * tracer (or a disabled one) the hot path pays one predictable
+     * branch per access.
+     */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+    obs::Tracer *tracer() const { return tracer_; }
+
   private:
     struct Node
     {
@@ -278,6 +291,8 @@ class MemorySystem
         MissClass cls = MissClass::Local;
         bool fromRemoteRac = false;
         LineState grant = LineState::Shared; //!< state granted on fill
+        /** Former owner probed during the transaction (tracing). */
+        NodeId peer = invalidNode;
     };
 
     /** What a probe of a (former) owner found. */
@@ -344,6 +359,13 @@ class MemorySystem
     /** Queueing delay at the home MC for a miss arriving at `now`. */
     Cycles mcQueueDelay(NodeId home, Tick now);
 
+    /** Emit directory + NoC trace events for a directory-path miss. */
+    void traceDirectoryMiss(NodeId core, NodeId node, NodeId home,
+                            NodeId peer, RefType type,
+                            const AccessOutcome &out, Addr line_addr,
+                            Tick now);
+
+    obs::Tracer *tracer_ = nullptr;
     MissHook missHook_;
     ProtocolMutation mutation_ = ProtocolMutation::None;
     std::uint64_t transitionCount_ = 0;

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -410,6 +412,81 @@ machineToConfigText(const MachineConfig &cfg)
        << "\n";
     os << "workload.seed = " << cfg.workload.seed << "\n";
     return os.str();
+}
+
+namespace {
+
+/** `--flag=value` matcher: fills `value` when `arg` starts the flag. */
+bool
+flagValue(const char *arg, const char *flag, std::string &value)
+{
+    const std::size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=')
+        return false;
+    value = arg + n + 1;
+    if (value.empty())
+        isim_fatal("%s needs a value", flag);
+    return true;
+}
+
+std::uint64_t
+parseUintFlag(const char *flag, const std::string &text)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        isim_fatal("%s: expected an integer, got '%s'", flag,
+                   text.c_str());
+    return v;
+}
+
+} // namespace
+
+const char *
+obsOptionsHelp()
+{
+    return "  --trace-out=FILE     write a Chrome trace_event JSON "
+           "trace (Perfetto)\n"
+           "  --trace-bin=FILE     write a binary capture for "
+           "tools/itrace\n"
+           "  --timeline-out=FILE  write the epoch timeline CSV\n"
+           "  --epoch=TICKS        sampler epoch in simulated ns "
+           "(default 1000000)\n"
+           "  --trace-ring=N       event-ring capacity in events "
+           "(default 262144)\n"
+           "  --trace-bar=N        figure bar to observe (default 0)\n";
+}
+
+obs::ObsConfig
+obsFromCommandLine(int &argc, char **argv)
+{
+    obs::ObsConfig cfg;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        char *arg = argv[i];
+        std::string v;
+        if (flagValue(arg, "--trace-out", v)) {
+            cfg.traceOutPath = v;
+        } else if (flagValue(arg, "--trace-bin", v)) {
+            cfg.traceBinPath = v;
+        } else if (flagValue(arg, "--timeline-out", v)) {
+            cfg.timelineOutPath = v;
+        } else if (flagValue(arg, "--epoch", v)) {
+            cfg.epochTicks = parseUintFlag("--epoch", v);
+            if (cfg.epochTicks == 0)
+                isim_fatal("--epoch must be positive");
+        } else if (flagValue(arg, "--trace-ring", v)) {
+            cfg.ringCapacity = parseUintFlag("--trace-ring", v);
+            if (cfg.ringCapacity == 0)
+                isim_fatal("--trace-ring must be positive");
+        } else if (flagValue(arg, "--trace-bar", v)) {
+            cfg.traceBar = parseUintFlag("--trace-bar", v);
+        } else {
+            argv[out++] = arg; // not ours: keep it
+        }
+    }
+    argc = out;
+    return cfg;
 }
 
 } // namespace isim

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/core/machine.hh"
+#include "src/obs/observability.hh"
 
 namespace isim {
 
@@ -73,6 +74,27 @@ MachineConfig machineFromConfig(const KvConfig &kv);
 
 /** Render a MachineConfig back to config text (round-trippable). */
 std::string machineToConfigText(const MachineConfig &config);
+
+/**
+ * Parse the observability flags every figure binary accepts out of
+ * argv, consuming the recognized ones (argc/argv are rewritten so
+ * remaining arguments keep their order):
+ *
+ *   --trace-out=FILE     write a Chrome trace_event JSON trace
+ *   --trace-bin=FILE     write a binary capture for tools/itrace
+ *   --timeline-out=FILE  write the epoch timeline CSV
+ *   --epoch=TICKS        sampler epoch in simulated ns
+ *   --trace-ring=N       event-ring capacity (events, power of two
+ *                        not required)
+ *   --trace-bar=N        which bar of the figure to observe
+ *
+ * fatal() on a malformed value. `--help`/`-h` prints usage (including
+ * obsOptionsHelp()) and exits.
+ */
+obs::ObsConfig obsFromCommandLine(int &argc, char **argv);
+
+/** One-per-line description of the observability flags. */
+const char *obsOptionsHelp();
 
 } // namespace isim
 

@@ -5,6 +5,7 @@
 
 #include "src/core/experiment.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "src/base/logging.hh"
@@ -40,14 +41,43 @@ ExperimentRunner::runOne(const MachineConfig &config) const
     return r;
 }
 
+RunResult
+ExperimentRunner::runObserved(const MachineConfig &config,
+                              obs::Observability &o) const
+{
+    MachineConfig cfg = config;
+    applyEnvOverrides(cfg.workload);
+    if (verbose_)
+        isim_inform("running %s (observed) ...", cfg.name.c_str());
+    Machine machine(cfg);
+    machine.attachObservability(&o);
+    RunResult r = machine.run();
+    if (!r.dbConsistent)
+        isim_warn("%s: TPC-B consistency check FAILED", cfg.name.c_str());
+    const std::string written = o.writeOutputs();
+    if (verbose_ && !written.empty())
+        isim_inform("%s: wrote %s", cfg.name.c_str(), written.c_str());
+    return r;
+}
+
 FigureResult
 ExperimentRunner::run(const FigureSpec &spec) const
 {
     FigureResult result;
     result.spec = spec;
     result.runs.reserve(spec.bars.size());
-    for (const FigureBar &bar : spec.bars)
-        result.runs.push_back(runOne(bar.config));
+    const std::size_t observed =
+        spec.bars.empty()
+            ? 0
+            : std::min(obsConfig_.traceBar, spec.bars.size() - 1);
+    for (std::size_t i = 0; i < spec.bars.size(); ++i) {
+        if (obsConfig_.any() && i == observed) {
+            obs::Observability o(obsConfig_);
+            result.runs.push_back(runObserved(spec.bars[i].config, o));
+        } else {
+            result.runs.push_back(runOne(spec.bars[i].config));
+        }
+    }
     return result;
 }
 

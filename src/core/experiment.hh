@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/core/machine.hh"
+#include "src/obs/observability.hh"
 
 namespace isim {
 
@@ -58,12 +59,27 @@ class ExperimentRunner
 
     FigureResult run(const FigureSpec &spec) const;
     RunResult runOne(const MachineConfig &config) const;
+    /** Run one configuration with an observability bundle attached. */
+    RunResult runObserved(const MachineConfig &config,
+                          obs::Observability &o) const;
+
+    /**
+     * Observe one bar of each figure run (default: none). The bar
+     * index is clamped to the figure's bar count; output files are
+     * written as soon as the observed bar finishes.
+     */
+    void setObsConfig(const obs::ObsConfig &config)
+    {
+        obsConfig_ = config;
+    }
+    const obs::ObsConfig &obsConfig() const { return obsConfig_; }
 
     /** Apply the environment overrides to a workload. */
     static void applyEnvOverrides(WorkloadParams &params);
 
   private:
     bool verbose_;
+    obs::ObsConfig obsConfig_;
 };
 
 } // namespace isim

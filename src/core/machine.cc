@@ -8,6 +8,7 @@
 #include "src/base/logging.hh"
 #include "src/core/simulation.hh"
 #include "src/cpu/inorder.hh"
+#include "src/obs/observability.hh"
 
 namespace isim {
 
@@ -81,6 +82,44 @@ Machine::resetStats()
     for (auto &core : cpus_)
         core->resetStats();
     memSys_->resetStats();
+    engine_->clearLatencyStats();
+    if (obs_ != nullptr)
+        obs_->onStatsReset();
+}
+
+void
+Machine::attachObservability(obs::Observability *o)
+{
+    obs_ = o;
+    obs::Tracer *tracer = o != nullptr ? &o->tracer() : nullptr;
+    memSys_->setTracer(tracer);
+    engine_->setTracer(tracer);
+    if (o == nullptr)
+        return;
+    o->setCounterSource([this] {
+        obs::CounterSnapshot s;
+        CpuStats cpu;
+        for (const auto &core : cpus_)
+            cpu += core->stats();
+        s.committedTxns = engine_->committedTransactions();
+        s.instructions = cpu.instructions;
+        s.busy = cpu.busy;
+        s.idle = cpu.idle;
+        s.kernelTime = cpu.kernelTime;
+        const NodeProtocolStats m = memSys_->aggregateStats();
+        s.missInstrLocal = m.instrLocal;
+        s.missInstrRemote = m.instrRemote;
+        s.missDataLocal = m.dataLocal;
+        s.missDataRemoteClean = m.dataRemoteClean;
+        s.missDataRemoteDirty = m.dataRemoteDirty;
+        s.latchAcquires = engine_->latches().acquires();
+        s.latchContended = engine_->latches().contended();
+        const obs::Tracer &t = obs_->tracer();
+        s.ctxSwitches = t.count(obs::EventKind::CtxSwitch);
+        s.nocMsgs = t.count(obs::EventKind::NocEnqueue);
+        s.nocBytes = t.nocBytes();
+        return s;
+    });
 }
 
 RunResult
@@ -95,6 +134,11 @@ Machine::snapshot() const
         r.rac = memSys_->aggregateRacCounters();
     r.transactions = engine_->committedTransactions();
     r.dbConsistent = engine_->db().checkConsistency();
+    const Histogram &lat = engine_->txnLatency();
+    r.txnLatMeanUs = lat.mean();
+    r.txnLatP50Us = lat.quantile(0.50);
+    r.txnLatP95Us = lat.quantile(0.95);
+    r.txnLatP99Us = lat.quantile(0.99);
     return r;
 }
 
@@ -104,14 +148,19 @@ Machine::run(TraceWriter *trace)
     SimOptions opts;
     opts.quantum = config_.workload.quantum;
     opts.trace = trace;
+    opts.obs = obs_;
     Simulation sim(*sched_, *kernel_, *engine_, cpus_, opts);
 
+    if (obs_ != nullptr)
+        obs_->beginRun(0);
     sim.runUntilWarmupDone();
     const Tick warm_end = sim.wallTime();
     resetStats();
     const std::uint64_t warm_txns = engine_->committedTransactions();
 
     sim.runUntilMeasurementDone();
+    if (obs_ != nullptr)
+        obs_->endRun(sim.wallTime());
 
     RunResult r = snapshot();
     r.transactions = engine_->committedTransactions() - warm_txns;

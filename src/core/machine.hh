@@ -26,6 +26,10 @@ namespace isim {
 
 class TraceWriter;
 
+namespace obs {
+class Observability;
+}
+
 /** Full configuration of one simulated machine + workload. */
 struct MachineConfig
 {
@@ -82,6 +86,12 @@ struct RunResult
     Tick wallTime = 0; //!< elapsed simulated time of the window
     bool dbConsistent = false;
 
+    // Transaction commit latency over the window (microseconds).
+    double txnLatMeanUs = 0.0;
+    std::uint64_t txnLatP50Us = 0;
+    std::uint64_t txnLatP95Us = 0;
+    std::uint64_t txnLatP99Us = 0;
+
     /** The figures' y-axis: total non-idle execution time. */
     Tick execTime() const { return cpu.nonIdle(); }
     double tps() const
@@ -121,6 +131,14 @@ class Machine
     /** Collect current aggregated statistics. */
     RunResult snapshot() const;
 
+    /**
+     * Attach (or with nullptr, detach) an observability bundle: wires
+     * the tracer into the memory system and the engine and installs
+     * the counter source the timeline sampler snapshots. The bundle
+     * must outlive the machine's run() calls.
+     */
+    void attachObservability(obs::Observability *o);
+
   private:
     MachineConfig config_;
     std::unique_ptr<VirtualMemory> vm_;
@@ -129,6 +147,7 @@ class Machine
     std::unique_ptr<Scheduler> sched_;
     std::unique_ptr<MemorySystem> memSys_;
     std::vector<std::unique_ptr<CpuCore>> cpus_;
+    obs::Observability *obs_ = nullptr;
 };
 
 } // namespace isim

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/base/json.hh"
 #include "src/base/logging.hh"
 
 namespace isim {
@@ -78,8 +79,9 @@ missTable(const FigureResult &result)
 Table
 detailTable(const FigureResult &result)
 {
-    Table t({"Config", "Instr(M)", "Miss/1kI", "TPS", "Kernel%",
-             "Busy%", "Inval/Store%", "RACHit%", "Consist"});
+    Table t({"Config", "Instr(M)", "Miss/1kI", "TPS", "Lat-p50us",
+             "Lat-p95us", "Lat-p99us", "Kernel%", "Busy%",
+             "Inval/Store%", "RACHit%", "Consist"});
     for (const RunResult &r : result.runs) {
         const double instr_m =
             static_cast<double>(r.cpu.instructions) / 1e6;
@@ -100,6 +102,9 @@ detailTable(const FigureResult &result)
             .num(instr_m)
             .num(mpki, 2)
             .num(r.tps(), 0)
+            .num(static_cast<double>(r.txnLatP50Us), 0)
+            .num(static_cast<double>(r.txnLatP95Us), 0)
+            .num(static_cast<double>(r.txnLatP99Us), 0)
             .num(100.0 * r.cpu.kernelFraction())
             .num(100.0 * r.cpu.busyFraction())
             .num(inval_rate, 2)
@@ -124,29 +129,6 @@ printFigureReport(std::ostream &os, const FigureResult &result)
     os << "\n";
 }
 
-namespace {
-
-void
-jsonKv(std::ostream &os, const char *key, double value, bool comma = true)
-{
-    os << "\"" << key << "\": " << formatNum(value, 4)
-       << (comma ? ", " : "");
-}
-
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    for (const char c : text) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
-
-} // namespace
-
 std::string
 figureToJson(const FigureResult &result)
 {
@@ -157,44 +139,49 @@ figureToJson(const FigureResult &result)
         result.runs[spec.normalizeTo].misses.totalL2Misses());
 
     std::ostringstream os;
-    os << "{\n  \"id\": \"" << jsonEscape(spec.id) << "\",\n";
-    os << "  \"title\": \"" << jsonEscape(spec.title) << "\",\n";
-    os << "  \"bars\": [\n";
+    JsonWriter w(os, /*pretty_depth=*/2);
+    w.beginObject();
+    w.kv("id", spec.id);
+    w.kv("title", spec.title);
+    w.key("bars").beginArray();
     for (std::size_t i = 0; i < result.runs.size(); ++i) {
         const RunResult &r = result.runs[i];
-        os << "    {\"name\": \"" << jsonEscape(r.name) << "\", ";
-        jsonKv(os, "exec_norm",
-               norm(static_cast<double>(r.execTime()), ref));
-        jsonKv(os, "exec_cycles", static_cast<double>(r.execTime()));
-        jsonKv(os, "busy", static_cast<double>(r.cpu.busy));
-        jsonKv(os, "l2hit_stall",
-               static_cast<double>(r.cpu.l2HitStall));
-        jsonKv(os, "local_stall",
-               static_cast<double>(r.cpu.localStall));
-        jsonKv(os, "remote_stall",
-               static_cast<double>(r.cpu.remStall()));
-        jsonKv(os, "misses_norm",
-               norm(static_cast<double>(r.misses.totalL2Misses()),
-                    ref_miss));
-        jsonKv(os, "miss_instr_local",
-               static_cast<double>(r.misses.instrLocal));
-        jsonKv(os, "miss_instr_remote",
-               static_cast<double>(r.misses.instrRemote));
-        jsonKv(os, "miss_data_local",
-               static_cast<double>(r.misses.dataLocal));
-        jsonKv(os, "miss_data_2hop",
-               static_cast<double>(r.misses.dataRemoteClean));
-        jsonKv(os, "miss_data_3hop",
-               static_cast<double>(r.misses.dataRemoteDirty));
-        jsonKv(os, "tps", r.tps());
+        w.beginObject();
+        w.kv("name", r.name);
+        w.kv("exec_norm", norm(static_cast<double>(r.execTime()), ref));
+        w.kv("exec_cycles", static_cast<double>(r.execTime()));
+        w.kv("busy", static_cast<double>(r.cpu.busy));
+        w.kv("l2hit_stall", static_cast<double>(r.cpu.l2HitStall));
+        w.kv("local_stall", static_cast<double>(r.cpu.localStall));
+        w.kv("remote_stall", static_cast<double>(r.cpu.remStall()));
+        w.kv("misses_norm",
+             norm(static_cast<double>(r.misses.totalL2Misses()),
+                  ref_miss));
+        w.kv("miss_instr_local",
+             static_cast<double>(r.misses.instrLocal));
+        w.kv("miss_instr_remote",
+             static_cast<double>(r.misses.instrRemote));
+        w.kv("miss_data_local",
+             static_cast<double>(r.misses.dataLocal));
+        w.kv("miss_data_2hop",
+             static_cast<double>(r.misses.dataRemoteClean));
+        w.kv("miss_data_3hop",
+             static_cast<double>(r.misses.dataRemoteDirty));
+        w.kv("tps", r.tps());
+        w.kv("txn_lat_mean_us", r.txnLatMeanUs);
+        w.kv("txn_lat_p50_us", r.txnLatP50Us);
+        w.kv("txn_lat_p95_us", r.txnLatP95Us);
+        w.kv("txn_lat_p99_us", r.txnLatP99Us);
         if (spec.bars[i].paperExecTime)
-            jsonKv(os, "paper_exec", *spec.bars[i].paperExecTime);
+            w.kv("paper_exec", *spec.bars[i].paperExecTime);
         if (spec.bars[i].paperMisses)
-            jsonKv(os, "paper_misses", *spec.bars[i].paperMisses);
-        jsonKv(os, "consistent", r.dbConsistent ? 1 : 0, false);
-        os << "}" << (i + 1 < result.runs.size() ? "," : "") << "\n";
+            w.kv("paper_misses", *spec.bars[i].paperMisses);
+        w.kv("consistent", r.dbConsistent ? 1 : 0);
+        w.endObject();
     }
-    os << "  ]\n}\n";
+    w.endArray();
+    w.endObject();
+    os << "\n";
     return os.str();
 }
 

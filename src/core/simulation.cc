@@ -7,6 +7,7 @@
 
 #include "src/base/logging.hh"
 #include "src/coherence/protocol.hh"
+#include "src/obs/observability.hh"
 #include "src/trace/trace_io.hh"
 
 namespace isim {
@@ -18,6 +19,8 @@ Simulation::Simulation(Scheduler &sched, KernelModel &kernel,
     : sched_(sched), kernel_(kernel), engine_(engine), cpus_(cpus),
       options_(options), state_(cpus.size())
 {
+    if (options_.obs != nullptr)
+        tracer_ = &options_.obs->tracer();
 }
 
 Tick
@@ -58,6 +61,11 @@ Simulation::stepCpu(NodeId cpu)
     CpuState &cs = state_[cpu];
     CpuCore &core = *cpus_[cpu];
 
+    // Keep the tracer's clock current so emitters without their own
+    // timestamps (latches, transaction phases) stamp events correctly.
+    if (ISIM_OBS_ACTIVE(tracer_))
+        tracer_->setClock(cpu, cs.now);
+
     // Pending kernel path (context switch) runs before anything else.
     if (!cs.injected.empty()) {
         const MemRef ref = cs.injected.front();
@@ -74,6 +82,11 @@ Simulation::stepCpu(NodeId cpu)
         if (next != nullptr) {
             kernel_.contextSwitch(cpu, cs.injected);
             cs.quantumStart = cs.now;
+            if (ISIM_OBS_ACTIVE(tracer_)) {
+                tracer_->instant(obs::EventKind::CtxSwitch, cs.now,
+                                 static_cast<std::uint16_t>(cpu), 0,
+                                 static_cast<std::uint32_t>(next->pid()));
+            }
             return;
         }
         // Idle until the next timed wake.
@@ -145,6 +158,8 @@ Simulation::runUntil(bool (OltpEngine::*done)() const)
                 isim_panic("simulation deadlock: all CPUs event-stalled");
             break;
         }
+        if (options_.obs != nullptr && best_time != maxTick)
+            options_.obs->advance(best_time);
         stepCpu(best);
         ++steps_;
         if (options_.maxSteps != 0 && steps_ > options_.maxSteps)

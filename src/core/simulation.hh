@@ -24,6 +24,10 @@ namespace isim {
 
 class TraceWriter;
 
+namespace obs {
+class Observability;
+}
+
 /** Options of a simulation run. */
 struct SimOptions
 {
@@ -32,6 +36,8 @@ struct SimOptions
     TraceWriter *trace = nullptr;
     /** Hard step limit as a runaway backstop (0 = none). */
     std::uint64_t maxSteps = 0;
+    /** Observability bundle the loop drives (may be nullptr). */
+    obs::Observability *obs = nullptr;
 };
 
 /** The loop itself. */
@@ -83,6 +89,7 @@ class Simulation
     OltpEngine &engine_;
     std::vector<std::unique_ptr<CpuCore>> &cpus_;
     SimOptions options_;
+    obs::Tracer *tracer_ = nullptr; //!< from options_.obs, may be null
     std::vector<CpuState> state_;
     std::uint64_t steps_ = 0;
 };

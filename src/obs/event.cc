@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Event-kind names and categories.
+ */
+
+#include "src/obs/event.hh"
+
+namespace isim::obs {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::MissIssued:
+        return "MissIssued";
+      case EventKind::MissCompleted:
+        return "MissCompleted";
+      case EventKind::DirRead:
+        return "DirRead";
+      case EventKind::DirWrite:
+        return "DirWrite";
+      case EventKind::DirUpgrade:
+        return "DirUpgrade";
+      case EventKind::NocEnqueue:
+        return "NocEnqueue";
+      case EventKind::NocDequeue:
+        return "NocDequeue";
+      case EventKind::LatchAcquire:
+        return "LatchAcquire";
+      case EventKind::LatchContend:
+        return "LatchContend";
+      case EventKind::LatchRelease:
+        return "LatchRelease";
+      case EventKind::TxnBegin:
+        return "TxnBegin";
+      case EventKind::TxnCommit:
+        return "TxnCommit";
+      case EventKind::CtxSwitch:
+        return "CtxSwitch";
+    }
+    return "?";
+}
+
+const char *
+eventKindCategory(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::MissIssued:
+      case EventKind::MissCompleted:
+        return "mem";
+      case EventKind::DirRead:
+      case EventKind::DirWrite:
+      case EventKind::DirUpgrade:
+        return "dir";
+      case EventKind::NocEnqueue:
+      case EventKind::NocDequeue:
+        return "noc";
+      case EventKind::LatchAcquire:
+      case EventKind::LatchContend:
+      case EventKind::LatchRelease:
+        return "latch";
+      case EventKind::TxnBegin:
+      case EventKind::TxnCommit:
+        return "txn";
+      case EventKind::CtxSwitch:
+        return "os";
+    }
+    return "?";
+}
+
+} // namespace isim::obs

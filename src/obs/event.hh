@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The observability event taxonomy: one compact POD record per
+ * simulator event. Events are written into a bounded ring
+ * (obs/ring.hh) by the Tracer (obs/tracer.hh) and exported to Chrome
+ * trace_event JSON / CSV / binary captures (obs/export.hh).
+ *
+ * The record is a fixed 32 bytes so captures are cheap to write and
+ * memory-map friendly; meaning of the generic fields per kind:
+ *
+ *   kind          tick        dur        cpu        arg        addr
+ *   MissIssued    issue time  0          core       home node  line addr
+ *   MissCompleted issue time  stall      core       home node  line addr
+ *   DirRead/Write issue time  stall      core       home node  line addr
+ *   DirUpgrade    issue time  stall      core       home node  line addr
+ *   NocEnqueue    send time   0          src node   dst node   line addr
+ *   NocDequeue    recv time   0          src node   dst node   line addr
+ *   LatchAcquire  emit time   0          cpu        latch id   latch addr
+ *   LatchContend  emit time   0          cpu        latch id   latch addr
+ *   LatchRelease  emit time   0          cpu        latch id   latch addr
+ *   TxnBegin      begin time  0          cpu        pid        0
+ *   TxnCommit     begin time  latency    cpu        pid        0
+ *   CtxSwitch     switch time 0          cpu        next pid   0
+ *
+ * The `cls` byte carries the MissClass (low nibble) plus flag bits
+ * for memory events, payload bytes for NoC events, and is unused
+ * elsewhere.
+ */
+
+#ifndef ISIM_OBS_EVENT_HH
+#define ISIM_OBS_EVENT_HH
+
+#include <cstdint>
+#include <type_traits>
+
+#include "src/base/types.hh"
+
+namespace isim::obs {
+
+/** Every event type the tracer can record. */
+enum class EventKind : std::uint8_t {
+    MissIssued = 0, //!< an L2 miss left the node
+    MissCompleted,  //!< any non-L1-hit access finished (span)
+    DirRead,        //!< directory read transaction (span)
+    DirWrite,       //!< directory write/ownership transaction (span)
+    DirUpgrade,     //!< ownership-only upgrade transaction (span)
+    NocEnqueue,     //!< message handed to the interconnect
+    NocDequeue,     //!< message delivered by the interconnect
+    LatchAcquire,   //!< latch acquired, previously free / same node
+    LatchContend,   //!< latch acquired after another node held it
+    LatchRelease,   //!< latch released
+    TxnBegin,       //!< transaction started on a server
+    TxnCommit,      //!< transaction committed (span = latency)
+    CtxSwitch,      //!< scheduler dispatched a new process
+};
+
+inline constexpr unsigned numEventKinds = 13;
+
+const char *eventKindName(EventKind kind);
+
+/** Coarse subsystem of an event kind ("mem", "dir", "noc", ...). */
+const char *eventKindCategory(EventKind kind);
+
+// `cls` flag bits for MissCompleted / Dir* events. The low nibble is
+// the MissClass enumerator value (protocol.hh).
+inline constexpr std::uint8_t clsClassMask = 0x0f;
+inline constexpr std::uint8_t clsUpgrade = 0x80; //!< ownership-only
+inline constexpr std::uint8_t clsRacHit = 0x40;  //!< served by the RAC
+
+/** One recorded event; see the file comment for field meanings. */
+struct TraceEvent
+{
+    Tick tick = 0;          //!< start time (ns)
+    Tick dur = 0;           //!< duration (0 = instant event)
+    Addr addr = 0;          //!< line / latch address, or 0
+    std::uint32_t arg = 0;  //!< kind-specific (node, pid, latch id)
+    std::uint16_t cpu = 0;  //!< emitting core / source node
+    EventKind kind = EventKind::MissIssued;
+    std::uint8_t cls = 0;   //!< class + flags, or NoC message bytes
+};
+
+static_assert(sizeof(TraceEvent) == 32, "TraceEvent must stay packed");
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent is written raw into captures");
+
+} // namespace isim::obs
+
+#endif // ISIM_OBS_EVENT_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Observability bundle implementation.
+ */
+
+#include "src/obs/observability.hh"
+
+#include <fstream>
+#include <utility>
+
+#include "src/base/logging.hh"
+#include "src/obs/export.hh"
+
+namespace isim::obs {
+
+Observability::Observability(const ObsConfig &config)
+    : config_(config), tracer_(config.ringCapacity)
+{
+}
+
+void
+Observability::setCounterSource(TimelineSampler::Source source)
+{
+    if (config_.wantsTimeline()) {
+        sampler_ = std::make_unique<TimelineSampler>(
+            config_.epochTicks, std::move(source));
+    }
+}
+
+void
+Observability::beginRun(Tick now)
+{
+    tracer_.setEnabled(true);
+    if (sampler_)
+        sampler_->start(now);
+}
+
+void
+Observability::onStatsReset()
+{
+    if (sampler_)
+        sampler_->rebase();
+}
+
+void
+Observability::endRun(Tick now)
+{
+    if (sampler_)
+        sampler_->finish(now);
+    tracer_.setEnabled(false);
+}
+
+namespace {
+
+void
+writeFileOrDie(const std::string &path, const std::string &what,
+               const std::function<void(std::ostream &)> &emit)
+{
+    std::ofstream out(path);
+    if (!out)
+        isim_fatal("cannot open %s file '%s'", what.c_str(),
+                   path.c_str());
+    emit(out);
+    if (!out)
+        isim_fatal("write to %s file '%s' failed", what.c_str(),
+                   path.c_str());
+}
+
+} // namespace
+
+std::string
+Observability::writeOutputs() const
+{
+    std::string written;
+    auto note = [&](const std::string &path) {
+        if (!written.empty())
+            written += ", ";
+        written += path;
+    };
+#ifndef ISIM_OBS
+    if (config_.wantsEvents())
+        isim_warn("built with ISIM_OBS=OFF: event trace will be empty");
+#endif
+    if (!config_.traceOutPath.empty()) {
+        writeFileOrDie(config_.traceOutPath, "trace",
+                       [&](std::ostream &os) {
+                           writeChromeTrace(os, tracer_);
+                       });
+        note(config_.traceOutPath);
+    }
+    if (!config_.traceBinPath.empty()) {
+        writeCapture(config_.traceBinPath, tracer_);
+        note(config_.traceBinPath);
+    }
+    if (!config_.timelineOutPath.empty() && sampler_ != nullptr) {
+        writeFileOrDie(config_.timelineOutPath, "timeline",
+                       [&](std::ostream &os) {
+                           writeTimelineCsv(os, *sampler_);
+                       });
+        note(config_.timelineOutPath);
+    }
+    return written;
+}
+
+} // namespace isim::obs

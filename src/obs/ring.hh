@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bounded event ring: a fixed-capacity buffer of TraceEvents that
+ * overwrites its oldest entries when full, so a capture always holds
+ * the *latest* window of activity regardless of run length. Capacity
+ * accounting (pushed / dropped) is exact, so exporters can report how
+ * much history was lost.
+ */
+
+#ifndef ISIM_OBS_RING_HH
+#define ISIM_OBS_RING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/logging.hh"
+#include "src/obs/event.hh"
+
+namespace isim::obs {
+
+/** Overwrite-on-full ring buffer of TraceEvents. */
+class EventRing
+{
+  public:
+    explicit EventRing(std::size_t capacity) : buf_(capacity)
+    {
+        isim_assert(capacity > 0, "event ring needs capacity");
+    }
+
+    void push(const TraceEvent &e)
+    {
+        buf_[head_] = e;
+        head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+        ++pushed_;
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+    /** Events currently retained. */
+    std::size_t size() const
+    {
+        return pushed_ < buf_.size()
+                   ? static_cast<std::size_t>(pushed_)
+                   : buf_.size();
+    }
+    /** Total events ever pushed. */
+    std::uint64_t pushed() const { return pushed_; }
+    /** Events lost to overwriting. */
+    std::uint64_t dropped() const { return pushed_ - size(); }
+
+    void clear()
+    {
+        head_ = 0;
+        pushed_ = 0;
+    }
+
+    /** Visit retained events oldest to newest. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        const std::size_t n = size();
+        // Oldest retained event: head_ when wrapped, 0 otherwise.
+        std::size_t i = pushed_ > buf_.size() ? head_ : 0;
+        for (std::size_t k = 0; k < n; ++k) {
+            fn(buf_[i]);
+            i = i + 1 == buf_.size() ? 0 : i + 1;
+        }
+    }
+
+  private:
+    std::vector<TraceEvent> buf_;
+    std::size_t head_ = 0; //!< next write position
+    std::uint64_t pushed_ = 0;
+};
+
+} // namespace isim::obs
+
+#endif // ISIM_OBS_RING_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Timeline sampler implementation.
+ */
+
+#include "src/obs/sampler.hh"
+
+#include <utility>
+
+#include "src/base/logging.hh"
+
+namespace isim::obs {
+
+namespace {
+
+std::uint64_t
+satSub(std::uint64_t a, std::uint64_t b)
+{
+    return a >= b ? a - b : a;
+}
+
+} // namespace
+
+CounterSnapshot
+CounterSnapshot::since(const CounterSnapshot &base) const
+{
+    CounterSnapshot d;
+    d.committedTxns = satSub(committedTxns, base.committedTxns);
+    d.instructions = satSub(instructions, base.instructions);
+    d.busy = satSub(busy, base.busy);
+    d.idle = satSub(idle, base.idle);
+    d.kernelTime = satSub(kernelTime, base.kernelTime);
+    d.missInstrLocal = satSub(missInstrLocal, base.missInstrLocal);
+    d.missInstrRemote = satSub(missInstrRemote, base.missInstrRemote);
+    d.missDataLocal = satSub(missDataLocal, base.missDataLocal);
+    d.missDataRemoteClean =
+        satSub(missDataRemoteClean, base.missDataRemoteClean);
+    d.missDataRemoteDirty =
+        satSub(missDataRemoteDirty, base.missDataRemoteDirty);
+    d.latchAcquires = satSub(latchAcquires, base.latchAcquires);
+    d.latchContended = satSub(latchContended, base.latchContended);
+    d.ctxSwitches = satSub(ctxSwitches, base.ctxSwitches);
+    d.nocMsgs = satSub(nocMsgs, base.nocMsgs);
+    d.nocBytes = satSub(nocBytes, base.nocBytes);
+    return d;
+}
+
+TimelineSampler::TimelineSampler(Tick epoch_ticks, Source source)
+    : epochTicks_(epoch_ticks), source_(std::move(source))
+{
+    isim_assert(epochTicks_ > 0, "epoch length must be positive");
+    isim_assert(source_ != nullptr, "sampler needs a counter source");
+}
+
+void
+TimelineSampler::start(Tick now)
+{
+    isim_assert(!started_, "sampler started twice");
+    started_ = true;
+    cur_ = now;
+    // First boundary: the next grid line strictly after `now`, so a
+    // start mid-grid yields a partial first epoch.
+    next_ = (now / epochTicks_ + 1) * epochTicks_;
+    prev_ = source_();
+}
+
+void
+TimelineSampler::emitRow(Tick end)
+{
+    const CounterSnapshot cur = source_();
+    EpochRow row;
+    row.epoch = cur_ / epochTicks_;
+    row.start = cur_;
+    row.end = end;
+    row.delta = cur.since(prev_);
+    rows_.push_back(row);
+    prev_ = cur;
+    cur_ = end;
+}
+
+void
+TimelineSampler::advance(Tick now)
+{
+    if (!started_ || finished_)
+        return;
+    while (now >= next_) {
+        emitRow(next_);
+        next_ += epochTicks_;
+    }
+}
+
+void
+TimelineSampler::finish(Tick now)
+{
+    if (!started_ || finished_)
+        return;
+    advance(now);
+    if (now > cur_)
+        emitRow(now); // trailing partial epoch
+    finished_ = true;
+}
+
+void
+TimelineSampler::rebase()
+{
+    if (started_ && !finished_)
+        prev_ = source_();
+}
+
+} // namespace isim::obs

@@ -15,6 +15,18 @@ LatchTable::emitAcquire(unsigned latch, VirtualMemory &vm, NodeId node,
     out.push_back(loadRef(paddr));
     out.push_back(storeRef(paddr, /*dep_dist=*/1));
     ++acquires_;
+    const NodeId prev = lastHolder_[latch];
+    const bool contended = prev != invalidNode && prev != node;
+    if (contended)
+        ++contended_;
+    lastHolder_[latch] = node;
+    if (ISIM_OBS_ACTIVE(tracer_)) {
+        tracer_->instant(contended ? obs::EventKind::LatchContend
+                                   : obs::EventKind::LatchAcquire,
+                         tracer_->now(),
+                         static_cast<std::uint16_t>(node), 0, latch,
+                         paddr);
+    }
 }
 
 void
@@ -23,6 +35,11 @@ LatchTable::emitRelease(unsigned latch, VirtualMemory &vm, NodeId node,
 {
     const Addr paddr = vm.translate(sga_.latchAddr(latch), node);
     out.push_back(storeRef(paddr));
+    if (ISIM_OBS_ACTIVE(tracer_)) {
+        tracer_->instant(obs::EventKind::LatchRelease, tracer_->now(),
+                         static_cast<std::uint16_t>(node), 0, latch,
+                         paddr);
+    }
 }
 
 } // namespace isim

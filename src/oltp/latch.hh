@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
+#include "src/obs/tracer.hh"
 #include "src/oltp/sga.hh"
 #include "src/os/vm.hh"
 #include "src/trace/record.hh"
@@ -24,7 +26,10 @@ namespace isim {
 class LatchTable
 {
   public:
-    explicit LatchTable(const Sga &sga) : sga_(sga) {}
+    explicit LatchTable(const Sga &sga)
+        : sga_(sga), lastHolder_(sga.numLatches(), invalidNode)
+    {
+    }
 
     /** Test-and-set: a load followed by a dependent store. */
     void emitAcquire(unsigned latch, VirtualMemory &vm, NodeId node,
@@ -35,10 +40,18 @@ class LatchTable
                      std::deque<MemRef> &out);
 
     std::uint64_t acquires() const { return acquires_; }
+    /** Acquires whose previous holder was another node. */
+    std::uint64_t contended() const { return contended_; }
+
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
   private:
     const Sga &sga_;
+    obs::Tracer *tracer_ = nullptr;
+    /** Node that last acquired each latch (contention detection). */
+    std::vector<NodeId> lastHolder_;
     std::uint64_t acquires_ = 0;
+    std::uint64_t contended_ = 0;
 };
 
 } // namespace isim

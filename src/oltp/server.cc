@@ -256,6 +256,12 @@ ServerProcess::step(Tick now)
     switch (phase_) {
       case Phase::ReadRequest:
         txnStart_ = now;
+        if (obs::Tracer *tr = engine_.tracer();
+            ISIM_OBS_ACTIVE(tr)) {
+            tr->instant(obs::EventKind::TxnBegin, now,
+                        static_cast<std::uint16_t>(cpu()), 0,
+                        static_cast<std::uint32_t>(pid()));
+        }
         emitReadRequest();
         phase_ = Phase::Parse;
         return popPending();
@@ -282,6 +288,13 @@ ServerProcess::step(Tick now)
       case Phase::Respond:
         ++txns_;
         engine_.noteCommit(now - txnStart_);
+        if (obs::Tracer *tr = engine_.tracer();
+            ISIM_OBS_ACTIVE(tr)) {
+            tr->span(obs::EventKind::TxnCommit, txnStart_,
+                     now - txnStart_,
+                     static_cast<std::uint16_t>(cpu()), 0,
+                     static_cast<std::uint32_t>(pid()));
+        }
         emitRespond();
         phase_ = Phase::Think;
         return popPending();

@@ -85,6 +85,16 @@ class OltpEngine
     const CodeModel &dbCode() const { return dbCode_; }
 
     const Histogram &txnLatency() const { return txnLatency_; }
+    /** Drop latency samples gathered so far (warm-up boundary). */
+    void clearLatencyStats() { txnLatency_.clear(); }
+
+    // ---- Observability ----
+    void setTracer(obs::Tracer *tracer)
+    {
+        tracer_ = tracer;
+        latches_.setTracer(tracer);
+    }
+    obs::Tracer *tracer() const { return tracer_; }
 
   private:
     WorkloadParams params_;
@@ -99,6 +109,7 @@ class OltpEngine
     RedoLog redo_;
     CodeModel dbCode_;
 
+    obs::Tracer *tracer_ = nullptr;
     Scheduler *sched_ = nullptr;
     std::vector<Process *> commitWaiters_;
     Process *sleepingLogWriter_ = nullptr;

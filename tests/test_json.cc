@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the shared JSON writer and the syntax validator
+ * (src/base/json.hh): escaping, layout at the pretty/inline boundary,
+ * and acceptance/rejection of well/ill-formed documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/base/json.hh"
+
+namespace isim {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("hello_world-123"), "hello_world-123");
+}
+
+TEST(JsonEscape, EscapesSpecials)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(jsonEscape(std::string("x\x01y")), "x\\u0001y");
+}
+
+TEST(JsonWriter, LayoutAtPrettyBoundary)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty_depth=*/2);
+    w.beginObject();
+    w.key("id").value("Fig");
+    w.key("n").value(3);
+    w.key("arr").beginArray();
+    w.beginObject();
+    w.key("a").value(1.5, 2);
+    w.key("b").value(true);
+    w.endObject();
+    w.beginObject();
+    w.key("c").value(std::string("x\"y"));
+    w.endObject();
+    w.endArray();
+    w.endObject();
+
+    const std::string expect = "{\n"
+                               "  \"id\": \"Fig\",\n"
+                               "  \"n\": 3,\n"
+                               "  \"arr\": [\n"
+                               "    {\"a\": 1.50, \"b\": true},\n"
+                               "    {\"c\": \"x\\\"y\"}\n"
+                               "  ]\n"
+                               "}";
+    EXPECT_EQ(os.str(), expect);
+
+    std::string err;
+    EXPECT_TRUE(jsonValidate(os.str(), &err)) << err;
+}
+
+TEST(JsonWriter, DoublePrecisionDefaultsToFour)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("x", 100.0);
+    w.kv("y", 0.123456, 3);
+    w.endObject();
+    EXPECT_NE(os.str().find("\"x\": 100.0000"), std::string::npos);
+    EXPECT_NE(os.str().find("\"y\": 0.123"), std::string::npos);
+}
+
+TEST(JsonWriter, EmptyContainers)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("o").beginObject().endObject();
+    w.key("a").beginArray().endArray();
+    w.endObject();
+    std::string err;
+    EXPECT_TRUE(jsonValidate(os.str(), &err)) << err;
+}
+
+TEST(JsonValidate, AcceptsWellFormed)
+{
+    for (const char *doc : {
+             "{}",
+             "[]",
+             "null",
+             "true",
+             "-1.5e+3",
+             "\"\\u00ff\"",
+             "  {\"a\": [1, 2, {\"b\": null}], \"c\": \"x\"} ",
+         }) {
+        std::string err;
+        EXPECT_TRUE(jsonValidate(doc, &err)) << doc << ": " << err;
+    }
+}
+
+TEST(JsonValidate, RejectsMalformed)
+{
+    for (const char *doc : {
+             "",
+             "{",
+             "[1, 2",
+             "{\"a\":}",
+             "{\"a\": 1,}",
+             "{\"a\" 1}",
+             "\"unterminated",
+             "\"bad\\q\"",
+             "nulll",
+             "{} {}",
+             "01x",
+         }) {
+        std::string err;
+        EXPECT_FALSE(jsonValidate(doc, &err)) << doc;
+        EXPECT_FALSE(err.empty()) << doc;
+    }
+}
+
+} // namespace
+} // namespace isim
