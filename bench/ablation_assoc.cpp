@@ -4,36 +4,13 @@
  * (extends the paper's 2M 1/2/4/8-way points to 16-way, uniprocessor
  * and 8 processors). Quantifies DESIGN.md's claim that OLTP's
  * "capacity" misses in direct-mapped caches are substantially
- * conflict misses.
+ * conflict misses. Alias for `isim-fig run ablation-assoc`.
  */
-
-#include <iostream>
 
 #include "fig_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace isim;
-
-    const obs::ObsConfig obs_config =
-        benchmain::parseArgsOrExit(argc, argv);
-
-    for (unsigned cpus : {1u, figures::mpNodes}) {
-        FigureSpec spec;
-        spec.id = "Ablation A1";
-        spec.title =
-            "Associativity sweep, 2MB on-chip L2 - " +
-            std::string(cpus == 1 ? "uniprocessor" : "8 processors");
-        spec.multiprocessor = cpus > 1;
-        for (unsigned assoc : {1u, 2u, 4u, 8u, 16u}) {
-            FigureBar bar;
-            bar.config = figures::onchip(cpus, 2 * mib, assoc,
-                                         IntegrationLevel::L2Int);
-            spec.bars.push_back(bar);
-        }
-        spec.normalizeTo = 0;
-        benchmain::runAndPrint(spec, obs_config);
-    }
-    return 0;
+    return isim::benchmain::runRegistered("ablation-assoc", argc, argv);
 }

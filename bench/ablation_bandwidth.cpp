@@ -1,55 +1,15 @@
 /**
  * @file
- * Ablation: memory-controller bandwidth. The paper's latency table is
- * uncontended; Section 4 argues the integrated memory controller also
- * wins on *bandwidth* (direct Rambus pins used efficiently). This
- * ablation turns on a single-server occupancy model at each home
- * controller and sweeps the per-miss occupancy: the high-miss-rate
- * Base multiprocessor degrades quickly, the fully integrated design
- * (fewer, faster misses) much more slowly.
+ * Ablation: memory-controller bandwidth. Turns on a single-server
+ * occupancy model at each home controller and sweeps the per-miss
+ * occupancy (paper Section 4's bandwidth argument). Alias for
+ * `isim-fig run ablation-bandwidth`.
  */
-
-#include <iostream>
 
 #include "fig_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace isim;
-
-    const obs::ObsConfig obs_config =
-        benchmain::parseArgsOrExit(argc, argv);
-
-    FigureSpec spec;
-    spec.id = "Ablation A5";
-    spec.title = "Memory-controller occupancy sweep - 8 processors";
-    spec.multiprocessor = true;
-
-    for (const Cycles occ : {0u, 20u, 40u, 80u}) {
-        FigureBar base;
-        base.config = figures::baseMachine(8);
-        base.config.mcOccupancy = occ;
-        base.config.name = "Base mc" + std::to_string(occ);
-        spec.bars.push_back(base);
-
-        FigureBar full;
-        full.config =
-            figures::onchip(8, 2 * mib, 8, IntegrationLevel::FullInt);
-        full.config.mcOccupancy = occ;
-        full.config.name = "All mc" + std::to_string(occ);
-        spec.bars.push_back(full);
-    }
-    spec.normalizeTo = 0;
-
-    const int rc = benchmain::runAndPrint(spec, obs_config);
-    std::cout << "Reading: a fixed per-miss occupancy costs the "
-                 "integrated design relatively\nmore — its miss "
-                 "latencies are short, so queueing is a larger "
-                 "fraction of\nthem. Keeping the integration gap "
-                 "therefore *requires* the higher\ncontroller "
-                 "bandwidth that integration makes available "
-                 "(Section 4): the\nlatency win is only safe if the "
-                 "bandwidth win comes with it.\n";
-    return rc;
+    return isim::benchmain::runRegistered("ablation-bandwidth", argc, argv);
 }

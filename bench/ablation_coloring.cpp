@@ -1,52 +1,15 @@
 /**
  * @file
- * Ablation: OS page colouring vs the direct-mapped conflict story.
- * The paper's key cache finding — 8 MB direct-mapped caches keep ~1/3
- * of the 1 MB miss volume because random page placement makes hot
- * lines collide — presumes the OS cannot colour a 900 MB SGA. This
- * ablation asks: how much of the direct-mapped penalty would ideal
- * colouring claw back, and does it change the associativity story?
+ * Ablation: OS page colouring vs the direct-mapped conflict story —
+ * how much of the direct-mapped penalty would ideal colouring claw
+ * back, and does it change the associativity story? Alias for
+ * `isim-fig run ablation-coloring`.
  */
-
-#include <iostream>
 
 #include "fig_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace isim;
-
-    const obs::ObsConfig obs_config =
-        benchmain::parseArgsOrExit(argc, argv);
-
-    FigureSpec spec;
-    spec.id = "Ablation A3";
-    spec.title = "Page colouring vs direct-mapped conflicts - "
-                 "uniprocessor";
-    spec.multiprocessor = false;
-
-    for (const bool colored : {false, true}) {
-        for (const auto &[size, assoc] :
-             std::vector<std::pair<std::uint64_t, unsigned>>{
-                 {1 * mib, 1u}, {8 * mib, 1u}, {2 * mib, 4u}}) {
-            FigureBar bar;
-            bar.config = figures::offchip(1, size, assoc);
-            if (colored) {
-                // One colour per page slot of the largest cache.
-                bar.config.pageColors = 1024; // 8MB / 8KB pages
-                bar.config.name += " colored";
-            }
-            spec.bars.push_back(bar);
-        }
-    }
-    spec.normalizeTo = 0;
-
-    const int rc = benchmain::runAndPrint(spec, obs_config);
-    std::cout << "Reading: colouring tiles the hot footprint across "
-                 "cache sets, recovering much\nof the direct-mapped "
-                 "conflict volume — but OLTP's hot lines come from "
-                 "many\nindependent regions, so collisions within a "
-                 "colour remain and associativity\nstill wins.\n";
-    return rc;
+    return isim::benchmain::runRegistered("ablation-coloring", argc, argv);
 }

@@ -3,44 +3,14 @@
  * Ablation: L2 victim buffers vs associativity. The 21364 block
  * diagram (paper Figure 1) includes L2 victim buffers; this asks how
  * far a small fully associative victim FIFO goes toward the same
- * conflict-miss relief that set associativity provides — i.e. whether
- * a direct-mapped L2 with victim buffers could have rescued the
- * off-chip Base design.
+ * conflict-miss relief that set associativity provides. Alias for
+ * `isim-fig run ablation-victim`.
  */
-
-#include <iostream>
 
 #include "fig_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace isim;
-
-    const obs::ObsConfig obs_config =
-        benchmain::parseArgsOrExit(argc, argv);
-
-    FigureSpec spec;
-    spec.id = "Ablation A4";
-    spec.title = "L2 victim buffers vs associativity - uniprocessor, "
-                 "2MB on-chip L2";
-    spec.multiprocessor = false;
-
-    for (const unsigned entries : {0u, 8u, 32u, 128u}) {
-        FigureBar bar;
-        bar.config = figures::onchip(1, 2 * mib, 1,
-                                     IntegrationLevel::L2Int);
-        bar.config.victimBufferEntries = entries;
-        bar.config.name =
-            "2M1w vb" + std::to_string(entries);
-        spec.bars.push_back(bar);
-    }
-    FigureBar assoc;
-    assoc.config =
-        figures::onchip(1, 2 * mib, 8, IntegrationLevel::L2Int);
-    assoc.config.name = "2M8w vb0";
-    spec.bars.push_back(assoc);
-    spec.normalizeTo = 0;
-
-    return benchmain::runAndPrint(spec, obs_config);
+    return isim::benchmain::runRegistered("ablation-victim", argc, argv);
 }

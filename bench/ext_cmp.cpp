@@ -1,50 +1,14 @@
 /**
  * @file
- * Extension experiment: chip multiprocessing (paper Section 8: "the
- * next logical step seems to be to tolerate the remaining latencies by
- * exploiting the inherent thread-level parallelism in OLTP through
- * techniques such as chip multiprocessing").
- *
- * Holds the core count at 8 and trades chips for cores-per-chip:
- * 8x1 (the paper's multiprocessor), 4x2, 2x4, 1x8. As cores move onto
- * one die, dirty 3-hop communication misses become shared-L2 hits, at
- * the price of sharing the fixed 2 MB of on-chip cache.
+ * Extension experiment: chip multiprocessing (paper Section 8).
+ * Holds the core count at 8 and trades chips for cores-per-chip.
+ * Alias for `isim-fig run ext-cmp`.
  */
-
-#include <iostream>
 
 #include "fig_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace isim;
-
-    const obs::ObsConfig obs_config =
-        benchmain::parseArgsOrExit(argc, argv);
-
-    FigureSpec spec;
-    spec.id = "Extension E1";
-    spec.title = "Chip multiprocessing: 8 cores as chips x cores/chip "
-                 "(full integration, 2MB 8-way shared L2)";
-    spec.multiprocessor = true;
-
-    for (unsigned cores_per_node : {1u, 2u, 4u, 8u}) {
-        FigureBar bar;
-        bar.config = figures::onchip(8, 2 * mib, 8,
-                                     IntegrationLevel::FullInt);
-        bar.config.coresPerNode = cores_per_node;
-        bar.config.name = std::to_string(8 / cores_per_node) +
-                          " chips x " +
-                          std::to_string(cores_per_node) + " cores";
-        spec.bars.push_back(bar);
-    }
-    spec.normalizeTo = 0;
-
-    const int rc = benchmain::runAndPrint(spec, obs_config);
-    std::cout << "Reading: intra-chip sharing converts 3-hop dirty "
-                 "misses into shared-L2 hits;\nthe capacity cost shows "
-                 "up as extra local/remote-clean misses when 8 cores\n"
-                 "share one 2MB cache.\n";
-    return rc;
+    return isim::benchmain::runRegistered("ext-cmp", argc, argv);
 }

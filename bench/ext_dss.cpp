@@ -1,74 +1,14 @@
 /**
  * @file
- * Extension experiment: OLTP vs DSS sensitivity. The paper studies
- * OLTP precisely because DSS "has been shown to be relatively
- * insensitive to memory system performance" (Section 1). This bench
- * quantifies the contrast on our models: the same integration ladder
- * and the same cache sweep, run under both workloads.
+ * Extension experiment: OLTP vs DSS sensitivity — the same
+ * integration ladder run under both workloads (paper Section 1's
+ * premise, quantified). Alias for `isim-fig run ext-dss`.
  */
 
-#include <iostream>
-
 #include "fig_main.hh"
-
-namespace {
-
-isim::FigureSpec
-ladder(isim::WorkloadKind kind, const char *tag)
-{
-    using namespace isim;
-    FigureSpec spec;
-    spec.id = std::string("Extension E2 (") + tag + ")";
-    spec.title = std::string("Integration ladder under ") + tag +
-                 " - 8 processors";
-    spec.multiprocessor = true;
-
-    FigureBar base;
-    base.config = figures::baseMachine(8);
-    spec.bars.push_back(base);
-    FigureBar l2;
-    l2.config = figures::onchip(8, 2 * mib, 8, IntegrationLevel::L2Int);
-    spec.bars.push_back(l2);
-    FigureBar full;
-    full.config =
-        figures::onchip(8, 2 * mib, 8, IntegrationLevel::FullInt);
-    spec.bars.push_back(full);
-
-    // Cache sensitivity probes: small vs large off-chip L2.
-    FigureBar small;
-    small.config = figures::offchip(8, 1 * mib, 1);
-    spec.bars.push_back(small);
-
-    for (FigureBar &bar : spec.bars) {
-        bar.config.workload.kind = kind;
-        if (kind == WorkloadKind::DssScan) {
-            // Queries are ~100x heavier than transactions; run fewer.
-            bar.config.workload.transactions = 60;
-            bar.config.workload.warmupTransactions = 20;
-        }
-        bar.config.name += std::string(" ") + tag;
-    }
-    spec.normalizeTo = 0;
-    return spec;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    using namespace isim;
-
-    const obs::ObsConfig obs_config =
-        benchmain::parseArgsOrExit(argc, argv);
-    benchmain::runAndPrint(ladder(WorkloadKind::TpcB, "OLTP"), obs_config);
-    const int rc =
-        benchmain::runAndPrint(ladder(WorkloadKind::DssScan, "DSS"), obs_config);
-    std::cout << "Reading: OLTP gains ~1.4x from full integration; the "
-                 "DSS scan streams are\nnearly insensitive — their "
-                 "misses are streaming (no reuse for caches to\n"
-                 "exploit) and amortized over many instructions per "
-                 "data line. This is the\npaper's Section 1 "
-                 "justification for studying OLTP, quantified.\n";
-    return rc;
+    return isim::benchmain::runRegistered("ext-dss", argc, argv);
 }

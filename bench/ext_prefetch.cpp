@@ -1,52 +1,14 @@
 /**
  * @file
- * Extension experiment: sequential L2 prefetching under OLTP vs DSS.
- * The paper's premise is that OLTP's memory stalls are hard to remove
- * (dependent, pointer-dense accesses) while scan workloads stream;
- * a next-line prefetcher makes the premise measurable: degree 1-4
- * collapses DSS's memory time and leaves OLTP nearly untouched.
+ * Extension experiment: sequential L2 prefetching under OLTP vs DSS
+ * (degree 1-4 collapses DSS's memory time and leaves OLTP nearly
+ * untouched). Alias for `isim-fig run ext-prefetch`.
  */
 
-#include <iostream>
-
 #include "fig_main.hh"
-
-namespace {
-
-isim::FigureSpec
-sweep(isim::WorkloadKind kind, const char *tag)
-{
-    using namespace isim;
-    FigureSpec spec;
-    spec.id = std::string("Extension E3 (") + tag + ")";
-    spec.title = std::string("Sequential L2 prefetch under ") + tag +
-                 " - uniprocessor, 1MB 4-way";
-    for (const unsigned degree : {0u, 1u, 2u, 4u}) {
-        FigureBar bar;
-        bar.config = figures::offchip(1, 1 * mib, 4);
-        bar.config.prefetchDegree = degree;
-        bar.config.workload.kind = kind;
-        bar.config.name = std::string(tag) + " pf" +
-                          std::to_string(degree);
-        if (kind == WorkloadKind::DssScan) {
-            bar.config.workload.transactions = 80;
-            bar.config.workload.warmupTransactions = 25;
-        }
-        spec.bars.push_back(bar);
-    }
-    spec.normalizeTo = 0;
-    return spec;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    using namespace isim;
-
-    const obs::ObsConfig obs_config =
-        benchmain::parseArgsOrExit(argc, argv);
-    benchmain::runAndPrint(sweep(WorkloadKind::TpcB, "OLTP"), obs_config);
-    return benchmain::runAndPrint(sweep(WorkloadKind::DssScan, "DSS"), obs_config);
+    return isim::benchmain::runRegistered("ext-prefetch", argc, argv);
 }

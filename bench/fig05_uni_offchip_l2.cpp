@@ -1,6 +1,7 @@
 /**
  * @file
- * Regenerates the paper's Figure 5.
+ * Regenerates the paper's Figure 5 (OLTP with different off-chip L2
+ * configurations, uniprocessor). Alias for `isim-fig run fig05`.
  */
 
 #include "fig_main.hh"
@@ -8,7 +9,5 @@
 int
 main(int argc, char **argv)
 {
-    const isim::obs::ObsConfig obs_config =
-        isim::benchmain::parseArgsOrExit(argc, argv);
-    return isim::benchmain::runAndPrint(isim::figures::figure5(), obs_config);
+    return isim::benchmain::runRegistered("fig05", argc, argv);
 }

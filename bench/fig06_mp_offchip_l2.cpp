@@ -1,6 +1,7 @@
 /**
  * @file
- * Regenerates the paper's Figure 6.
+ * Regenerates the paper's Figure 6 (OLTP with different off-chip L2
+ * configurations, 8 processors). Alias for `isim-fig run fig06`.
  */
 
 #include "fig_main.hh"
@@ -8,7 +9,5 @@
 int
 main(int argc, char **argv)
 {
-    const isim::obs::ObsConfig obs_config =
-        isim::benchmain::parseArgsOrExit(argc, argv);
-    return isim::benchmain::runAndPrint(isim::figures::figure6(), obs_config);
+    return isim::benchmain::runRegistered("fig06", argc, argv);
 }

@@ -1,6 +1,7 @@
 /**
  * @file
- * Regenerates the paper's Figure 8.
+ * Regenerates the paper's Figure 8 (integrated on-chip L2,
+ * 8 processors). Alias for `isim-fig run fig08`.
  */
 
 #include "fig_main.hh"
@@ -8,7 +9,5 @@
 int
 main(int argc, char **argv)
 {
-    const isim::obs::ObsConfig obs_config =
-        isim::benchmain::parseArgsOrExit(argc, argv);
-    return isim::benchmain::runAndPrint(isim::figures::figure8(), obs_config);
+    return isim::benchmain::runRegistered("fig08", argc, argv);
 }

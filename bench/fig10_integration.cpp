@@ -2,7 +2,8 @@
  * @file
  * Regenerates the paper's Figure 10 (successive integration of the
  * L2, memory controller, and coherence/network hardware), both the
- * uniprocessor and the 8-processor graphs.
+ * uniprocessor and the 8-processor graphs. Alias for
+ * `isim-fig run fig10`.
  */
 
 #include "fig_main.hh"
@@ -10,8 +11,5 @@
 int
 main(int argc, char **argv)
 {
-    const isim::obs::ObsConfig obs_config =
-        isim::benchmain::parseArgsOrExit(argc, argv);
-    isim::benchmain::runAndPrint(isim::figures::figure10Uni(), obs_config);
-    return isim::benchmain::runAndPrint(isim::figures::figure10Mp(), obs_config);
+    return isim::benchmain::runRegistered("fig10", argc, argv);
 }

@@ -1,6 +1,7 @@
 /**
  * @file
- * Regenerates the paper's Figure 11.
+ * Regenerates the paper's Figure 11 (RAC miss mix, with and without
+ * OS code replication). Alias for `isim-fig run fig11`.
  */
 
 #include "fig_main.hh"
@@ -8,7 +9,5 @@
 int
 main(int argc, char **argv)
 {
-    const isim::obs::ObsConfig obs_config =
-        isim::benchmain::parseArgsOrExit(argc, argv);
-    return isim::benchmain::runAndPrint(isim::figures::figure11(), obs_config);
+    return isim::benchmain::runRegistered("fig11", argc, argv);
 }

@@ -1,6 +1,7 @@
 /**
  * @file
- * Regenerates the paper's Figure 12.
+ * Regenerates the paper's Figure 12 (remote access cache
+ * performance). Alias for `isim-fig run fig12`.
  */
 
 #include "fig_main.hh"
@@ -8,7 +9,5 @@
 int
 main(int argc, char **argv)
 {
-    const isim::obs::ObsConfig obs_config =
-        isim::benchmain::parseArgsOrExit(argc, argv);
-    return isim::benchmain::runAndPrint(isim::figures::figure12(), obs_config);
+    return isim::benchmain::runRegistered("fig12", argc, argv);
 }

@@ -1,7 +1,8 @@
 /**
  * @file
- * Regenerates the paper's Figure 13 (out-of-order processors), both
- * the uniprocessor and the 8-processor graphs.
+ * Regenerates the paper's Figure 13 (out-of-order cores), both the
+ * uniprocessor and 8-processor graphs. Alias for
+ * `isim-fig run fig13`.
  */
 
 #include "fig_main.hh"
@@ -9,8 +10,5 @@
 int
 main(int argc, char **argv)
 {
-    const isim::obs::ObsConfig obs_config =
-        isim::benchmain::parseArgsOrExit(argc, argv);
-    isim::benchmain::runAndPrint(isim::figures::figure13Uni(), obs_config);
-    return isim::benchmain::runAndPrint(isim::figures::figure13Mp(), obs_config);
+    return isim::benchmain::runRegistered("fig13", argc, argv);
 }

@@ -1,34 +1,37 @@
 /**
  * @file
- * Shared driver for the figure-regeneration benches: run a FigureSpec
- * and print the paper-style report. Honors ISIM_TXNS / ISIM_WARMUP for
- * quick runs.
+ * Shared driver for the figure-regeneration benches: parse the common
+ * run flags (RunOptions — transaction counts, --jobs parallelism,
+ * JSON output, observability capture; the ISIM_* environment
+ * variables are the fallbacks) and run registry entries. Each bench
+ * binary is a thin alias for `isim-fig run <id>`.
  */
 
 #ifndef ISIM_BENCH_FIG_MAIN_HH
 #define ISIM_BENCH_FIG_MAIN_HH
 
-#include <cctype>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "src/config/options.hh"
+#include "src/core/driver.hh"
 #include "src/core/figures.hh"
-#include "src/core/report.hh"
+#include "src/core/registry.hh"
 
 namespace isim::benchmain {
 
 /**
- * Parse the common figure-binary command line: the observability
- * flags (config/options.hh). Prints usage and exits on --help / -h or
- * an unrecognized argument.
+ * Parse the common figure-binary command line: the run flags
+ * (--txns/--warmup/--seed/--jobs/--json-dir/--quiet, with ISIM_*
+ * environment fallbacks) plus the observability flags. Prints usage
+ * and exits on --help / -h or an unrecognized argument.
  */
-inline obs::ObsConfig
+inline RunOptions
 parseArgsOrExit(int argc, char **argv)
 {
-    const obs::ObsConfig cfg = obsFromCommandLine(argc, argv);
+    const RunOptions opts = RunOptions::fromCommandLine(argc, argv);
     for (int i = 1; i < argc; ++i) {
         const bool help = std::strcmp(argv[i], "--help") == 0 ||
                           std::strcmp(argv[i], "-h") == 0;
@@ -36,40 +39,29 @@ parseArgsOrExit(int argc, char **argv)
             << "usage: " << argv[0] << " [options]\n\n"
             << "Regenerates one figure of the paper; prints the "
                "report to stdout.\nOptions:\n"
-            << obsOptionsHelp()
-            << "Environment: ISIM_TXNS / ISIM_WARMUP override the "
-               "transaction counts;\nISIM_JSON_DIR=DIR writes the "
-               "figure JSON there.\n";
+            << runOptionsHelp() << obsOptionsHelp()
+            << "Environment fallbacks: ISIM_TXNS, ISIM_WARMUP, "
+               "ISIM_SEED, ISIM_JOBS,\nISIM_JSON_DIR, "
+               "ISIM_AUDIT_PERIOD (flags win).\n";
         if (!help)
             std::cerr << "\nunknown argument: " << argv[i] << "\n";
         std::exit(help ? 0 : 2);
     }
-    return cfg;
+    return opts;
 }
 
 inline int
-runAndPrint(const FigureSpec &spec,
-            const obs::ObsConfig &obs_config = {})
+runAndPrint(const FigureSpec &spec, const RunOptions &opts = {})
 {
-    ExperimentRunner runner(/*verbose=*/true);
-    runner.setObsConfig(obs_config);
-    const FigureResult result = runner.run(spec);
-    printFigureReport(std::cout, result);
-    if (const char *dir = std::getenv("ISIM_JSON_DIR")) {
-        std::string name;
-        for (const char c : spec.id + "_" + spec.title) {
-            name += std::isalnum(static_cast<unsigned char>(c))
-                        ? static_cast<char>(std::tolower(
-                              static_cast<unsigned char>(c)))
-                        : '_';
-        }
-        const std::string path =
-            std::string(dir) + "/" + name.substr(0, 64) + ".json";
-        std::ofstream out(path);
-        out << figureToJson(result);
-        std::cout << "json written to " << path << "\n";
-    }
-    return 0;
+    return runFigureAndPrint(spec, opts);
+}
+
+/** Parse argv, then run every registry entry matching `id`. */
+inline int
+runRegistered(const std::string &id, int argc, char **argv)
+{
+    const RunOptions opts = parseArgsOrExit(argc, argv);
+    return runRegisteredFigures(id, opts);
 }
 
 } // namespace isim::benchmain

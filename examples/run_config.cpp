@@ -3,17 +3,21 @@
  * Run a machine described by a configuration file and print the
  * paper-style report — the no-C++-required front end.
  *
- * Usage: run_config <config-file> [more-config-files...]
+ * Usage: run_config <config-file> [more-config-files...] [options]
  *        run_config --dump          (print the default config text)
  *
- * With several files, all machines run and the report is normalized
- * to the first (so a file per bar reproduces any figure).
+ * With several files, all machines run (concurrently, see --jobs)
+ * and the report is normalized to the first — so a file per bar
+ * reproduces any figure. Options are the shared run flags
+ * (--txns/--warmup/--seed/--jobs/--json-dir/--quiet), with the
+ * ISIM_* environment variables as fallbacks.
  */
 
 #include <cstring>
 #include <iostream>
 
 #include "src/config/options.hh"
+#include "src/config/run_options.hh"
 #include "src/core/report.hh"
 
 int
@@ -21,8 +25,11 @@ main(int argc, char **argv)
 {
     using namespace isim;
 
+    const RunOptions opts = RunOptions::fromCommandLine(argc, argv);
     if (argc < 2) {
-        std::cerr << "usage: run_config <config-file>... | --dump\n";
+        std::cerr << "usage: run_config <config-file>... [options] | "
+                     "--dump\nOptions:\n"
+                  << runOptionsHelp();
         return 2;
     }
     if (std::strcmp(argv[1], "--dump") == 0) {
@@ -41,7 +48,8 @@ main(int argc, char **argv)
     spec.normalizeTo = 0;
     spec.multiprocessor = spec.bars[0].config.numCpus > 1;
 
-    ExperimentRunner runner;
+    opts.applyGlobal();
+    ExperimentRunner runner(opts);
     const FigureResult result = runner.run(spec);
     printFigureReport(std::cout, result);
     return 0;

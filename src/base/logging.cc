@@ -99,6 +99,23 @@ panicImpl(const char *file, int line, const char *fmt, ...)
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
+    if (panicThrowFlag) {
+        // Throwing (not exiting) matters on experiment worker
+        // threads: a bad configuration must unwind back to the
+        // runner, not std::exit() the whole figure mid-flight.
+        char body[1024];
+        std::va_list ap;
+        va_start(ap, fmt);
+        std::vsnprintf(body, sizeof(body), fmt, ap);
+        va_end(ap);
+        std::string msg = "fatal: ";
+        msg += file;
+        msg += ':';
+        msg += std::to_string(line);
+        msg += ": ";
+        msg += body;
+        throw PanicError(msg);
+    }
     std::fprintf(stderr, "fatal: %s:%d: ", file, line);
     std::va_list ap;
     va_start(ap, fmt);

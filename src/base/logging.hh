@@ -49,10 +49,12 @@ bool quiet();
 
 /**
  * When enabled, panicImpl (and therefore isim_panic / isim_assert)
- * throws PanicError instead of aborting. The default (abort) is right
- * for simulation runs — a failed invariant means results are garbage —
+ * throws PanicError instead of aborting, and fatalImpl / isim_fatal
+ * throws instead of exiting. The default (abort/exit) is right for
+ * simulation runs — a failed invariant means results are garbage —
  * but the model checker and the mutation tests need to observe
- * violations and report a trace instead of dying.
+ * violations and report a trace instead of dying, and the experiment
+ * worker pool needs configuration errors to unwind, not std::exit().
  */
 void setPanicThrow(bool throws);
 bool panicThrows();

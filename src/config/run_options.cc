@@ -1,0 +1,172 @@
+/**
+ * @file
+ * RunOptions resolution: the environment (once), then flags.
+ */
+
+#include "src/config/run_options.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "src/base/logging.hh"
+#include "src/config/options.hh"
+#include "src/verify/invariants.hh"
+
+namespace isim {
+
+namespace {
+
+/** Strict uint parse; nullopt on garbage (env values are lenient). */
+std::optional<std::uint64_t>
+parseUint(const char *text)
+{
+    if (!text || !*text)
+        return std::nullopt;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || text[0] == '-')
+        return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Like parseUint but fatal(): flag values must be well-formed. */
+std::uint64_t
+parseUintOrDie(const char *flag, const std::string &text)
+{
+    const std::optional<std::uint64_t> v = parseUint(text.c_str());
+    if (!v)
+        isim_fatal("%s: expected an unsigned integer, got '%s'", flag,
+                   text.c_str());
+    return *v;
+}
+
+} // namespace
+
+RunOptions
+RunOptions::fromEnv()
+{
+    RunOptions opts;
+    if (const auto v = parseUint(std::getenv("ISIM_TXNS"));
+        v && *v > 0) {
+        opts.txns = *v;
+    }
+    if (const auto v = parseUint(std::getenv("ISIM_WARMUP")))
+        opts.warmup = *v;
+    if (const auto v = parseUint(std::getenv("ISIM_SEED")))
+        opts.seed = *v;
+    if (const char *dir = std::getenv("ISIM_JSON_DIR"))
+        opts.jsonDir = dir;
+    if (const auto v = parseUint(std::getenv("ISIM_JOBS")))
+        opts.jobs = static_cast<unsigned>(*v);
+    if (const auto v = parseUint(std::getenv("ISIM_AUDIT_PERIOD"));
+        v && *v >= 1) {
+        opts.auditPeriod = *v;
+    }
+    return opts;
+}
+
+RunOptions
+RunOptions::fromCommandLine(int &argc, char **argv)
+{
+    RunOptions opts = fromEnv();
+    opts.obs = obsFromCommandLine(argc, argv);
+
+    // `--flag=value` or `--flag value`; consumed arguments are
+    // dropped so the caller sees only what is left.
+    int out = 1;
+    std::string value;
+    const auto matches = [&](int &i, const char *flag) -> bool {
+        const char *arg = argv[i];
+        const std::size_t n = std::strlen(flag);
+        if (std::strncmp(arg, flag, n) != 0)
+            return false;
+        if (arg[n] == '=') {
+            value = arg + n + 1;
+            if (value.empty())
+                isim_fatal("%s needs a value", flag);
+            return true;
+        }
+        if (arg[n] != '\0')
+            return false;
+        if (i + 1 >= argc)
+            isim_fatal("%s needs a value", flag);
+        value = argv[++i];
+        return true;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        if (matches(i, "--txns")) {
+            const std::uint64_t v = parseUintOrDie("--txns", value);
+            if (v == 0)
+                isim_fatal("--txns must be positive");
+            opts.txns = v;
+        } else if (matches(i, "--warmup")) {
+            opts.warmup = parseUintOrDie("--warmup", value);
+        } else if (matches(i, "--seed")) {
+            opts.seed = parseUintOrDie("--seed", value);
+        } else if (matches(i, "--json-dir")) {
+            opts.jsonDir = value;
+        } else if (matches(i, "--jobs")) {
+            opts.jobs =
+                static_cast<unsigned>(parseUintOrDie("--jobs", value));
+        } else if (matches(i, "--audit-period")) {
+            const std::uint64_t v =
+                parseUintOrDie("--audit-period", value);
+            if (v == 0)
+                isim_fatal("--audit-period must be >= 1");
+            opts.auditPeriod = v;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            opts.verbose = false;
+        } else {
+            argv[out++] = argv[i]; // not ours: keep it
+        }
+    }
+    argc = out;
+    return opts;
+}
+
+void
+RunOptions::applyTo(WorkloadParams &params) const
+{
+    if (txns)
+        params.transactions = *txns;
+    if (warmup)
+        params.warmupTransactions = *warmup;
+    if (seed)
+        params.seed = *seed;
+}
+
+void
+RunOptions::applyGlobal() const
+{
+    verify::setAuditPeriod(auditPeriod);
+}
+
+unsigned
+RunOptions::effectiveJobs(std::size_t items) const
+{
+    unsigned j = jobs;
+    if (j == 0)
+        j = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t cap = std::max<std::size_t>(items, 1);
+    return static_cast<unsigned>(
+        std::min<std::size_t>(j, cap));
+}
+
+const char *
+runOptionsHelp()
+{
+    return "  --txns=N             measured transactions per bar "
+           "(default: the spec's)\n"
+           "  --warmup=N           warm-up transactions per bar\n"
+           "  --seed=N             workload seed for every bar\n"
+           "  --json-dir=DIR       write the figure JSON into DIR\n"
+           "  --jobs=N             run up to N bars concurrently "
+           "(default: one per core)\n"
+           "  --audit-period=N     invariant full-audit period\n"
+           "  --quiet              suppress per-run progress lines\n";
+}
+
+} // namespace isim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * RunOptions: everything that varies between invocations of the same
+ * experiment — transaction counts, seeding, JSON output, parallelism,
+ * audit decimation, observability capture — resolved exactly once at
+ * startup. The environment (ISIM_*) is read in RunOptions::fromEnv()
+ * and nowhere else, so worker threads of the parallel experiment
+ * engine never call getenv(); command-line flags take precedence over
+ * the environment (RunOptions::fromCommandLine).
+ */
+
+#ifndef ISIM_CONFIG_RUN_OPTIONS_HH
+#define ISIM_CONFIG_RUN_OPTIONS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/obs/observability.hh"
+#include "src/oltp/workload_params.hh"
+
+namespace isim {
+
+/** Options of one experiment invocation (not of one machine). */
+struct RunOptions
+{
+    /** Measured-transaction override (unset: the spec's own count). */
+    std::optional<std::uint64_t> txns;
+    /** Warm-up-transaction override. */
+    std::optional<std::uint64_t> warmup;
+    /** Workload seed override (applies to every bar of a figure). */
+    std::optional<std::uint64_t> seed;
+    /** Directory figure JSON is written into ("" = don't write). */
+    std::string jsonDir;
+    /**
+     * Worker threads for multi-bar figures and sweeps. 0 = one per
+     * hardware thread (std::thread::hardware_concurrency).
+     */
+    unsigned jobs = 0;
+    /** Full-audit decimation period of the invariant auditor. */
+    std::uint64_t auditPeriod = std::uint64_t{1} << 20;
+    /** Per-run progress lines on stderr. */
+    bool verbose = true;
+    /** What to capture and where (one observed bar per figure). */
+    obs::ObsConfig obs;
+
+    /**
+     * Resolve the environment: ISIM_TXNS, ISIM_WARMUP, ISIM_SEED,
+     * ISIM_JSON_DIR, ISIM_JOBS, ISIM_AUDIT_PERIOD. Malformed values
+     * are ignored (the variables are convenience overrides, often set
+     * globally in CI). This is the only getenv() site in the tree.
+     */
+    static RunOptions fromEnv();
+
+    /**
+     * fromEnv(), then the command line on top of it. Consumes the
+     * recognized flags out of argv (argc/argv are rewritten, order of
+     * the rest preserved):
+     *
+     *   --txns N / --txns=N      measured transactions (> 0)
+     *   --warmup N               warm-up transactions
+     *   --seed N                 workload seed for every bar
+     *   --json-dir DIR           write figure JSON into DIR
+     *   --jobs N                 worker threads (0 = one per core)
+     *   --audit-period N         invariant full-audit period (>= 1)
+     *   --quiet                  suppress per-run progress lines
+     *
+     * plus the observability flags (obsFromCommandLine). Flags
+     * fatal() on malformed values; a flag always wins over its
+     * environment fallback.
+     */
+    static RunOptions fromCommandLine(int &argc, char **argv);
+
+    /** Apply the workload overrides (txns / warmup / seed). */
+    void applyTo(WorkloadParams &params) const;
+
+    /**
+     * Install the process-wide knobs (currently the invariant-audit
+     * period). Call once from main(), before machines run.
+     */
+    void applyGlobal() const;
+
+    /** Worker threads to actually start for `items` work items. */
+    unsigned effectiveJobs(std::size_t items) const;
+};
+
+/** One-per-line description of the run flags (for usage text). */
+const char *runOptionsHelp();
+
+} // namespace isim
+
+#endif // ISIM_CONFIG_RUN_OPTIONS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure-running driver implementation.
+ */
+
+#include "src/core/driver.hh"
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+
+#include "src/base/logging.hh"
+#include "src/core/registry.hh"
+#include "src/core/report.hh"
+
+namespace isim {
+
+std::string
+figureJsonStem(const FigureSpec &spec)
+{
+    std::string name;
+    for (const char c : spec.id + "_" + spec.title) {
+        name += std::isalnum(static_cast<unsigned char>(c))
+                    ? static_cast<char>(std::tolower(
+                          static_cast<unsigned char>(c)))
+                    : '_';
+    }
+    return name.substr(0, 64);
+}
+
+int
+runFigureAndPrint(const FigureSpec &spec, const RunOptions &options)
+{
+    options.applyGlobal();
+    const ExperimentRunner runner(options);
+    const FigureResult result = runner.run(spec);
+    printFigureReport(std::cout, result);
+    if (!options.jsonDir.empty()) {
+        const std::string path =
+            options.jsonDir + "/" + figureJsonStem(spec) + ".json";
+        std::ofstream out(path);
+        if (!out)
+            isim_fatal("cannot write figure JSON: %s", path.c_str());
+        out << figureToJson(result);
+        std::cout << "json written to " << path << "\n";
+    }
+    return 0;
+}
+
+int
+runRegisteredFigures(const std::string &id, const RunOptions &options)
+{
+    const std::vector<const FigureEntry *> entries =
+        FigureRegistry::instance().resolve(id);
+    if (entries.empty())
+        isim_fatal("unknown figure id '%s' (try `isim-fig list`)",
+                   id.c_str());
+    for (const FigureEntry *entry : entries) {
+        const int rc = runFigureAndPrint(entry->make(), options);
+        if (rc != 0)
+            return rc;
+        if (!entry->note.empty())
+            std::cout << entry->note;
+    }
+    return 0;
+}
+
+} // namespace isim

@@ -1,43 +1,61 @@
 /**
  * @file
- * Experiment harness implementation.
+ * Experiment harness implementation: the parallel run engine.
+ *
+ * Thread-safety audit (see tests/test_parallel.cc, which runs the
+ * engine under -fsanitize=thread in CI): a Machine owns every piece
+ * of mutable state it touches — VM, kernel, OLTP engine (with its
+ * Rng), scheduler, memory system, CPU cores — and an observed run
+ * owns its obs::Observability bundle, so concurrent runs share only
+ * immutable data. The remaining process-wide state is read-only
+ * while workers run: the logging flags (setQuiet / setPanicThrow),
+ * the invariant-audit period (resolved at startup, see
+ * verify::setAuditPeriod), and the RunOptions themselves. stderr
+ * progress lines are serialized by a mutex so verbose output never
+ * interleaves.
  */
 
 #include "src/core/experiment.hh"
 
 #include <algorithm>
-#include <cstdlib>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "src/base/logging.hh"
+#include "src/core/sweep.hh"
 
 namespace isim {
+
+namespace {
+
+/** Serializes the runner's progress/warning lines across workers. */
+std::mutex logMutex;
+
+} // namespace
 
 void
 ExperimentRunner::applyEnvOverrides(WorkloadParams &params)
 {
-    if (const char *txns = std::getenv("ISIM_TXNS")) {
-        const long v = std::atol(txns);
-        if (v > 0)
-            params.transactions = static_cast<std::uint64_t>(v);
-    }
-    if (const char *warm = std::getenv("ISIM_WARMUP")) {
-        const long v = std::atol(warm);
-        if (v >= 0)
-            params.warmupTransactions = static_cast<std::uint64_t>(v);
-    }
+    RunOptions::fromEnv().applyTo(params);
 }
 
 RunResult
 ExperimentRunner::runOne(const MachineConfig &config) const
 {
     MachineConfig cfg = config;
-    applyEnvOverrides(cfg.workload);
-    if (verbose_)
+    options_.applyTo(cfg.workload);
+    if (options_.verbose) {
+        const std::lock_guard<std::mutex> lock(logMutex);
         isim_inform("running %s ...", cfg.name.c_str());
+    }
     Machine machine(cfg);
     RunResult r = machine.run();
-    if (!r.dbConsistent)
+    if (!r.dbConsistent) {
+        const std::lock_guard<std::mutex> lock(logMutex);
         isim_warn("%s: TPC-B consistency check FAILED", cfg.name.c_str());
+    }
     return r;
 }
 
@@ -46,18 +64,35 @@ ExperimentRunner::runObserved(const MachineConfig &config,
                               obs::Observability &o) const
 {
     MachineConfig cfg = config;
-    applyEnvOverrides(cfg.workload);
-    if (verbose_)
+    options_.applyTo(cfg.workload);
+    if (options_.verbose) {
+        const std::lock_guard<std::mutex> lock(logMutex);
         isim_inform("running %s (observed) ...", cfg.name.c_str());
+    }
     Machine machine(cfg);
     machine.attachObservability(&o);
     RunResult r = machine.run();
-    if (!r.dbConsistent)
+    if (!r.dbConsistent) {
+        const std::lock_guard<std::mutex> lock(logMutex);
         isim_warn("%s: TPC-B consistency check FAILED", cfg.name.c_str());
+    }
     const std::string written = o.writeOutputs();
-    if (verbose_ && !written.empty())
+    if (options_.verbose && !written.empty()) {
+        const std::lock_guard<std::mutex> lock(logMutex);
         isim_inform("%s: wrote %s", cfg.name.c_str(), written.c_str());
+    }
     return r;
+}
+
+RunResult
+ExperimentRunner::runBar(const FigureSpec &spec, std::size_t index,
+                         std::size_t observed_index) const
+{
+    if (index == observed_index) {
+        obs::Observability o(options_.obs);
+        return runObserved(spec.bars[index].config, o);
+    }
+    return runOne(spec.bars[index].config);
 }
 
 FigureResult
@@ -65,20 +100,55 @@ ExperimentRunner::run(const FigureSpec &spec) const
 {
     FigureResult result;
     result.spec = spec;
-    result.runs.reserve(spec.bars.size());
+    const std::size_t n = spec.bars.size();
+    result.runs.resize(n);
+
     const std::size_t observed =
-        spec.bars.empty()
-            ? 0
-            : std::min(obsConfig_.traceBar, spec.bars.size() - 1);
-    for (std::size_t i = 0; i < spec.bars.size(); ++i) {
-        if (obsConfig_.any() && i == observed) {
-            obs::Observability o(obsConfig_);
-            result.runs.push_back(runObserved(spec.bars[i].config, o));
-        } else {
-            result.runs.push_back(runOne(spec.bars[i].config));
-        }
+        (options_.obs.any() && n)
+            ? std::min(options_.obs.traceBar, n - 1)
+            : n; // no bar is observed
+    const unsigned jobs = options_.effectiveJobs(n);
+
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            result.runs[i] = runBar(spec, i, observed);
+        return result;
+    }
+
+    // Worker pool over a shared bar counter. Workers write disjoint
+    // slots of `runs` and disjoint slots of `errors`, so results come
+    // back in spec order no matter which worker finishes when; the
+    // first failing bar's exception (in spec order) is rethrown after
+    // the join so no thread is left running.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) {
+        pool.emplace_back([&] {
+            for (std::size_t i;
+                 (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+                try {
+                    result.runs[i] = runBar(spec, i, observed);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        });
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
     }
     return result;
+}
+
+FigureResult
+ExperimentRunner::run(const SweepSpec &sweep) const
+{
+    return run(sweep.expand());
 }
 
 } // namespace isim

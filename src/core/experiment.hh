@@ -3,6 +3,15 @@
  * Experiment harness: a figure is a list of machine configurations
  * plus the paper's published (normalized) bar heights; running it
  * produces measured results side by side with the paper's values.
+ *
+ * Every bar of a figure is an independent machine, so the runner
+ * executes them on a small worker pool (RunOptions::jobs threads,
+ * default one per core). Each run is self-contained — per-machine
+ * state, per-run observability bundle, RNG seeded from the config —
+ * and every option that used to be read from the environment mid-run
+ * is resolved once, up front, in RunOptions; results land in spec
+ * order regardless of completion order, so a figure's output is
+ * bit-identical at any job count.
  */
 
 #ifndef ISIM_CORE_EXPERIMENT_HH
@@ -12,10 +21,13 @@
 #include <string>
 #include <vector>
 
+#include "src/config/run_options.hh"
 #include "src/core/machine.hh"
 #include "src/obs/observability.hh"
 
 namespace isim {
+
+struct SweepSpec;
 
 /** One bar of a figure. */
 struct FigureBar
@@ -45,23 +57,34 @@ struct FigureResult
 };
 
 /**
- * Runs every configuration of a figure (sequentially; each run builds
- * a fresh machine). Honors the ISIM_TXNS / ISIM_WARMUP environment
- * overrides so quick CI runs are possible.
+ * Runs every configuration of a figure, concurrently when the
+ * options allow (each run builds a fresh machine; see RunOptions).
  */
 class ExperimentRunner
 {
   public:
+    /** Options from the environment (RunOptions::fromEnv). */
     explicit ExperimentRunner(bool verbose = true)
-        : verbose_(verbose)
+        : options_(RunOptions::fromEnv())
+    {
+        options_.verbose = verbose;
+    }
+
+    /** Explicit options (flags already folded in by the caller). */
+    explicit ExperimentRunner(const RunOptions &options)
+        : options_(options)
     {
     }
 
     FigureResult run(const FigureSpec &spec) const;
+    /** Expand the sweep's cross-product and run it like a figure. */
+    FigureResult run(const SweepSpec &sweep) const;
     RunResult runOne(const MachineConfig &config) const;
     /** Run one configuration with an observability bundle attached. */
     RunResult runObserved(const MachineConfig &config,
                           obs::Observability &o) const;
+
+    const RunOptions &options() const { return options_; }
 
     /**
      * Observe one bar of each figure run (default: none). The bar
@@ -70,16 +93,21 @@ class ExperimentRunner
      */
     void setObsConfig(const obs::ObsConfig &config)
     {
-        obsConfig_ = config;
+        options_.obs = config;
     }
-    const obs::ObsConfig &obsConfig() const { return obsConfig_; }
+    const obs::ObsConfig &obsConfig() const { return options_.obs; }
 
-    /** Apply the environment overrides to a workload. */
+    /**
+     * Apply the ISIM_TXNS / ISIM_WARMUP / ISIM_SEED environment
+     * overrides to a workload (legacy shim over RunOptions::fromEnv).
+     */
     static void applyEnvOverrides(WorkloadParams &params);
 
   private:
-    bool verbose_;
-    obs::ObsConfig obsConfig_;
+    RunResult runBar(const FigureSpec &spec, std::size_t index,
+                     std::size_t observed_index) const;
+
+    RunOptions options_;
 };
 
 } // namespace isim

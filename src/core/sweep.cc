@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SweepSpec expansion.
+ */
+
+#include "src/core/sweep.hh"
+
+#include "src/base/logging.hh"
+
+namespace isim {
+
+std::size_t
+SweepSpec::points() const
+{
+    std::size_t total = 1;
+    for (const SweepAxis &axis : axes) {
+        isim_assert(!axis.points.empty(),
+                    "sweep axis '%s' has no points", axis.name.c_str());
+        total *= axis.points.size();
+    }
+    return total;
+}
+
+FigureSpec
+SweepSpec::expand() const
+{
+    FigureSpec spec;
+    spec.id = id;
+    spec.title = title;
+    spec.normalizeTo = normalizeTo;
+    spec.multiprocessor = multiprocessor;
+
+    const std::size_t total = points();
+    isim_assert(normalizeTo < total,
+                "sweep '%s': normalizeTo %zu out of %zu points",
+                id.c_str(), normalizeTo, total);
+    spec.bars.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        MachineConfig cfg = base;
+        std::string name;
+        std::size_t rem = i;
+        for (const SweepAxis &axis : axes) {
+            const SweepPoint &point =
+                axis.points[rem % axis.points.size()];
+            rem /= axis.points.size();
+            if (point.apply)
+                point.apply(cfg);
+            if (!point.label.empty()) {
+                if (!name.empty())
+                    name += ' ';
+                name += point.label;
+            }
+        }
+        if (!name.empty())
+            cfg.name = name;
+        FigureBar bar;
+        bar.config = cfg;
+        spec.bars.push_back(bar);
+    }
+    return spec;
+}
+
+} // namespace isim

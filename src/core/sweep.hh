@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SweepSpec: a figure defined as a cross-product of configuration
+ * axes instead of an explicit bar list. Each axis contributes a set
+ * of points (label + mutation of MachineConfig); expanding the sweep
+ * yields an ordinary FigureSpec whose bars enumerate the full
+ * cross-product, so the parallel experiment engine can run arbitrary
+ * design-space sweeps (Piranha-style CMP exploration, cache
+ * geometry surfaces) exactly like the paper's figures.
+ */
+
+#ifndef ISIM_CORE_SWEEP_HH
+#define ISIM_CORE_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.hh"
+
+namespace isim {
+
+/** One point of one axis: a label and a config mutation. */
+struct SweepPoint
+{
+    /** Appears in the bar name ("" = contribute nothing). */
+    std::string label;
+    /** Applied to a copy of the base config; may be empty. */
+    std::function<void(MachineConfig &)> apply;
+};
+
+/** One swept dimension. Must have at least one point. */
+struct SweepAxis
+{
+    std::string name; //!< e.g. "assoc", "mc-occupancy"
+    std::vector<SweepPoint> points;
+};
+
+/**
+ * A cross-product experiment: every combination of one point per
+ * axis, each applied (in axis order) to a copy of `base`.
+ */
+struct SweepSpec
+{
+    std::string id;
+    std::string title;
+    MachineConfig base;
+    std::vector<SweepAxis> axes;
+    std::size_t normalizeTo = 0;
+    bool multiprocessor = false;
+
+    /** Total number of cross-product points (1 when no axes). */
+    std::size_t points() const;
+
+    /**
+     * Expand to a FigureSpec. The *first* axis varies fastest, so
+     * `axes = {A, B}` yields bars (a0,b0), (a1,b0), ..., (a0,b1), ...
+     * Bar names are the non-empty point labels joined with spaces;
+     * when every chosen label is empty the config name set by the
+     * apply functions (or the base's) is kept.
+     */
+    FigureSpec expand() const;
+};
+
+} // namespace isim
+
+#endif // ISIM_CORE_SWEEP_HH

@@ -5,10 +5,43 @@
 
 #include "src/verify/invariants.hh"
 
-#include <cstdlib>
+#include <atomic>
 #include <string>
 
+#include "src/config/run_options.hh"
+
 namespace isim::verify {
+
+namespace {
+
+/**
+ * Resolved before main() — single-threaded, so the one getenv() in
+ * RunOptions::fromEnv() never runs on a worker thread — and then
+ * overridable via setAuditPeriod() (RunOptions::applyGlobal()).
+ */
+const std::uint64_t startupAuditPeriod =
+    RunOptions::fromEnv().auditPeriod;
+std::atomic<std::uint64_t> auditPeriodOverride{0};
+
+} // namespace
+
+void
+setAuditPeriod(std::uint64_t period)
+{
+    auditPeriodOverride.store(period, std::memory_order_relaxed);
+}
+
+std::uint64_t
+auditPeriod()
+{
+    const std::uint64_t v =
+        auditPeriodOverride.load(std::memory_order_relaxed);
+    if (v)
+        return v;
+    // The fallback guards against use before this TU's dynamic init.
+    return startupAuditPeriod ? startupAuditPeriod
+                              : std::uint64_t{1} << 20;
+}
 
 namespace {
 
@@ -26,21 +59,6 @@ permRank(LineState s)
         return 2;
     }
     return 0;
-}
-
-/** Full-audit decimation period (ISIM_AUDIT_PERIOD, default 2^20). */
-std::uint64_t
-auditPeriod()
-{
-    static const std::uint64_t period = [] {
-        if (const char *env = std::getenv("ISIM_AUDIT_PERIOD")) {
-            const unsigned long long v = std::strtoull(env, nullptr, 10);
-            if (v >= 1)
-                return static_cast<std::uint64_t>(v);
-        }
-        return std::uint64_t{1} << 20;
-    }();
-    return period;
 }
 
 } // namespace

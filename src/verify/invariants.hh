@@ -28,13 +28,15 @@
  *
  * Build with -DISIM_CHECK_INVARIANTS=ON to run these audits after
  * every protocol transition (see MemorySystem::access); the audit
- * period for the O(cache lines) full audit is tunable via the
- * ISIM_AUDIT_PERIOD environment variable.
+ * period for the O(cache lines) full audit is tunable via
+ * setAuditPeriod() — resolved at startup from ISIM_AUDIT_PERIOD /
+ * --audit-period by RunOptions.
  */
 
 #ifndef ISIM_VERIFY_INVARIANTS_HH
 #define ISIM_VERIFY_INVARIANTS_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "src/coherence/protocol.hh"
@@ -93,6 +95,17 @@ void checkOutcome(const ExpectedOutcome &want, const AccessOutcome &got,
 
 /** Cross-structure audit of a single line (post-transition, cheap). */
 void auditLine(const MemorySystem &ms, Addr line_addr);
+
+/**
+ * Full-audit decimation period: TransitionAudit runs auditFull()
+ * log-spaced early, then every `auditPeriod()` transitions. The
+ * default (2^20) can be overridden once at startup — typically via
+ * RunOptions::applyGlobal(), which carries ISIM_AUDIT_PERIOD /
+ * --audit-period — so audits on worker threads never consult the
+ * environment. Thread-safe; a period of 0 restores the startup value.
+ */
+void setAuditPeriod(std::uint64_t period);
+std::uint64_t auditPeriod();
 
 /** Conservation identities over all statistics counters. */
 void auditStats(const MemorySystem &ms);
