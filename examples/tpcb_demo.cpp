@@ -50,8 +50,8 @@ main(int argc, char **argv)
                                                           : "FAILED");
     const Histogram &lat = engine.txnLatency();
     t.row().cell("Txn latency mean (us)").num(lat.mean(), 0);
-    t.row().cell("Txn latency p50 (us)").count(lat.quantile(0.5));
-    t.row().cell("Txn latency p95 (us)").count(lat.quantile(0.95));
+    t.row().cell("Txn latency p50 (us)").num(lat.quantile(0.5), 0);
+    t.row().cell("Txn latency p95 (us)").num(lat.quantile(0.95), 0);
     t.row().cell("Latch acquires").count(engine.latches().acquires());
     t.row().cell("Buffer-cache lookups")
         .count(engine.bufferCache().lookups());

@@ -6,7 +6,9 @@
 #include "src/base/json.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/base/logging.hh"
 
@@ -149,6 +151,12 @@ JsonWriter &
 JsonWriter::value(double v, int precision)
 {
     beforeEntry();
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; emit null so documents stay parseable
+        // (undefined quantiles of an empty histogram, for example).
+        os_ << "null";
+        return *this;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
     os_ << buf;
@@ -193,7 +201,11 @@ JsonWriter::value(bool v)
 
 namespace {
 
-/** Recursive-descent JSON syntax checker. */
+/**
+ * Recursive-descent JSON parser. With a null `out` it is a pure
+ * syntax checker (jsonValidate); with a JsonValue it also builds the
+ * document tree (jsonParse).
+ */
 class JsonParser
 {
   public:
@@ -202,10 +214,10 @@ class JsonParser
     {
     }
 
-    bool run()
+    bool run(JsonValue *out = nullptr)
     {
         skipWs();
-        if (!parseValue())
+        if (!parseValue(out))
             return false;
         skipWs();
         if (pos_ != text_.size())
@@ -240,7 +252,7 @@ class JsonParser
         return true;
     }
 
-    bool parseString()
+    bool parseString(std::string *out)
     {
         if (text_[pos_] != '"')
             return fail("expected string");
@@ -254,6 +266,7 @@ class JsonParser
                     return fail("truncated escape");
                 const char e = text_[pos_];
                 if (e == 'u') {
+                    unsigned code = 0;
                     for (int i = 0; i < 4; ++i) {
                         ++pos_;
                         if (pos_ >= text_.size() ||
@@ -261,12 +274,34 @@ class JsonParser
                                 text_[pos_]))) {
                             return fail("bad \\u escape");
                         }
+                        const char h = text_[pos_];
+                        code = code * 16 +
+                               static_cast<unsigned>(
+                                   h <= '9' ? h - '0'
+                                            : (std::tolower(h) - 'a' +
+                                               10));
                     }
-                } else if (e != '"' && e != '\\' && e != '/' &&
-                           e != 'b' && e != 'f' && e != 'n' &&
-                           e != 'r' && e != 't') {
+                    if (out != nullptr)
+                        appendUtf8(*out, code);
+                } else if (e == '"' || e == '\\' || e == '/') {
+                    if (out != nullptr)
+                        *out += e;
+                } else if (e == 'b' || e == 'f' || e == 'n' ||
+                           e == 'r' || e == 't') {
+                    if (out != nullptr) {
+                        switch (e) {
+                          case 'b': *out += '\b'; break;
+                          case 'f': *out += '\f'; break;
+                          case 'n': *out += '\n'; break;
+                          case 'r': *out += '\r'; break;
+                          default:  *out += '\t'; break;
+                        }
+                    }
+                } else {
                     return fail("bad escape character");
                 }
+            } else if (out != nullptr) {
+                *out += text_[pos_];
             }
             ++pos_;
         }
@@ -276,7 +311,21 @@ class JsonParser
         return true;
     }
 
-    bool parseNumber()
+    static void appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
+    bool parseNumber(double *out = nullptr)
     {
         const std::size_t start = pos_;
         if (pos_ < text_.size() && text_[pos_] == '-')
@@ -318,10 +367,14 @@ class JsonParser
                 ++pos_;
             }
         }
-        return pos_ > start;
+        if (pos_ <= start)
+            return false;
+        if (out != nullptr)
+            *out = std::strtod(text_.c_str() + start, nullptr);
+        return true;
     }
 
-    bool parseObject()
+    bool parseObject(JsonValue *out)
     {
         ++pos_; // '{'
         skipWs();
@@ -331,14 +384,22 @@ class JsonParser
         }
         while (true) {
             skipWs();
-            if (pos_ >= text_.size() || !parseString())
+            std::string key;
+            if (pos_ >= text_.size() ||
+                !parseString(out != nullptr ? &key : nullptr)) {
                 return fail("expected object key");
+            }
             skipWs();
             if (pos_ >= text_.size() || text_[pos_] != ':')
                 return fail("expected ':'");
             ++pos_;
             skipWs();
-            if (!parseValue())
+            JsonValue *slot = nullptr;
+            if (out != nullptr) {
+                out->members.emplace_back(std::move(key), JsonValue{});
+                slot = &out->members.back().second;
+            }
+            if (!parseValue(slot))
                 return false;
             skipWs();
             if (pos_ >= text_.size())
@@ -355,7 +416,7 @@ class JsonParser
         }
     }
 
-    bool parseArray()
+    bool parseArray(JsonValue *out)
     {
         ++pos_; // '['
         skipWs();
@@ -365,7 +426,12 @@ class JsonParser
         }
         while (true) {
             skipWs();
-            if (!parseValue())
+            JsonValue *slot = nullptr;
+            if (out != nullptr) {
+                out->array.emplace_back();
+                slot = &out->array.back();
+            }
+            if (!parseValue(slot))
                 return false;
             skipWs();
             if (pos_ >= text_.size())
@@ -382,25 +448,43 @@ class JsonParser
         }
     }
 
-    bool parseValue()
+    bool parseValue(JsonValue *out = nullptr)
     {
         if (pos_ >= text_.size())
             return fail("empty value");
         switch (text_[pos_]) {
           case '{':
-            return parseObject();
+            if (out != nullptr)
+                out->kind = JsonValue::Kind::Object;
+            return parseObject(out);
           case '[':
-            return parseArray();
+            if (out != nullptr)
+                out->kind = JsonValue::Kind::Array;
+            return parseArray(out);
           case '"':
-            return parseString();
+            if (out != nullptr)
+                out->kind = JsonValue::Kind::String;
+            return parseString(out != nullptr ? &out->text : nullptr);
           case 't':
+            if (out != nullptr) {
+                out->kind = JsonValue::Kind::Bool;
+                out->boolean = true;
+            }
             return literal("true");
           case 'f':
+            if (out != nullptr) {
+                out->kind = JsonValue::Kind::Bool;
+                out->boolean = false;
+            }
             return literal("false");
           case 'n':
+            if (out != nullptr)
+                out->kind = JsonValue::Kind::Null;
             return literal("null");
           default:
-            return parseNumber();
+            if (out != nullptr)
+                out->kind = JsonValue::Kind::Number;
+            return parseNumber(out != nullptr ? &out->number : nullptr);
         }
     }
 
@@ -417,6 +501,36 @@ jsonValidate(const std::string &text, std::string *err)
     if (err != nullptr)
         err->clear();
     return JsonParser(text, err).run();
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = get(key);
+    if (v == nullptr)
+        isim_fatal("JSON object has no member '%s'", key.c_str());
+    return *v;
+}
+
+bool
+jsonParse(const std::string &text, JsonValue &out, std::string *err)
+{
+    if (err != nullptr)
+        err->clear();
+    out = JsonValue{};
+    return JsonParser(text, err).run(&out);
 }
 
 } // namespace isim

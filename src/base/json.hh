@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace isim {
 
@@ -93,6 +95,52 @@ class JsonWriter
  * first problem and its offset.
  */
 bool jsonValidate(const std::string &text, std::string *err = nullptr);
+
+/**
+ * Parsed JSON document node. Numbers are stored as double (every
+ * counter the simulator emits fits a double's 53-bit integer range);
+ * object member order is preserved as written, which keeps parse ->
+ * re-emit comparisons deterministic.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** `get`, but fatal() when the member is missing. */
+    const JsonValue &at(const std::string &key) const;
+};
+
+/**
+ * Parse a full JSON document into a JsonValue tree. Accepts exactly
+ * what jsonValidate() accepts; returns false (with a message in `err`
+ * if non-null) on malformed input.
+ */
+bool jsonParse(const std::string &text, JsonValue &out,
+               std::string *err = nullptr);
 
 } // namespace isim
 

@@ -25,6 +25,7 @@
 #include <algorithm>
 
 #include "src/obs/tracer.hh"
+#include "src/stats/registry.hh"
 
 #ifdef ISIM_CHECK_INVARIANTS
 #include "src/verify/invariants.hh"
@@ -129,13 +130,70 @@ MemorySystem::MemorySystem(const MemSysConfig &config)
     : config_(config),
       homeMap_{config.nodeShift, config.numNodes},
       lineBits_(floorLog2(config.lineBytes)),
-      dir_(homeMap_, lineBits_)
+      dir_(homeMap_, lineBits_),
+      nocTopo_(config.numNodes)
 {
     config_.validate();
     mcBusyUntil_.assign(config_.numNodes, 0);
     nodes_.reserve(config_.numNodes);
     for (NodeId n = 0; n < config_.numNodes; ++n)
         nodes_.push_back(std::make_unique<Node>(n, config_));
+}
+
+void
+NodeProtocolStats::registerStats(stats::Registry &r,
+                                 const std::string &prefix) const
+{
+    const NodeProtocolStats *s = this;
+    r.counter(prefix + ".miss.instr_local",
+              "instruction misses to the local home", "misses",
+              [s] { return s->instrLocal; });
+    r.counter(prefix + ".miss.instr_remote",
+              "instruction misses to a remote home", "misses",
+              [s] { return s->instrRemote; });
+    r.counter(prefix + ".miss.local",
+              "data misses satisfied locally (home or RAC)", "misses",
+              [s] { return s->dataLocal; });
+    r.counter(prefix + ".miss.remote_clean",
+              "2-hop data misses, data from a remote home", "misses",
+              [s] { return s->dataRemoteClean; });
+    r.counter(prefix + ".miss.remote_dirty",
+              "3-hop data misses, data dirty in a remote cache", "misses",
+              [s] { return s->dataRemoteDirty; });
+    r.counter(prefix + ".upgrades", "ownership-only transactions", "ops",
+              [s] { return s->upgrades; });
+    r.counter(prefix + ".intra_node_invals",
+              "sibling-L1 write propagation invalidations", "ops",
+              [s] { return s->intraNodeInvals; });
+    r.counter(prefix + ".store_refs", "store references", "refs",
+              [s] { return s->storeRefs; });
+    r.counter(prefix + ".stores_causing_inval",
+              "stores that invalidated at least one remote copy", "refs",
+              [s] { return s->storesCausingInval; });
+    r.counter(prefix + ".invals_sent",
+              "remote copies invalidated by this node's stores", "ops",
+              [s] { return s->invalidationsSent; });
+    r.counter(prefix + ".writebacks_to_home",
+              "dirty victims written back to their home", "lines",
+              [s] { return s->writebacksToHome; });
+    r.counter(prefix + ".replacement_hints",
+              "clean-victim replacement hints to the directory", "ops",
+              [s] { return s->replacementHints; });
+    r.counter(prefix + ".victim_hits",
+              "misses recovered from the L2 victim buffer", "ops",
+              [s] { return s->victimHits; });
+    r.counter(prefix + ".rac_upgrades",
+              "store misses finding the data Shared in the RAC", "ops",
+              [s] { return s->racUpgrades; });
+    r.counter(prefix + ".prefetches_issued",
+              "sequential prefetches issued", "ops",
+              [s] { return s->prefetchesIssued; });
+    r.counter(prefix + ".prefetch_hits",
+              "demand hits on prefetched lines", "ops",
+              [s] { return s->prefetchHits; });
+    r.counter(prefix + ".mc_queue_cycles",
+              "stall added by memory-controller contention", "cycles",
+              [s] { return s->mcQueueCycles; });
 }
 
 const NodeProtocolStats &
@@ -196,6 +254,7 @@ void
 MemorySystem::resetStats()
 {
     transitionCount_ = 0;
+    nocStats_ = NocCounters{};
     for (auto &node : nodes_) {
         node->stats = NodeProtocolStats{};
         for (auto &c : node->l1i)
@@ -411,11 +470,56 @@ MemorySystem::accessImpl(NodeId core, RefType type, Addr paddr, Tick now)
         out.stall += queued;
         nd.stats.mcQueueCycles += queued;
     }
+    {
+        // NoC traffic accounting runs on every directory-path miss,
+        // tracer or not, so stats manifests always report it.
+        NocLeg legs[3];
+        const unsigned nlegs = nocLegsFor(node, home, dr.peer, legs);
+        countNocLegs(legs, nlegs);
+    }
     if (ISIM_OBS_ACTIVE(tracer_))
         traceDirectoryMiss(core, node, home, dr.peer, type, out, line, now);
     if (config_.prefetchDegree > 0)
         issuePrefetches(node, line);
     return out;
+}
+
+unsigned
+MemorySystem::nocLegsFor(NodeId node, NodeId home, NodeId peer,
+                         NocLeg legs[3]) const
+{
+    // The Network model charges latency without per-message queues, so
+    // the logical legs of a transaction are reconstructed after the
+    // fact: request to home, optional probe to the former owner, data
+    // back to the requester.
+    constexpr unsigned ctrlBytes = 16; //!< header-only message
+    constexpr unsigned dataBytes = 80; //!< header + 64B line
+    unsigned nlegs = 0;
+    const bool probed = peer != invalidNode && peer != node;
+    if (home != node)
+        legs[nlegs++] = {node, home, ctrlBytes};
+    if (probed) {
+        legs[nlegs++] = {home, peer, ctrlBytes};
+        legs[nlegs++] = {peer, node, dataBytes};
+    } else if (home != node) {
+        legs[nlegs++] = {home, node, dataBytes};
+    }
+    return nlegs;
+}
+
+void
+MemorySystem::countNocLegs(const NocLeg legs[3], unsigned nlegs)
+{
+    constexpr unsigned ctrlBytes = 16;
+    for (unsigned i = 0; i < nlegs; ++i) {
+        ++nocStats_.messages;
+        if (legs[i].bytes > ctrlBytes)
+            ++nocStats_.dataMessages;
+        else
+            ++nocStats_.ctrlMessages;
+        nocStats_.bytes += legs[i].bytes;
+        nocStats_.hops += nocTopo_.hops(legs[i].src, legs[i].dst);
+    }
 }
 
 void
@@ -433,25 +537,9 @@ MemorySystem::traceDirectoryMiss(NodeId core, NodeId node, NodeId home,
                   now, out.stall, static_cast<std::uint16_t>(core), cls,
                   static_cast<std::uint32_t>(home), addr);
 
-    // Reconstruct the logical interconnect legs of the transaction.
-    // The Network model charges latency without per-message queues, so
-    // the hop events are synthesized here: request to home, optional
-    // probe to the former owner, data back to the requester, with the
-    // timestamps spread across the charged stall.
-    constexpr unsigned ctrlBytes = 16; //!< header-only message
-    constexpr unsigned dataBytes = 80; //!< header + 64B line
-    struct Leg { NodeId src, dst; unsigned bytes; };
-    Leg legs[3];
-    unsigned nlegs = 0;
-    const bool probed = peer != invalidNode && peer != node;
-    if (home != node)
-        legs[nlegs++] = {node, home, ctrlBytes};
-    if (probed) {
-        legs[nlegs++] = {home, peer, ctrlBytes};
-        legs[nlegs++] = {peer, node, dataBytes};
-    } else if (home != node) {
-        legs[nlegs++] = {home, node, dataBytes};
-    }
+    // Hop events with timestamps spread across the charged stall.
+    NocLeg legs[3];
+    const unsigned nlegs = nocLegsFor(node, home, peer, legs);
     for (unsigned i = 0; i < nlegs; ++i) {
         const Tick depart = now + (out.stall * i) / nlegs;
         const Tick arrive = now + (out.stall * (i + 1)) / nlegs;

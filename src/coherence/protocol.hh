@@ -25,12 +25,17 @@
 #include "src/coherence/directory.hh"
 #include "src/mem/cache.hh"
 #include "src/mem/rac.hh"
+#include "src/noc/network.hh"
 #include "src/timing/latency_config.hh"
 
 namespace isim {
 
 namespace obs {
 class Tracer;
+}
+
+namespace stats {
+class Registry;
 }
 
 /** Kind of memory reference issued by a CPU. */
@@ -119,6 +124,13 @@ struct NodeProtocolStats
     }
 
     NodeProtocolStats &operator+=(const NodeProtocolStats &o);
+
+    /**
+     * Register every counter under `prefix` (e.g. "node0.l2"): the
+     * five miss classes as `prefix.miss.<class>` plus the protocol
+     * event counters. The struct must outlive the registry.
+     */
+    void registerStats(stats::Registry &r, const std::string &prefix) const;
 };
 
 /** Static configuration of the memory system. */
@@ -204,6 +216,10 @@ class MemorySystem
 
     const NodeProtocolStats &nodeStats(NodeId node) const;
     NodeProtocolStats aggregateStats() const;
+
+    /** Interconnect traffic from directory transactions (always on). */
+    const NocCounters &nocStats() const { return nocStats_; }
+    const TorusTopology &nocTopology() const { return nocTopo_; }
 
     /** L1 caches are per *core* (global core id). */
     const Cache &l1i(NodeId core) const;
@@ -359,6 +375,25 @@ class MemorySystem
     /** Queueing delay at the home MC for a miss arriving at `now`. */
     Cycles mcQueueDelay(NodeId home, Tick now);
 
+    /** One logical interconnect message leg of a transaction. */
+    struct NocLeg
+    {
+        NodeId src = invalidNode;
+        NodeId dst = invalidNode;
+        unsigned bytes = 0;
+    };
+
+    /**
+     * Reconstruct the message legs of a directory transaction
+     * (request to home, optional probe to the former owner, data back
+     * to the requester). Fills `legs` and returns the leg count (<= 3).
+     */
+    unsigned nocLegsFor(NodeId node, NodeId home, NodeId peer,
+                        NocLeg legs[3]) const;
+
+    /** Account the legs of one transaction in nocStats_. */
+    void countNocLegs(const NocLeg legs[3], unsigned nlegs);
+
     /** Emit directory + NoC trace events for a directory-path miss. */
     void traceDirectoryMiss(NodeId core, NodeId node, NodeId home,
                             NodeId peer, RefType type,
@@ -374,6 +409,8 @@ class MemorySystem
     HomeMap homeMap_;
     unsigned lineBits_;
     Directory dir_;
+    TorusTopology nocTopo_;
+    NocCounters nocStats_;
     std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -64,6 +64,10 @@ RunOptions::fromEnv()
         v && *v >= 1) {
         opts.auditPeriod = *v;
     }
+    if (const char *path = std::getenv("ISIM_STATS_OUT"))
+        opts.statsOut = path;
+    if (const auto v = parseUint(std::getenv("ISIM_STATS_EPOCH")))
+        opts.statsEpochTicks = *v;
     return opts;
 }
 
@@ -117,6 +121,11 @@ RunOptions::fromCommandLine(int &argc, char **argv)
             if (v == 0)
                 isim_fatal("--audit-period must be >= 1");
             opts.auditPeriod = v;
+        } else if (matches(i, "--stats-out")) {
+            opts.statsOut = value;
+        } else if (matches(i, "--stats-epoch")) {
+            opts.statsEpochTicks =
+                parseUintOrDie("--stats-epoch", value);
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             opts.verbose = false;
         } else {
@@ -166,6 +175,10 @@ runOptionsHelp()
            "  --jobs=N             run up to N bars concurrently "
            "(default: one per core)\n"
            "  --audit-period=N     invariant full-audit period\n"
+           "  --stats-out=FILE     write the stats manifest to FILE "
+           "(default: <json-dir>/<stem>.stats.json)\n"
+           "  --stats-epoch=TICKS  embed per-epoch stat rows on this "
+           "tick grid\n"
            "  --quiet              suppress per-run progress lines\n";
 }
 

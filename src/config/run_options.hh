@@ -41,14 +41,27 @@ struct RunOptions
     std::uint64_t auditPeriod = std::uint64_t{1} << 20;
     /** Per-run progress lines on stderr. */
     bool verbose = true;
+    /**
+     * Stats-manifest path override. "" = default: next to the figure
+     * JSON as `<stem>.stats.json` (which requires jsonDir). A figure
+     * run always produces a manifest when either is set.
+     */
+    std::string statsOut;
+    /**
+     * Embed per-epoch counter rows in the manifest, sampled on this
+     * tick grid (0 = off). Runs the timeline sampler on EVERY bar —
+     * unlike the timeline CSV, which observes a single bar.
+     */
+    Tick statsEpochTicks = 0;
     /** What to capture and where (one observed bar per figure). */
     obs::ObsConfig obs;
 
     /**
      * Resolve the environment: ISIM_TXNS, ISIM_WARMUP, ISIM_SEED,
-     * ISIM_JSON_DIR, ISIM_JOBS, ISIM_AUDIT_PERIOD. Malformed values
-     * are ignored (the variables are convenience overrides, often set
-     * globally in CI). This is the only getenv() site in the tree.
+     * ISIM_JSON_DIR, ISIM_JOBS, ISIM_AUDIT_PERIOD, ISIM_STATS_OUT,
+     * ISIM_STATS_EPOCH. Malformed values are ignored (the variables
+     * are convenience overrides, often set globally in CI). This is
+     * the only getenv() site in the tree.
      */
     static RunOptions fromEnv();
 
@@ -63,6 +76,8 @@ struct RunOptions
      *   --json-dir DIR           write figure JSON into DIR
      *   --jobs N                 worker threads (0 = one per core)
      *   --audit-period N         invariant full-audit period (>= 1)
+     *   --stats-out FILE         write the stats manifest to FILE
+     *   --stats-epoch TICKS      embed per-epoch rows on this grid
      *   --quiet                  suppress per-run progress lines
      *
      * plus the observability flags (obsFromCommandLine). Flags

@@ -9,11 +9,28 @@
 #include <fstream>
 #include <iostream>
 
+#include "src/base/json.hh"
 #include "src/base/logging.hh"
 #include "src/core/registry.hh"
 #include "src/core/report.hh"
 
 namespace isim {
+
+namespace {
+
+void
+writeTextFile(const std::string &path, const std::string &content,
+              const char *what)
+{
+    std::ofstream out(path);
+    if (!out)
+        isim_fatal("cannot write %s: %s", what, path.c_str());
+    out << content;
+    if (!out)
+        isim_fatal("write of %s failed: %s", what, path.c_str());
+}
+
+} // namespace
 
 std::string
 figureJsonStem(const FigureSpec &spec)
@@ -38,11 +55,24 @@ runFigureAndPrint(const FigureSpec &spec, const RunOptions &options)
     if (!options.jsonDir.empty()) {
         const std::string path =
             options.jsonDir + "/" + figureJsonStem(spec) + ".json";
-        std::ofstream out(path);
-        if (!out)
-            isim_fatal("cannot write figure JSON: %s", path.c_str());
-        out << figureToJson(result);
+        writeTextFile(path, figureToJson(result), "figure JSON");
         std::cout << "json written to " << path << "\n";
+    }
+    if (!options.statsOut.empty() || !options.jsonDir.empty()) {
+        const std::string path =
+            !options.statsOut.empty()
+                ? options.statsOut
+                : options.jsonDir + "/" + figureJsonStem(spec) +
+                      ".stats.json";
+        const std::string manifest = figureStatsJson(result);
+        // The manifest is a machine-interface contract (isim-stat, CI
+        // regression diffs); prove it parses before shipping it.
+        std::string err;
+        if (!jsonValidate(manifest, &err))
+            isim_panic("stats manifest does not validate: %s",
+                       err.c_str());
+        writeTextFile(path, manifest, "stats manifest");
+        std::cout << "stats written to " << path << "\n";
     }
     return 0;
 }

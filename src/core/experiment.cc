@@ -89,7 +89,25 @@ ExperimentRunner::runBar(const FigureSpec &spec, std::size_t index,
                          std::size_t observed_index) const
 {
     if (index == observed_index) {
-        obs::Observability o(options_.obs);
+        obs::ObsConfig cfg = options_.obs;
+        if (options_.statsEpochTicks > 0) {
+            cfg.sampleEpochs = true;
+            // The timeline CSV (when requested) keeps its own grid;
+            // the manifest's epoch rows then share it.
+            if (!cfg.wantsTimeline())
+                cfg.epochTicks = options_.statsEpochTicks;
+        }
+        obs::Observability o(cfg);
+        return runObserved(spec.bars[index].config, o);
+    }
+    if (options_.statsEpochTicks > 0) {
+        // Sampler-only bundle: no event tracing, no output files —
+        // just the epoch rows the stats manifest embeds. Every bar
+        // gets one, unlike the single observed bar above.
+        obs::ObsConfig cfg;
+        cfg.epochTicks = options_.statsEpochTicks;
+        cfg.sampleEpochs = true;
+        obs::Observability o(cfg);
         return runObserved(spec.bars[index].config, o);
     }
     return runOne(spec.bars[index].config);

@@ -74,15 +74,185 @@ Machine::Machine(const MachineConfig &config) : config_(config)
 
     sched_ = std::make_unique<Scheduler>(config_.numCpus);
     engine_->createProcesses(*sched_);
+
+    buildRegistry();
+}
+
+void
+Machine::buildRegistry()
+{
+    // Per-CPU execution buckets plus machine-wide sums. The aggregate
+    // lambdas walk cpus_ at dump time so they always match the per-CPU
+    // values they summarize.
+    for (NodeId c = 0; c < config_.numCpus; ++c) {
+        cpus_[c]->stats().registerStats(registry_,
+                                        "cpu" + std::to_string(c));
+    }
+    auto cpuSum = [this](Tick CpuStats::*field) {
+        return [this, field] {
+            Tick total = 0;
+            for (const auto &core : cpus_)
+                total += core->stats().*field;
+            return total;
+        };
+    };
+    auto cpuSumU = [this](std::uint64_t CpuStats::*field) {
+        return [this, field] {
+            std::uint64_t total = 0;
+            for (const auto &core : cpus_)
+                total += core->stats().*field;
+            return total;
+        };
+    };
+    registry_
+        .counter("cpu.busy", "instruction issue time, all CPUs", "ticks",
+                 cpuSum(&CpuStats::busy))
+        .counter("cpu.l2hit_stall", "L2-hit stall, all CPUs", "ticks",
+                 cpuSum(&CpuStats::l2HitStall))
+        .counter("cpu.local_stall", "local-memory stall, all CPUs",
+                 "ticks", cpuSum(&CpuStats::localStall))
+        .counter("cpu.remote_stall", "2-hop remote stall, all CPUs",
+                 "ticks", cpuSum(&CpuStats::remoteStall))
+        .counter("cpu.remote_dirty_stall",
+                 "3-hop remote-dirty stall, all CPUs", "ticks",
+                 cpuSum(&CpuStats::remoteDirtyStall))
+        .counter("cpu.idle", "idle time, all CPUs", "ticks",
+                 cpuSum(&CpuStats::idle))
+        .counter("cpu.kernel_time", "kernel-mode time, all CPUs",
+                 "ticks", cpuSum(&CpuStats::kernelTime))
+        .counter("cpu.instructions", "instructions, all CPUs", "insts",
+                 cpuSumU(&CpuStats::instructions))
+        .counter("cpu.loads", "load references, all CPUs", "refs",
+                 cpuSumU(&CpuStats::loads))
+        .counter("cpu.stores", "store references, all CPUs", "refs",
+                 cpuSumU(&CpuStats::stores));
+
+    auto allCpu = [this] {
+        CpuStats total;
+        for (const auto &core : cpus_)
+            total += core->stats();
+        return total;
+    };
+    registry_
+        .formula("cpu.exec_time",
+                 "non-idle execution time, all CPUs (figures' y-axis)",
+                 "ticks",
+                 [allCpu] { return static_cast<double>(allCpu().nonIdle()); })
+        .formula("cpu.kernel_frac", "kernel share of non-idle time",
+                 "ratio", [allCpu] { return allCpu().kernelFraction(); })
+        .formula("cpu.busy_frac", "busy share of non-idle time", "ratio",
+                 [allCpu] { return allCpu().busyFraction(); });
+
+    // Memory system: per-node protocol + cache counters, per-core L1s.
+    const unsigned nodes = config_.numNodes();
+    for (NodeId n = 0; n < nodes; ++n) {
+        const std::string node = "node" + std::to_string(n);
+        memSys_->nodeStats(n).registerStats(registry_, node + ".l2");
+        memSys_->l2(n).counters().registerStats(registry_,
+                                                node + ".l2.cache");
+        if (memSys_->hasRac())
+            memSys_->rac(n).counters().registerStats(registry_,
+                                                     node + ".rac");
+    }
+    for (NodeId c = 0; c < config_.numCpus; ++c) {
+        const std::string cpu = "cpu" + std::to_string(c);
+        memSys_->l1i(c).counters().registerStats(registry_,
+                                                 cpu + ".l1i");
+        memSys_->l1d(c).counters().registerStats(registry_,
+                                                 cpu + ".l1d");
+    }
+    // Machine-wide miss-class aggregates (what the figures plot).
+    auto missSum = [this](std::uint64_t NodeProtocolStats::*field) {
+        return [this, field] { return memSys_->aggregateStats().*field; };
+    };
+    registry_
+        .counter("l2.miss.instr_local",
+                 "instruction misses to the local home, all nodes",
+                 "misses", missSum(&NodeProtocolStats::instrLocal))
+        .counter("l2.miss.instr_remote",
+                 "instruction misses to a remote home, all nodes",
+                 "misses", missSum(&NodeProtocolStats::instrRemote))
+        .counter("l2.miss.local",
+                 "data misses satisfied locally, all nodes", "misses",
+                 missSum(&NodeProtocolStats::dataLocal))
+        .counter("l2.miss.remote_clean",
+                 "2-hop data misses, all nodes", "misses",
+                 missSum(&NodeProtocolStats::dataRemoteClean))
+        .counter("l2.miss.remote_dirty",
+                 "3-hop data misses, all nodes", "misses",
+                 missSum(&NodeProtocolStats::dataRemoteDirty))
+        .counter("l2.miss.total", "L2 misses, all nodes and classes",
+                 "misses",
+                 [this] {
+                     return memSys_->aggregateStats().totalL2Misses();
+                 })
+        .counter("l2.store_refs", "store references, all nodes", "refs",
+                 missSum(&NodeProtocolStats::storeRefs))
+        .counter("l2.stores_causing_inval",
+                 "stores invalidating at least one remote copy, "
+                 "all nodes",
+                 "refs", missSum(&NodeProtocolStats::storesCausingInval))
+        .counter("l2.invals_sent",
+                 "remote copies invalidated, all nodes", "ops",
+                 missSum(&NodeProtocolStats::invalidationsSent))
+        .counter("l2.upgrades", "ownership-only transactions, all nodes",
+                 "ops", missSum(&NodeProtocolStats::upgrades));
+
+    registry_.formula("l2.mpki", "L2 misses per kilo-instruction",
+                      "misses/ki", [this] {
+                          const std::uint64_t insts = [this] {
+                              std::uint64_t total = 0;
+                              for (const auto &core : cpus_)
+                                  total += core->stats().instructions;
+                              return total;
+                          }();
+                          const auto misses =
+                              memSys_->aggregateStats().totalL2Misses();
+                          return insts ? 1000.0 *
+                                             static_cast<double>(misses) /
+                                             static_cast<double>(insts)
+                                       : 0.0;
+                      });
+    registry_.formula("l2.inval_per_store",
+                      "remote invalidations per store reference", "ratio",
+                      [this] {
+                          const NodeProtocolStats m =
+                              memSys_->aggregateStats();
+                          return m.storeRefs
+                                     ? static_cast<double>(
+                                           m.invalidationsSent) /
+                                           static_cast<double>(m.storeRefs)
+                                     : 0.0;
+                      });
+    if (memSys_->hasRac()) {
+        registry_.formula("rac.hit_rate",
+                          "machine-wide RAC demand hit rate", "ratio",
+                          [this] {
+                              return memSys_->aggregateRacCounters()
+                                  .hitRate();
+                          });
+    }
+
+    // Interconnect traffic (always counted, tracer or not).
+    memSys_->nocStats().registerStats(registry_, "noc");
+
+    // OLTP engine: transactions, latches, buffer cache, redo log.
+    engine_->registerStats(registry_);
+
+    // Component resets. The registry owns the warm-up boundary: every
+    // stat source above must be covered by exactly one hook here (the
+    // engine hangs its own hook inside registerStats).
+    registry_.onReset([this] {
+        for (auto &core : cpus_)
+            core->resetStats();
+        memSys_->resetStats();
+    });
 }
 
 void
 Machine::resetStats()
 {
-    for (auto &core : cpus_)
-        core->resetStats();
-    memSys_->resetStats();
-    engine_->clearLatencyStats();
+    registry_.resetAll();
     if (obs_ != nullptr)
         obs_->onStatsReset();
 }
@@ -114,10 +284,12 @@ Machine::attachObservability(obs::Observability *o)
         s.missDataRemoteDirty = m.dataRemoteDirty;
         s.latchAcquires = engine_->latches().acquires();
         s.latchContended = engine_->latches().contended();
-        const obs::Tracer &t = obs_->tracer();
-        s.ctxSwitches = t.count(obs::EventKind::CtxSwitch);
-        s.nocMsgs = t.count(obs::EventKind::NocEnqueue);
-        s.nocBytes = t.nocBytes();
+        s.ctxSwitches = obs_->tracer().count(obs::EventKind::CtxSwitch);
+        // NoC load comes from the always-on protocol counters, so
+        // epoch rows report it even when event tracing is off
+        // (--stats-epoch without --trace-*).
+        s.nocMsgs = memSys_->nocStats().messages;
+        s.nocBytes = memSys_->nocStats().bytes;
         return s;
     });
 }
@@ -132,13 +304,14 @@ Machine::snapshot() const
     r.misses = memSys_->aggregateStats();
     if (memSys_->hasRac())
         r.rac = memSys_->aggregateRacCounters();
-    r.transactions = engine_->committedTransactions();
+    r.transactions = engine_->measuredCommitted();
     r.dbConsistent = engine_->db().checkConsistency();
     const Histogram &lat = engine_->txnLatency();
     r.txnLatMeanUs = lat.mean();
     r.txnLatP50Us = lat.quantile(0.50);
     r.txnLatP95Us = lat.quantile(0.95);
     r.txnLatP99Us = lat.quantile(0.99);
+    r.stats = registry_.snapshot();
     return r;
 }
 
@@ -155,16 +328,16 @@ Machine::run(TraceWriter *trace)
         obs_->beginRun(0);
     sim.runUntilWarmupDone();
     const Tick warm_end = sim.wallTime();
-    resetStats();
-    const std::uint64_t warm_txns = engine_->committedTransactions();
+    resetStats(); // rebases oltp.txn.committed via the registry hook
 
     sim.runUntilMeasurementDone();
     if (obs_ != nullptr)
         obs_->endRun(sim.wallTime());
 
     RunResult r = snapshot();
-    r.transactions = engine_->committedTransactions() - warm_txns;
     r.wallTime = sim.wallTime() - warm_end;
+    if (obs_ != nullptr && obs_->sampler() != nullptr)
+        r.epochs = obs_->sampler()->rows();
     return r;
 }
 

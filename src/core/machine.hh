@@ -16,10 +16,12 @@
 #include "src/coherence/protocol.hh"
 #include "src/cpu/core.hh"
 #include "src/cpu/ooo.hh"
+#include "src/obs/sampler.hh"
 #include "src/oltp/workload.hh"
 #include "src/os/kernel.hh"
 #include "src/os/scheduler.hh"
 #include "src/os/vm.hh"
+#include "src/stats/registry.hh"
 #include "src/timing/latency_config.hh"
 
 namespace isim {
@@ -87,10 +89,17 @@ struct RunResult
     bool dbConsistent = false;
 
     // Transaction commit latency over the window (microseconds).
+    // Quantiles are NaN when unresolvable (no samples, or the mass
+    // sits in the histogram's overflow bucket).
     double txnLatMeanUs = 0.0;
-    std::uint64_t txnLatP50Us = 0;
-    std::uint64_t txnLatP95Us = 0;
-    std::uint64_t txnLatP99Us = 0;
+    double txnLatP50Us = 0.0;
+    double txnLatP95Us = 0.0;
+    double txnLatP99Us = 0.0;
+
+    /** Full registry snapshot (every named stat, sorted by name). */
+    stats::Snapshot stats;
+    /** Per-epoch counter deltas; filled only with --stats-epoch. */
+    std::vector<obs::EpochRow> epochs;
 
     /** The figures' y-axis: total non-idle execution time. */
     Tick execTime() const { return cpu.nonIdle(); }
@@ -125,11 +134,20 @@ class Machine
     MemorySystem &memSys() { return *memSys_; }
     CpuCore &cpu(NodeId node) { return *cpus_[node]; }
 
-    /** Reset all statistics (cache/directory contents are kept). */
+    /**
+     * Reset all statistics (cache/directory contents are kept). Every
+     * component resets through its hook on the registry, so a stat
+     * cannot be registered without also being covered by the warm-up
+     * boundary.
+     */
     void resetStats();
 
     /** Collect current aggregated statistics. */
     RunResult snapshot() const;
+
+    /** The machine's metrics registry (every counter, by name). */
+    stats::Registry &statsRegistry() { return registry_; }
+    const stats::Registry &statsRegistry() const { return registry_; }
 
     /**
      * Attach (or with nullptr, detach) an observability bundle: wires
@@ -140,7 +158,11 @@ class Machine
     void attachObservability(obs::Observability *o);
 
   private:
+    /** Register every component's stats (called once, from the ctor). */
+    void buildRegistry();
+
     MachineConfig config_;
+    stats::Registry registry_;
     std::unique_ptr<VirtualMemory> vm_;
     std::unique_ptr<KernelModel> kernel_;
     std::unique_ptr<OltpEngine> engine_;

@@ -1,15 +1,20 @@
 /**
  * @file
- * Report formatting implementation.
+ * Report formatting implementation. Tables and figure JSON read their
+ * numbers from the run's registry snapshot (RunResult::stats), so the
+ * report can only show what the manifest also carries — a stat that is
+ * wrong in one place is wrong in both, never silently different.
  */
 
 #include "src/core/report.hh"
 
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
 #include "src/base/json.hh"
 #include "src/base/logging.hh"
+#include "src/stats/registry.hh"
 
 namespace isim {
 
@@ -21,6 +26,42 @@ norm(double value, double reference)
     return reference > 0.0 ? 100.0 * value / reference : 0.0;
 }
 
+/** Registry-snapshot lookup; a missing name is a wiring bug. */
+double
+stat(const RunResult &r, const std::string &name)
+{
+    const stats::Sample *s = stats::findSample(r.stats, name);
+    if (s == nullptr)
+        isim_panic("run '%s' has no stat '%s'", r.name.c_str(),
+                   name.c_str());
+    return s->number();
+}
+
+/** Lookup for stats that exist only in some configs (RAC). */
+double
+statOr(const RunResult &r, const std::string &name, double fallback)
+{
+    const stats::Sample *s = stats::findSample(r.stats, name);
+    return s != nullptr ? s->number() : fallback;
+}
+
+/** Combined 2-hop + 3-hop remote stall, as plotted in Figures 6/8/10. */
+double
+remStall(const RunResult &r)
+{
+    return stat(r, "cpu.remote_stall") + stat(r, "cpu.remote_dirty_stall");
+}
+
+const stats::DistSummary &
+txnLatency(const RunResult &r)
+{
+    const stats::Sample *s = stats::findSample(r.stats, "oltp.txn.latency");
+    if (s == nullptr)
+        isim_panic("run '%s' has no oltp.txn.latency distribution",
+                   r.name.c_str());
+    return s->dist;
+}
+
 } // namespace
 
 Table
@@ -28,21 +69,20 @@ executionTable(const FigureResult &result)
 {
     const FigureSpec &spec = result.spec;
     isim_assert(spec.normalizeTo < result.runs.size());
-    const double ref = static_cast<double>(
-        result.runs[spec.normalizeTo].execTime());
+    const double ref =
+        stat(result.runs[spec.normalizeTo], "cpu.exec_time");
 
     Table t({"Config", "CPU", "L2Hit", "LocStall", "RemStall", "Total",
              "Paper"});
     for (std::size_t i = 0; i < result.runs.size(); ++i) {
         const RunResult &r = result.runs[i];
-        const double total = static_cast<double>(r.execTime());
         t.row()
             .cell(r.name)
-            .num(norm(static_cast<double>(r.cpu.busy), ref))
-            .num(norm(static_cast<double>(r.cpu.l2HitStall), ref))
-            .num(norm(static_cast<double>(r.cpu.localStall), ref))
-            .num(norm(static_cast<double>(r.cpu.remStall()), ref))
-            .num(norm(total, ref))
+            .num(norm(stat(r, "cpu.busy"), ref))
+            .num(norm(stat(r, "cpu.l2hit_stall"), ref))
+            .num(norm(stat(r, "cpu.local_stall"), ref))
+            .num(norm(remStall(r), ref))
+            .num(norm(stat(r, "cpu.exec_time"), ref))
             .cell(spec.bars[i].paperExecTime
                       ? formatNum(*spec.bars[i].paperExecTime)
                       : "-");
@@ -54,21 +94,21 @@ Table
 missTable(const FigureResult &result)
 {
     const FigureSpec &spec = result.spec;
-    const double ref = static_cast<double>(
-        result.runs[spec.normalizeTo].misses.totalL2Misses());
+    const double ref =
+        stat(result.runs[spec.normalizeTo], "l2.miss.total");
 
     Table t({"Config", "I-Loc", "I-Rem", "D-Loc", "D-RemCl", "D-RemDrt",
              "Total", "Paper"});
     for (std::size_t i = 0; i < result.runs.size(); ++i) {
-        const NodeProtocolStats &m = result.runs[i].misses;
+        const RunResult &r = result.runs[i];
         t.row()
-            .cell(result.runs[i].name)
-            .num(norm(static_cast<double>(m.instrLocal), ref))
-            .num(norm(static_cast<double>(m.instrRemote), ref))
-            .num(norm(static_cast<double>(m.dataLocal), ref))
-            .num(norm(static_cast<double>(m.dataRemoteClean), ref))
-            .num(norm(static_cast<double>(m.dataRemoteDirty), ref))
-            .num(norm(static_cast<double>(m.totalL2Misses()), ref))
+            .cell(r.name)
+            .num(norm(stat(r, "l2.miss.instr_local"), ref))
+            .num(norm(stat(r, "l2.miss.instr_remote"), ref))
+            .num(norm(stat(r, "l2.miss.local"), ref))
+            .num(norm(stat(r, "l2.miss.remote_clean"), ref))
+            .num(norm(stat(r, "l2.miss.remote_dirty"), ref))
+            .num(norm(stat(r, "l2.miss.total"), ref))
             .cell(spec.bars[i].paperMisses
                       ? formatNum(*spec.bars[i].paperMisses)
                       : "-");
@@ -83,32 +123,24 @@ detailTable(const FigureResult &result)
              "Lat-p95us", "Lat-p99us", "Kernel%", "Busy%",
              "Inval/Store%", "RACHit%", "Consist"});
     for (const RunResult &r : result.runs) {
-        const double instr_m =
-            static_cast<double>(r.cpu.instructions) / 1e6;
-        const double mpki =
-            r.cpu.instructions
-                ? 1000.0 *
-                      static_cast<double>(r.misses.totalL2Misses()) /
-                      static_cast<double>(r.cpu.instructions)
-                : 0.0;
+        const double stores = stat(r, "l2.store_refs");
         const double inval_rate =
-            r.misses.storeRefs
-                ? 100.0 *
-                      static_cast<double>(r.misses.storesCausingInval) /
-                      static_cast<double>(r.misses.storeRefs)
+            stores > 0.0
+                ? 100.0 * stat(r, "l2.stores_causing_inval") / stores
                 : 0.0;
+        const stats::DistSummary &lat = txnLatency(r);
         t.row()
             .cell(r.name)
-            .num(instr_m)
-            .num(mpki, 2)
+            .num(stat(r, "cpu.instructions") / 1e6)
+            .num(stat(r, "l2.mpki"), 2)
             .num(r.tps(), 0)
-            .num(static_cast<double>(r.txnLatP50Us), 0)
-            .num(static_cast<double>(r.txnLatP95Us), 0)
-            .num(static_cast<double>(r.txnLatP99Us), 0)
-            .num(100.0 * r.cpu.kernelFraction())
-            .num(100.0 * r.cpu.busyFraction())
+            .num(lat.p50, 0)
+            .num(lat.p95, 0)
+            .num(lat.p99, 0)
+            .num(100.0 * stat(r, "cpu.kernel_frac"))
+            .num(100.0 * stat(r, "cpu.busy_frac"))
             .num(inval_rate, 2)
-            .num(100.0 * r.rac.hitRate())
+            .num(100.0 * statOr(r, "rac.hit_rate", 0.0))
             .cell(r.dbConsistent ? "ok" : "FAIL");
     }
     return t;
@@ -133,10 +165,10 @@ std::string
 figureToJson(const FigureResult &result)
 {
     const FigureSpec &spec = result.spec;
-    const double ref = static_cast<double>(
-        result.runs[spec.normalizeTo].execTime());
-    const double ref_miss = static_cast<double>(
-        result.runs[spec.normalizeTo].misses.totalL2Misses());
+    const double ref =
+        stat(result.runs[spec.normalizeTo], "cpu.exec_time");
+    const double ref_miss =
+        stat(result.runs[spec.normalizeTo], "l2.miss.total");
 
     std::ostringstream os;
     JsonWriter w(os, /*pretty_depth=*/2);
@@ -146,32 +178,26 @@ figureToJson(const FigureResult &result)
     w.key("bars").beginArray();
     for (std::size_t i = 0; i < result.runs.size(); ++i) {
         const RunResult &r = result.runs[i];
+        const stats::DistSummary &lat = txnLatency(r);
         w.beginObject();
         w.kv("name", r.name);
-        w.kv("exec_norm", norm(static_cast<double>(r.execTime()), ref));
-        w.kv("exec_cycles", static_cast<double>(r.execTime()));
-        w.kv("busy", static_cast<double>(r.cpu.busy));
-        w.kv("l2hit_stall", static_cast<double>(r.cpu.l2HitStall));
-        w.kv("local_stall", static_cast<double>(r.cpu.localStall));
-        w.kv("remote_stall", static_cast<double>(r.cpu.remStall()));
-        w.kv("misses_norm",
-             norm(static_cast<double>(r.misses.totalL2Misses()),
-                  ref_miss));
-        w.kv("miss_instr_local",
-             static_cast<double>(r.misses.instrLocal));
-        w.kv("miss_instr_remote",
-             static_cast<double>(r.misses.instrRemote));
-        w.kv("miss_data_local",
-             static_cast<double>(r.misses.dataLocal));
-        w.kv("miss_data_2hop",
-             static_cast<double>(r.misses.dataRemoteClean));
-        w.kv("miss_data_3hop",
-             static_cast<double>(r.misses.dataRemoteDirty));
+        w.kv("exec_norm", norm(stat(r, "cpu.exec_time"), ref));
+        w.kv("exec_cycles", stat(r, "cpu.exec_time"));
+        w.kv("busy", stat(r, "cpu.busy"));
+        w.kv("l2hit_stall", stat(r, "cpu.l2hit_stall"));
+        w.kv("local_stall", stat(r, "cpu.local_stall"));
+        w.kv("remote_stall", remStall(r));
+        w.kv("misses_norm", norm(stat(r, "l2.miss.total"), ref_miss));
+        w.kv("miss_instr_local", stat(r, "l2.miss.instr_local"));
+        w.kv("miss_instr_remote", stat(r, "l2.miss.instr_remote"));
+        w.kv("miss_data_local", stat(r, "l2.miss.local"));
+        w.kv("miss_data_2hop", stat(r, "l2.miss.remote_clean"));
+        w.kv("miss_data_3hop", stat(r, "l2.miss.remote_dirty"));
         w.kv("tps", r.tps());
-        w.kv("txn_lat_mean_us", r.txnLatMeanUs);
-        w.kv("txn_lat_p50_us", r.txnLatP50Us);
-        w.kv("txn_lat_p95_us", r.txnLatP95Us);
-        w.kv("txn_lat_p99_us", r.txnLatP99Us);
+        w.kv("txn_lat_mean_us", lat.mean);
+        w.kv("txn_lat_p50_us", lat.p50); // null when unresolvable
+        w.kv("txn_lat_p95_us", lat.p95);
+        w.kv("txn_lat_p99_us", lat.p99);
         if (spec.bars[i].paperExecTime)
             w.kv("paper_exec", *spec.bars[i].paperExecTime);
         if (spec.bars[i].paperMisses)
@@ -186,15 +212,32 @@ figureToJson(const FigureResult &result)
 }
 
 std::string
+figureStatsJson(const FigureResult &result)
+{
+    stats::Manifest m;
+    m.figure = result.spec.id;
+    m.title = result.spec.title;
+    m.bars.reserve(result.runs.size());
+    for (const RunResult &r : result.runs) {
+        stats::ManifestBar bar;
+        bar.name = r.name;
+        bar.stats = r.stats;
+        bar.epochs = r.epochs;
+        m.bars.push_back(std::move(bar));
+    }
+    return manifestToJson(m);
+}
+
+std::string
 summaryLine(const FigureResult &result)
 {
     std::ostringstream os;
-    const double ref = static_cast<double>(
-        result.runs[result.spec.normalizeTo].execTime());
+    const double ref =
+        stat(result.runs[result.spec.normalizeTo], "cpu.exec_time");
     os << result.spec.id << ":";
     for (const RunResult &r : result.runs) {
         os << " " << r.name << "="
-           << formatNum(norm(static_cast<double>(r.execTime()), ref));
+           << formatNum(norm(stat(r, "cpu.exec_time"), ref));
     }
     return os.str();
 }

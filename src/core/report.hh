@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/core/experiment.hh"
+#include "src/stats/manifest.hh"
 #include "src/stats/table.hh"
 
 namespace isim {
@@ -38,6 +39,14 @@ std::string summaryLine(const FigureResult &result);
  * the miss mix, and the paper's published values where known.
  */
 std::string figureToJson(const FigureResult &result);
+
+/**
+ * The schema-versioned stats manifest for one figure: every registered
+ * stat of every bar (plus per-epoch rows when sampled), written next
+ * to the figure JSON as `<stem>.stats.json`. See stats/manifest.hh for
+ * the document layout.
+ */
+std::string figureStatsJson(const FigureResult &result);
 
 } // namespace isim
 

@@ -9,11 +9,16 @@
 #define ISIM_CPU_CPU_STATS_HH
 
 #include <cstdint>
+#include <string>
 
 #include "src/base/types.hh"
 #include "src/coherence/protocol.hh"
 
 namespace isim {
+
+namespace stats {
+class Registry;
+}
 
 /** Execution-time buckets matching the paper's figures. */
 struct CpuStats
@@ -67,6 +72,12 @@ struct CpuStats
         stores += o.stores;
         return *this;
     }
+
+    /**
+     * Register every bucket under `prefix` (e.g. "cpu0"). The struct
+     * must outlive the registry — stats are getters over live state.
+     */
+    void registerStats(stats::Registry &r, const std::string &prefix) const;
 
     /** Add a stall of the given class. */
     void addStall(MissClass cls, Tick cycles, bool kernel)

@@ -7,7 +7,31 @@
 
 #include <utility>
 
+#include "src/stats/registry.hh"
+
 namespace isim {
+
+void
+CacheCounters::registerStats(stats::Registry &r,
+                             const std::string &prefix) const
+{
+    const CacheCounters *c = this;
+    r.counter(prefix + ".accesses", "demand accesses", "ops",
+              [c] { return c->accesses; });
+    r.counter(prefix + ".hits", "demand hits", "ops",
+              [c] { return c->hits; });
+    r.counter(prefix + ".fills", "lines installed", "lines",
+              [c] { return c->fills; });
+    r.counter(prefix + ".clean_evictions", "clean lines displaced",
+              "lines", [c] { return c->cleanEvictions; });
+    r.counter(prefix + ".dirty_evictions", "dirty lines displaced",
+              "lines", [c] { return c->dirtyEvictions; });
+    r.counter(prefix + ".invals_received",
+              "coherence invalidations received", "ops",
+              [c] { return c->invalidationsReceived; });
+    r.formula(prefix + ".hit_rate", "demand hit rate", "ratio",
+              [c] { return c->hitRate(); });
+}
 
 Cache::Cache(std::string name, const CacheGeometry &geometry)
     : name_(std::move(name)), array_(geometry)

@@ -16,6 +16,10 @@
 
 namespace isim {
 
+namespace stats {
+class Registry;
+}
+
 /** Per-cache occupancy/traffic counters (not timing). */
 struct CacheCounters
 {
@@ -31,6 +35,12 @@ struct CacheCounters
     {
         return accesses ? static_cast<double>(hits) / accesses : 0.0;
     }
+
+    /**
+     * Register every counter under `prefix` (e.g. "node0.l2"), plus a
+     * hit-rate formula. The struct must outlive the registry.
+     */
+    void registerStats(stats::Registry &r, const std::string &prefix) const;
 };
 
 /**

@@ -5,7 +5,33 @@
 
 #include "src/mem/rac.hh"
 
+#include "src/stats/registry.hh"
+
 namespace isim {
+
+void
+RacCounters::registerStats(stats::Registry &r,
+                           const std::string &prefix) const
+{
+    const RacCounters *c = this;
+    r.counter(prefix + ".lookups", "demand lookups from the L2 miss path",
+              "ops", [c] { return c->lookups; });
+    r.counter(prefix + ".hits", "lookups satisfied by the RAC", "ops",
+              [c] { return c->hits; });
+    r.counter(prefix + ".allocations", "remote lines installed", "lines",
+              [c] { return c->allocations; });
+    r.counter(prefix + ".dirty_insertions",
+              "L2 dirty victims retained dirty in the RAC", "lines",
+              [c] { return c->dirtyInsertions; });
+    r.counter(prefix + ".dirty_services_to_remote",
+              "3-hop misses served from this RAC's dirty data", "ops",
+              [c] { return c->dirtyServicesToRemote; });
+    r.counter(prefix + ".writebacks_to_home",
+              "dirty RAC victims written back to their home", "lines",
+              [c] { return c->writebacksToHome; });
+    r.formula(prefix + ".hit_rate", "RAC demand hit rate", "ratio",
+              [c] { return c->hitRate(); });
+}
 
 Rac::Rac(NodeId node, const CacheGeometry &geometry)
     : node_(node), cache_("rac" + std::to_string(node), geometry)

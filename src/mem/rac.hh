@@ -13,6 +13,7 @@
 #define ISIM_MEM_RAC_HH
 
 #include <cstdint>
+#include <string>
 
 #include "src/mem/cache.hh"
 
@@ -32,6 +33,12 @@ struct RacCounters
     {
         return lookups ? static_cast<double>(hits) / lookups : 0.0;
     }
+
+    /**
+     * Register every counter under `prefix` (e.g. "node0.rac"), plus
+     * the hit-rate formula. The struct must outlive the registry.
+     */
+    void registerStats(stats::Registry &r, const std::string &prefix) const;
 };
 
 /**

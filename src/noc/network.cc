@@ -7,7 +7,34 @@
 
 #include <cmath>
 
+#include "src/stats/registry.hh"
+
 namespace isim {
+
+void
+NocCounters::registerStats(stats::Registry &r,
+                           const std::string &prefix) const
+{
+    const NocCounters *c = this;
+    r.counter(prefix + ".messages",
+              "interconnect message legs (directory transactions)",
+              "msgs", [c] { return c->messages; });
+    r.counter(prefix + ".ctrl_messages", "header-only message legs",
+              "msgs", [c] { return c->ctrlMessages; });
+    r.counter(prefix + ".data_messages",
+              "message legs carrying a cache line", "msgs",
+              [c] { return c->dataMessages; });
+    r.counter(prefix + ".bytes", "header + payload bytes moved", "bytes",
+              [c] { return c->bytes; });
+    r.counter(prefix + ".hops", "torus hops summed over message legs",
+              "hops", [c] { return c->hops; });
+    r.formula(prefix + ".hops_per_message", "average hop distance",
+              "hops", [c] {
+                  return c->messages ? static_cast<double>(c->hops) /
+                                           static_cast<double>(c->messages)
+                                     : 0.0;
+              });
+}
 
 Network::Network(const TorusTopology &topo, const LinkParams &params)
     : topo_(topo), params_(params)

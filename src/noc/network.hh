@@ -9,10 +9,39 @@
 #ifndef ISIM_NOC_NETWORK_HH
 #define ISIM_NOC_NETWORK_HH
 
+#include <cstdint>
+#include <string>
+
 #include "src/base/types.hh"
 #include "src/noc/topology.hh"
 
 namespace isim {
+
+namespace stats {
+class Registry;
+}
+
+/**
+ * Interconnect traffic counters, accumulated by the coherence engine
+ * for every logical message leg of a directory transaction (request to
+ * home, probe to owner, data back). Always counted — unlike the
+ * per-hop trace events, which exist only while a tracer is attached —
+ * so figure runs can report NoC load without observability enabled.
+ */
+struct NocCounters
+{
+    std::uint64_t messages = 0;     //!< total message legs
+    std::uint64_t ctrlMessages = 0; //!< header-only legs
+    std::uint64_t dataMessages = 0; //!< legs carrying a cache line
+    std::uint64_t bytes = 0;        //!< header + payload bytes moved
+    std::uint64_t hops = 0;         //!< torus hops summed over legs
+
+    /**
+     * Register every counter under `prefix` (e.g. "noc"), plus the
+     * hops-per-message formula. The struct must outlive the registry.
+     */
+    void registerStats(stats::Registry &r, const std::string &prefix) const;
+};
 
 /** Physical parameters of one link / router stage. */
 struct LinkParams

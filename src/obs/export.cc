@@ -220,6 +220,11 @@ writeSummary(std::ostream &os, const std::vector<TraceEvent> &events,
     }
     os << "events: " << events.size() << " (dropped " << dropped
        << ", ring capacity " << capacity << ")\n";
+    if (dropped > 0) {
+        os << "warning: the ring overflowed and " << dropped
+           << " events were lost; raise --trace-ring to capture "
+              "them\n";
+    }
     if (!events.empty()) {
         os << "time range: [" << first << ", " << last << "] ns ("
            << static_cast<double>(last - first) / 1e6 << " ms)\n";

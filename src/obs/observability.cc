@@ -21,7 +21,7 @@ Observability::Observability(const ObsConfig &config)
 void
 Observability::setCounterSource(TimelineSampler::Source source)
 {
-    if (config_.wantsTimeline()) {
+    if (config_.wantsSampler()) {
         sampler_ = std::make_unique<TimelineSampler>(
             config_.epochTicks, std::move(source));
     }
@@ -30,7 +30,9 @@ Observability::setCounterSource(TimelineSampler::Source source)
 void
 Observability::beginRun(Tick now)
 {
-    tracer_.setEnabled(true);
+    // Event recording costs ring writes on the hot path; leave it off
+    // when the bundle exists only to drive the epoch sampler.
+    tracer_.setEnabled(config_.wantsEvents() || config_.wantsTimeline());
     if (sampler_)
         sampler_->start(now);
 }

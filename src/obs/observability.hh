@@ -28,13 +28,21 @@ struct ObsConfig
     std::size_t ringCapacity = 1u << 18; //!< events retained (8 MiB)
     /** Which figure bar to observe when a spec has several. */
     std::size_t traceBar = 0;
+    /**
+     * Run the epoch sampler even with no timeline CSV requested, so
+     * the per-run stats manifest can embed per-epoch rows
+     * (--stats-epoch). Event tracing stays off in this mode: epoch
+     * columns fed from trace counts (ctx switches) read zero.
+     */
+    bool sampleEpochs = false;
 
     bool wantsEvents() const
     {
         return !traceOutPath.empty() || !traceBinPath.empty();
     }
     bool wantsTimeline() const { return !timelineOutPath.empty(); }
-    bool any() const { return wantsEvents() || wantsTimeline(); }
+    bool wantsSampler() const { return wantsTimeline() || sampleEpochs; }
+    bool any() const { return wantsEvents() || wantsSampler(); }
 };
 
 /** Tracer + sampler for one observed run. */

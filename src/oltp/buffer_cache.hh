@@ -57,6 +57,9 @@ class BufferCache
 
     std::uint64_t lookups() const { return lookups_; }
 
+    /** Zero the lookup counter (warm-up boundary); dirty set is kept. */
+    void resetCounters() { lookups_ = 0; }
+
   private:
     const Sga &sga_;
     std::unordered_set<std::uint64_t> dirty_;

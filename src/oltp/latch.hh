@@ -43,6 +43,13 @@ class LatchTable
     /** Acquires whose previous holder was another node. */
     std::uint64_t contended() const { return contended_; }
 
+    /** Zero the counters (warm-up boundary); holder state is kept. */
+    void resetCounters()
+    {
+        acquires_ = 0;
+        contended_ = 0;
+    }
+
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
   private:

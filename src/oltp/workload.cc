@@ -12,6 +12,7 @@
 #include "src/oltp/dss.hh"
 #include "src/oltp/server.hh"
 #include "src/os/layout.hh"
+#include "src/stats/registry.hh"
 
 namespace isim {
 
@@ -139,6 +140,53 @@ OltpEngine::noteCommit(Tick latency)
 {
     ++committed_;
     txnLatency_.sample(latency / 1000); // to microseconds... (ticks=ns)
+}
+
+void
+OltpEngine::registerStats(stats::Registry &r)
+{
+    r.counter("oltp.txn.committed", "committed transactions", "txns",
+              [this] { return measuredCommitted(); });
+    r.distribution("oltp.txn.latency",
+                   "commit-to-commit transaction latency", "us",
+                   [this]() -> const Histogram & { return txnLatency_; });
+
+    r.counter("oltp.latch.acquires", "latch acquisitions", "ops",
+              [this] { return latches_.acquires(); });
+    r.counter("oltp.latch.contended",
+              "latch acquisitions whose previous holder was another node",
+              "ops", [this] { return latches_.contended(); });
+    r.formula("oltp.latch.contention_rate",
+              "contended share of latch acquisitions", "ratio", [this] {
+                  const std::uint64_t a = latches_.acquires();
+                  return a ? static_cast<double>(latches_.contended()) / a
+                           : 0.0;
+              });
+
+    r.counter("oltp.buffer_cache.lookups",
+              "buffer-cache hash lookups (block pins)", "ops",
+              [this] { return bufferCache_.lookups(); });
+    r.gauge("oltp.buffer_cache.dirty_blocks",
+            "blocks currently dirty (awaiting the database writer)",
+            "blocks",
+            [this] { return static_cast<double>(bufferCache_.dirtyCount()); });
+
+    r.counter("oltp.redo.slots_generated", "redo log slots allocated",
+              "slots", [this] { return redo_.cursor() - statBase_.cursor; });
+    r.counter("oltp.redo.slots_flushed",
+              "redo log slots flushed by the log writer", "slots",
+              [this] { return redo_.flushed() - statBase_.flushed; });
+    r.gauge("oltp.redo.unflushed", "redo slots awaiting flush", "slots",
+            [this] { return static_cast<double>(redo_.unflushed()); });
+
+    r.onReset([this] {
+        statBase_.committed = committed_;
+        statBase_.cursor = redo_.cursor();
+        statBase_.flushed = redo_.flushed();
+        latches_.resetCounters();
+        bufferCache_.resetCounters();
+        clearLatencyStats();
+    });
 }
 
 } // namespace isim

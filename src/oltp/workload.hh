@@ -31,6 +31,10 @@ namespace isim {
 
 class LogWriterProcess;
 
+namespace stats {
+class Registry;
+}
+
 /** The workload engine. */
 class OltpEngine
 {
@@ -88,6 +92,23 @@ class OltpEngine
     /** Drop latency samples gathered so far (warm-up boundary). */
     void clearLatencyStats() { txnLatency_.clear(); }
 
+    /**
+     * Committed transactions since the last stats reset. The raw
+     * `committed_` counter cannot be zeroed (warm-up progress tracking
+     * depends on it), so the registry reports it rebased.
+     */
+    std::uint64_t measuredCommitted() const
+    {
+        return committed_ - statBase_.committed;
+    }
+
+    /**
+     * Register the engine's statistics under "oltp.*" and hang the
+     * warm-up rebase (latch/buffer counters, latency histogram,
+     * monotonic-counter bases) on the registry's reset hook.
+     */
+    void registerStats(stats::Registry &r);
+
     // ---- Observability ----
     void setTracer(obs::Tracer *tracer)
     {
@@ -115,6 +136,15 @@ class OltpEngine
     Process *sleepingLogWriter_ = nullptr;
     std::uint64_t committed_ = 0;
     Histogram txnLatency_;
+
+    /** Monotonic-counter values at the last stats reset. */
+    struct StatBase
+    {
+        std::uint64_t committed = 0;
+        std::uint64_t cursor = 0;
+        std::uint64_t flushed = 0;
+    };
+    StatBase statBase_;
 };
 
 } // namespace isim

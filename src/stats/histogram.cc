@@ -5,6 +5,7 @@
 
 #include "src/stats/histogram.hh"
 
+#include <limits>
 #include <utility>
 
 #include "src/base/logging.hh"
@@ -36,19 +37,21 @@ Histogram::sample(std::uint64_t value, std::uint64_t n)
     sum_ += static_cast<double>(value) * static_cast<double>(n);
 }
 
-std::uint64_t
+double
 Histogram::quantile(double q) const
 {
     if (count_ == 0)
-        return 0;
+        return std::numeric_limits<double>::quiet_NaN();
     const double target = q * static_cast<double>(count_);
     double running = 0.0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         running += static_cast<double>(counts_[i]);
         if (running >= target)
-            return (i + 1) * bucketWidth_;
+            return static_cast<double>((i + 1) * bucketWidth_);
     }
-    return max_;
+    // The requested mass lies in the overflow bucket, which has no
+    // upper edge: the quantile cannot be resolved.
+    return std::numeric_limits<double>::quiet_NaN();
 }
 
 void

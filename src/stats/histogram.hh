@@ -40,9 +40,13 @@ class Histogram
 
     /**
      * Smallest value v such that at least q of the mass is <= v,
-     * resolved to bucket granularity (upper bucket edge).
+     * resolved to bucket granularity (upper bucket edge). NaN when the
+     * quantile is undefined: the histogram is empty, or the requested
+     * mass falls inside the overflow bucket, where the histogram has
+     * no resolution (reporting max() there would pretend precision
+     * the data structure does not have). Tables render NaN as "-".
      */
-    std::uint64_t quantile(double q) const;
+    double quantile(double q) const;
 
     void clear();
 

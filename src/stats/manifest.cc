@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Stats manifest serialization, flattening and diffing.
+ */
+
+#include "src/stats/manifest.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/base/json.hh"
+#include "src/base/logging.hh"
+#include "src/obs/sampler.hh"
+
+namespace isim {
+namespace stats {
+
+namespace {
+
+void
+writeEpochRow(JsonWriter &w, const obs::EpochRow &row)
+{
+    w.beginObject();
+    w.kv("epoch", row.epoch);
+    w.kv("start", row.start);
+    w.kv("end", row.end);
+    const obs::CounterSnapshot &d = row.delta;
+    w.kv("committed_txns", d.committedTxns);
+    w.kv("instructions", d.instructions);
+    w.kv("busy", d.busy);
+    w.kv("idle", d.idle);
+    w.kv("kernel_time", d.kernelTime);
+    w.kv("miss_instr_local", d.missInstrLocal);
+    w.kv("miss_instr_remote", d.missInstrRemote);
+    w.kv("miss_data_local", d.missDataLocal);
+    w.kv("miss_data_remote_clean", d.missDataRemoteClean);
+    w.kv("miss_data_remote_dirty", d.missDataRemoteDirty);
+    w.kv("latch_acquires", d.latchAcquires);
+    w.kv("latch_contended", d.latchContended);
+    w.kv("ctx_switches", d.ctxSwitches);
+    w.kv("noc_msgs", d.nocMsgs);
+    w.kv("noc_bytes", d.nocBytes);
+    w.kv("tps", row.tps(), 4);
+    w.endObject();
+}
+
+/** Append a flattened leaf unless its value is absent (null / NaN). */
+void
+pushLeaf(std::vector<FlatStat> &out, const std::string &path,
+         const JsonValue &v)
+{
+    if (v.isNull())
+        return;
+    isim_assert(v.isNumber(), "stat leaf '%s' is not a number",
+                path.c_str());
+    if (!std::isfinite(v.number))
+        return;
+    out.push_back({path, v.number});
+}
+
+} // namespace
+
+std::string
+manifestToJson(const Manifest &m)
+{
+    std::ostringstream os;
+    // prettyDepth 3: one line per bar-level key and per stat entry,
+    // inline below that — diffable without being enormous.
+    JsonWriter w(os, 3);
+    w.beginObject();
+    w.kv("schema", kManifestSchema);
+    w.kv("version", kManifestVersion);
+    w.kv("figure", m.figure);
+    w.kv("title", m.title);
+    w.key("bars");
+    w.beginArray();
+    for (const auto &bar : m.bars) {
+        w.beginObject();
+        w.kv("name", bar.name);
+        w.key("stats");
+        writeSnapshotJson(w, bar.stats);
+        if (!bar.epochs.empty()) {
+            w.key("epochs");
+            w.beginArray();
+            for (const auto &row : bar.epochs)
+                writeEpochRow(w, row);
+            w.endArray();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+std::vector<FlatStat>
+flattenManifest(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        isim_fatal("stats manifest: document is not a JSON object");
+    const JsonValue *schema = doc.get("schema");
+    if (!schema || !schema->isString() || schema->text != kManifestSchema)
+        isim_fatal("stats manifest: missing or wrong \"schema\" "
+                   "(want \"%s\")",
+                   kManifestSchema);
+    const JsonValue &version = doc.at("version");
+    if (!version.isNumber() ||
+        static_cast<int>(version.number) > kManifestVersion) {
+        isim_fatal("stats manifest: unsupported schema version %g "
+                   "(this build understands <= %d)",
+                   version.number, kManifestVersion);
+    }
+
+    std::vector<FlatStat> out;
+    const JsonValue &bars = doc.at("bars");
+    isim_assert(bars.isArray(), "stats manifest: \"bars\" is not an array");
+    for (const JsonValue &bar : bars.array) {
+        const std::string &barName = bar.at("name").text;
+        const JsonValue &statsObj = bar.at("stats");
+        isim_assert(statsObj.isObject());
+        for (const auto &member : statsObj.members) {
+            const std::string path = barName + "/" + member.first;
+            const JsonValue &value = member.second.at("value");
+            if (value.isObject()) {
+                // Distribution: one leaf per summary field.
+                for (const auto &field : value.members)
+                    pushLeaf(out, path + "." + field.first, field.second);
+            } else {
+                pushLeaf(out, path, value);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FlatStat &x, const FlatStat &y) {
+                  return x.path < y.path;
+              });
+    return out;
+}
+
+DiffResult
+diffFlattened(const std::vector<FlatStat> &a, const std::vector<FlatStat> &b,
+              double tolerance)
+{
+    DiffResult result;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    // Both inputs are sorted by path (flattenManifest's contract).
+    while (i < a.size() || j < b.size()) {
+        if (j >= b.size() || (i < a.size() && a[i].path < b[j].path)) {
+            result.onlyA.push_back(a[i].path);
+            ++i;
+        } else if (i >= a.size() || b[j].path < a[i].path) {
+            result.onlyB.push_back(b[j].path);
+            ++j;
+        } else {
+            const double va = a[i].value;
+            const double vb = b[j].value;
+            const double mag = std::max(std::fabs(va), std::fabs(vb));
+            const double rel = mag > 0.0 ? std::fabs(vb - va) / mag : 0.0;
+            if (rel > tolerance)
+                result.diffs.push_back({a[i].path, va, vb, rel});
+            ++i;
+            ++j;
+        }
+    }
+    return result;
+}
+
+} // namespace stats
+} // namespace isim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Per-run stats manifest: the schema-versioned stats.json document a
+ * figure run emits next to its figure JSON, plus the flatten/diff
+ * machinery `tools/isim-stat` and the regression tests use to compare
+ * two manifests stat-by-stat.
+ *
+ * Manifest layout (schema "isim-stats", version 1):
+ *
+ *   {
+ *     "schema": "isim-stats",
+ *     "version": 1,
+ *     "figure": "fig05",
+ *     "title": "...",
+ *     "bars": [
+ *       {"name": "1x8-1MB",
+ *        "stats": {"cpu.busy": {"kind": "counter", "unit": "ticks",
+ *                               "desc": "...", "value": 12345}, ...},
+ *        "epochs": [{"epoch": 0, "start": 0, "end": 1000000,
+ *                    "committed_txns": 12, ...}, ...]}
+ *     ]
+ *   }
+ *
+ * "epochs" is present only when per-epoch sampling was requested
+ * (--stats-epoch). Distribution values are nested objects; undefined
+ * quantiles (NaN) serialize as JSON null.
+ */
+
+#ifndef ISIM_STATS_MANIFEST_HH
+#define ISIM_STATS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/stats/registry.hh"
+
+namespace isim {
+
+class JsonValue;
+
+namespace obs {
+struct EpochRow;
+}
+
+namespace stats {
+
+constexpr const char *kManifestSchema = "isim-stats";
+constexpr int kManifestVersion = 1;
+
+/** One bar's worth of manifest content. */
+struct ManifestBar
+{
+    std::string name;
+    Snapshot stats;
+    std::vector<obs::EpochRow> epochs; //!< empty unless epoch sampling on
+};
+
+struct Manifest
+{
+    std::string figure;
+    std::string title;
+    std::vector<ManifestBar> bars;
+};
+
+/** Serialize the manifest document (jsonValidate-clean by contract). */
+std::string manifestToJson(const Manifest &m);
+
+/**
+ * One numeric leaf of a parsed manifest, addressed as
+ * "<bar>/<stat>" (scalars) or "<bar>/<stat>.<field>" (distribution
+ * fields, e.g. "1x8-1MB/oltp.txn.latency.p95"). Null-valued leaves
+ * (undefined quantiles) are skipped: they compare as absent.
+ */
+struct FlatStat
+{
+    std::string path;
+    double value = 0.0;
+};
+
+/**
+ * Flatten a parsed stats.json into sorted (path, value) pairs.
+ * Fatal when the document is not an isim-stats manifest or the schema
+ * version is newer than this build understands.
+ */
+std::vector<FlatStat> flattenManifest(const JsonValue &doc);
+
+/** One stat whose value differs between two manifests. */
+struct StatDiff
+{
+    std::string path;
+    double a = 0.0;
+    double b = 0.0;
+    double rel = 0.0; //!< |b-a| / max(|a|, |b|)
+};
+
+struct DiffResult
+{
+    std::vector<StatDiff> diffs;  //!< beyond tolerance, sorted by path
+    std::vector<std::string> onlyA;
+    std::vector<std::string> onlyB;
+
+    bool clean() const
+    {
+        return diffs.empty() && onlyA.empty() && onlyB.empty();
+    }
+};
+
+/**
+ * Compare two flattened manifests. A pair differs when its relative
+ * delta |b-a| / max(|a|,|b|) exceeds `tolerance` (so tolerance 0
+ * demands bit-identical values). Stats present on one side only are
+ * reported separately and always make the result unclean.
+ */
+DiffResult diffFlattened(const std::vector<FlatStat> &a,
+                         const std::vector<FlatStat> &b,
+                         double tolerance = 0.0);
+
+} // namespace stats
+} // namespace isim
+
+#endif // ISIM_STATS_MANIFEST_HH

@@ -6,6 +6,7 @@
 #include "src/stats/table.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <ostream>
@@ -19,6 +20,8 @@ namespace isim {
 std::string
 formatNum(double value, int precision)
 {
+    if (!std::isfinite(value))
+        return "-"; // undefined metric (e.g. quantile of an empty run)
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.*f", precision, value);
     return buf;

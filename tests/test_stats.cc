@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "src/stats/breakdown.hh"
@@ -113,8 +115,33 @@ TEST(Histogram, Quantile)
         h.sample(5); // bucket 0
     for (int i = 0; i < 10; ++i)
         h.sample(95); // bucket 9
-    EXPECT_EQ(h.quantile(0.5), 10u);  // inside bucket 0
-    EXPECT_EQ(h.quantile(0.95), 100u); // reaches bucket 9
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);   // inside bucket 0
+    EXPECT_DOUBLE_EQ(h.quantile(0.95), 100.0); // reaches bucket 9
+}
+
+TEST(Histogram, QuantileOfEmptyIsNaN)
+{
+    Histogram h("lat", 10, 10);
+    EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(h.quantile(0.99)));
+}
+
+TEST(Histogram, QuantileInOverflowIsNaN)
+{
+    Histogram h("lat", 10, 4);
+    h.sample(5);    // bucket 0
+    h.sample(1000); // overflow
+    // The median is resolvable, the tail is not: its mass sits in
+    // the unbounded overflow bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 10.0);
+    EXPECT_TRUE(std::isnan(h.quantile(0.99)));
+}
+
+TEST(FormatNum, NonFiniteRendersAsDash)
+{
+    EXPECT_EQ(formatNum(std::nan(""), 2), "-");
+    EXPECT_EQ(formatNum(std::numeric_limits<double>::infinity(), 0),
+              "-");
 }
 
 TEST(Histogram, Clear)

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * isim-bench: wall-clock benchmark of the simulator itself.
+ *
+ * Times full figure runs (host time, not simulated time) and writes a
+ * schema-versioned BENCH_<date>.json so performance of the simulator
+ * can be tracked commit over commit:
+ *
+ *   isim-bench                          bench fig05 + fig06
+ *   isim-bench fig10-uni fig10-mp      bench specific figures
+ *   isim-bench --quick                 small txn counts (CI smoke)
+ *   isim-bench --out=bench.json        explicit output path
+ *
+ * The shared run flags (--txns, --warmup, --seed, --jobs, --quiet,
+ * ...) apply; --quick is shorthand for a small fixed workload
+ * (explicit --txns/--warmup still win). Reports are suppressed — the
+ * product is the timing JSON.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/json.hh"
+#include "src/base/logging.hh"
+#include "src/core/driver.hh"
+#include "src/core/registry.hh"
+
+namespace {
+
+using namespace isim;
+
+constexpr std::uint64_t kQuickTxns = 300;
+constexpr std::uint64_t kQuickWarmup = 60;
+
+int
+usage(std::FILE *to, const char *argv0)
+{
+    std::fprintf(
+        to,
+        "usage: %s [figure-id...] [options]\n"
+        "\n"
+        "Times figure runs (host wall clock) and writes a "
+        "BENCH_<date>.json\nrecord. Default figures: fig05 fig06.\n"
+        "\nOptions:\n"
+        "  --quick           small workload (%llu txns, %llu warm-up) "
+        "for CI smoke\n"
+        "  --out=FILE        output path (default: BENCH_<date>.json)\n"
+        "  --date=DATE       date stamp to embed (default: today, "
+        "UTC)\n"
+        "%s",
+        argv0, static_cast<unsigned long long>(kQuickTxns),
+        static_cast<unsigned long long>(kQuickWarmup),
+        runOptionsHelp());
+    return to == stdout ? 0 : 2;
+}
+
+std::string
+todayUtc()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buffer[16];
+    std::strftime(buffer, sizeof(buffer), "%Y-%m-%d", &tm);
+    return buffer;
+}
+
+struct BenchRow
+{
+    std::string id;
+    std::size_t bars = 0;
+    double wallMs = 0.0;
+    std::uint64_t committedTxns = 0;
+    std::uint64_t simulatedNs = 0;
+};
+
+std::string
+benchToJson(const std::string &date, const RunOptions &options,
+            bool quick, const std::vector<BenchRow> &rows)
+{
+    std::ostringstream os;
+    JsonWriter json(os, 2);
+    json.beginObject()
+        .kv("schema", "isim-bench")
+        .kv("version", std::uint64_t{1})
+        .kv("date", date)
+        .kv("quick", quick)
+        .kv("jobs", std::uint64_t{options.jobs})
+        .kv("txns", options.txns ? *options.txns : std::uint64_t{0})
+        .kv("warmup",
+            options.warmup ? *options.warmup : std::uint64_t{0});
+    double total = 0.0;
+    json.key("figures").beginArray();
+    for (const BenchRow &row : rows) {
+        total += row.wallMs;
+        // Host throughput: simulated transactions retired per second
+        // of wall clock — the "how fast is the simulator" number.
+        const double txnsPerSec =
+            row.wallMs > 0.0 ? 1e3 * static_cast<double>(
+                                         row.committedTxns) /
+                                   row.wallMs
+                             : 0.0;
+        json.beginObject()
+            .kv("id", row.id)
+            .kv("bars", std::uint64_t{row.bars})
+            .kv("wall_ms", row.wallMs, 2)
+            .kv("committed_txns", row.committedTxns)
+            .kv("txns_per_sec", txnsPerSec, 1)
+            .kv("simulated_ns", row.simulatedNs)
+            .endObject();
+    }
+    json.endArray();
+    json.kv("total_wall_ms", total, 2);
+    json.endObject();
+    os << "\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunOptions opts = RunOptions::fromCommandLine(argc, argv);
+
+    bool quick = false;
+    std::string outPath;
+    std::string date = todayUtc();
+    std::vector<std::string> ids;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return usage(stdout, argv[0]);
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            outPath = arg.substr(6);
+        } else if (arg.rfind("--date=", 0) == 0) {
+            date = arg.substr(7);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n\n",
+                         arg.c_str());
+            return usage(stderr, argv[0]);
+        } else {
+            ids.push_back(arg);
+        }
+    }
+    if (ids.empty())
+        ids = {"fig05", "fig06"};
+    if (outPath.empty())
+        outPath = "BENCH_" + date + ".json";
+    if (quick) {
+        if (!opts.txns)
+            opts.txns = kQuickTxns;
+        if (!opts.warmup)
+            opts.warmup = kQuickWarmup;
+    }
+    opts.applyGlobal();
+
+    // Resolve every id before burning simulation time on any of them.
+    const FigureRegistry &registry = FigureRegistry::instance();
+    std::vector<const FigureEntry *> selected;
+    for (const std::string &id : ids) {
+        const FigureEntry *entry = registry.find(id);
+        if (!entry) {
+            std::fprintf(stderr,
+                         "isim-bench: unknown figure id '%s' (try "
+                         "`isim-fig list`)\n",
+                         id.c_str());
+            return 2;
+        }
+        selected.push_back(entry);
+    }
+
+    const ExperimentRunner runner(opts);
+    std::vector<BenchRow> rows;
+    rows.reserve(selected.size());
+    for (const FigureEntry *entry : selected) {
+        const FigureSpec spec = entry->make();
+        using Clock = std::chrono::steady_clock;
+        const Clock::time_point start = Clock::now();
+        const FigureResult result = runner.run(spec);
+        const Clock::time_point stop = Clock::now();
+
+        BenchRow row;
+        row.id = entry->id;
+        row.bars = spec.bars.size();
+        row.wallMs = std::chrono::duration<double, std::milli>(
+                         stop - start)
+                         .count();
+        for (const RunResult &r : result.runs) {
+            row.committedTxns += r.transactions;
+            row.simulatedNs += r.wallTime;
+        }
+        rows.push_back(row);
+        std::printf("%-12s %8.1f ms  (%zu bars, %llu txns)\n",
+                    row.id.c_str(), row.wallMs, row.bars,
+                    static_cast<unsigned long long>(
+                        row.committedTxns));
+    }
+
+    const std::string doc = benchToJson(date, opts, quick, rows);
+    std::string err;
+    if (!jsonValidate(doc, &err))
+        isim_panic("bench JSON does not validate: %s", err.c_str());
+    std::ofstream out(outPath);
+    if (!out) {
+        std::fprintf(stderr, "isim-bench: cannot write '%s'\n",
+                     outPath.c_str());
+        return 1;
+    }
+    out << doc;
+    if (!out) {
+        std::fprintf(stderr, "isim-bench: write to '%s' failed\n",
+                     outPath.c_str());
+        return 1;
+    }
+    std::printf("bench written to %s\n", outPath.c_str());
+    return 0;
+}

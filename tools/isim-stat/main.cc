@@ -1,0 +1,187 @@
+/**
+ * @file
+ * isim-stat: inspect and compare stats.json manifests.
+ *
+ * A figure binary run with --stats-out=FILE (or --json-dir=DIR)
+ * writes the schema-versioned stats manifest this tool consumes:
+ *
+ *   isim-stat dump  stats.json                every stat, one per line
+ *   isim-stat grep  PATTERN stats.json        stats whose path matches
+ *   isim-stat diff  a.json b.json [--tolerance=R]
+ *
+ * `diff` compares two manifests stat-by-stat and exits 1 when any
+ * stat drifted beyond the relative tolerance (default 0: values must
+ * be bit-identical) or is present on one side only — the shape CI
+ * regression gates want. PATTERN is a plain substring match on the
+ * flattened "<bar>/<stat>" path.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/json.hh"
+#include "src/stats/manifest.hh"
+
+namespace {
+
+using namespace isim;
+
+int
+usage(std::ostream &os, int rc)
+{
+    os << "usage: isim-stat <command> ...\n\n"
+          "commands:\n"
+          "  dump FILE                   every stat as `path value`\n"
+          "  grep PATTERN FILE           stats whose path contains "
+          "PATTERN\n"
+          "  diff A B [--tolerance=R]    compare two manifests; exit "
+          "1 on drift\n\n"
+          "options:\n"
+          "  --tolerance=R   relative tolerance for diff "
+          "(|b-a|/max(|a|,|b|) <= R\n"
+          "                  passes; default 0 = bit-identical)\n";
+    return rc;
+}
+
+/** Read and parse a manifest file, flattened to sorted stat leaves. */
+std::vector<stats::FlatStat>
+loadManifest(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "isim-stat: cannot open '" << path << "'\n";
+        std::exit(1);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue doc;
+    std::string err;
+    if (!jsonParse(buffer.str(), doc, &err)) {
+        std::cerr << "isim-stat: " << path << ": " << err << "\n";
+        std::exit(1);
+    }
+    return stats::flattenManifest(doc);
+}
+
+void
+printStat(const stats::FlatStat &s)
+{
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-64s %.17g\n", s.path.c_str(),
+                  s.value);
+    std::fputs(line, stdout);
+}
+
+double
+parseTolerance(const std::string &text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v < 0.0) {
+        std::cerr << "isim-stat: --tolerance: expected a non-negative "
+                     "number, got '"
+                  << text << "'\n";
+        std::exit(2);
+    }
+    return v;
+}
+
+int
+cmdDump(const std::string &path, const std::string &pattern)
+{
+    std::size_t shown = 0;
+    for (const stats::FlatStat &s : loadManifest(path)) {
+        if (!pattern.empty() &&
+            s.path.find(pattern) == std::string::npos) {
+            continue;
+        }
+        printStat(s);
+        ++shown;
+    }
+    if (!pattern.empty() && shown == 0) {
+        std::cerr << "isim-stat: no stat matches '" << pattern
+                  << "'\n";
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdDiff(const std::string &pathA, const std::string &pathB,
+        double tolerance)
+{
+    const std::vector<stats::FlatStat> a = loadManifest(pathA);
+    const std::vector<stats::FlatStat> b = loadManifest(pathB);
+    const stats::DiffResult d = stats::diffFlattened(a, b, tolerance);
+    for (const stats::StatDiff &diff : d.diffs) {
+        char line[320];
+        std::snprintf(line, sizeof(line),
+                      "%-64s %.17g -> %.17g (rel %.3g)\n",
+                      diff.path.c_str(), diff.a, diff.b, diff.rel);
+        std::fputs(line, stdout);
+    }
+    for (const std::string &path : d.onlyA)
+        std::cout << path << " only in " << pathA << "\n";
+    for (const std::string &path : d.onlyB)
+        std::cout << path << " only in " << pathB << "\n";
+    if (d.clean()) {
+        std::cout << a.size() << " stats match";
+        if (tolerance > 0.0)
+            std::cout << " (tolerance " << tolerance << ")";
+        std::cout << "\n";
+        return 0;
+    }
+    std::cout << d.diffs.size() << " stats drifted, "
+              << d.onlyA.size() + d.onlyB.size()
+              << " present on one side only\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0)) {
+        return usage(std::cout, 0);
+    }
+    if (argc < 3)
+        return usage(std::cerr, 2);
+
+    const std::string command = argv[1];
+    if (command == "dump") {
+        if (argc != 3)
+            return usage(std::cerr, 2);
+        return cmdDump(argv[2], "");
+    }
+    if (command == "grep") {
+        if (argc != 4)
+            return usage(std::cerr, 2);
+        return cmdDump(argv[3], argv[2]);
+    }
+    if (command == "diff") {
+        if (argc < 4)
+            return usage(std::cerr, 2);
+        double tolerance = 0.0;
+        for (int i = 4; i < argc; ++i) {
+            const char *arg = argv[i];
+            const char *prefix = "--tolerance=";
+            if (std::strncmp(arg, prefix, std::strlen(prefix)) == 0) {
+                tolerance = parseTolerance(arg + std::strlen(prefix));
+            } else {
+                std::cerr << "isim-stat: unknown option '" << arg
+                          << "'\n\n";
+                return usage(std::cerr, 2);
+            }
+        }
+        return cmdDiff(argv[2], argv[3], tolerance);
+    }
+    std::cerr << "isim-stat: unknown command '" << command << "'\n\n";
+    return usage(std::cerr, 2);
+}
