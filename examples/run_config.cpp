@@ -14,8 +14,10 @@
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
+#include "src/base/json.hh"
 #include "src/config/options.hh"
 #include "src/config/run_options.hh"
 #include "src/core/report.hh"
@@ -52,5 +54,23 @@ main(int argc, char **argv)
     ExperimentRunner runner(opts);
     const FigureResult result = runner.run(spec);
     printFigureReport(std::cout, result);
+    if (!opts.statsOut.empty()) {
+        // Same contract as isim-fig: a validated stats manifest, so
+        // config-file machines join the isim-stat / CI-diff workflow
+        // (the golden-checkpoint regression restores a tiny machine
+        // from a committed image and diffs this output).
+        const std::string manifest = figureStatsJson(result);
+        std::string err;
+        if (!jsonValidate(manifest, &err))
+            isim_panic("stats manifest does not validate: %s",
+                       err.c_str());
+        std::ofstream out(opts.statsOut);
+        out << manifest;
+        if (!out) {
+            std::cerr << "cannot write " << opts.statsOut << "\n";
+            return 1;
+        }
+        std::cout << "stats written to " << opts.statsOut << "\n";
+    }
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 
 namespace isim {
 
@@ -134,6 +135,20 @@ Rng::zipf(std::uint64_t n, double theta)
     auto rank =
         static_cast<std::uint64_t>(static_cast<double>(n) * std::pow(u, a));
     return rank >= n ? n - 1 : rank;
+}
+
+void
+Rng::saveState(ckpt::Serializer &s) const
+{
+    for (std::uint64_t word : state_)
+        s.u64(word);
+}
+
+void
+Rng::restoreState(ckpt::Deserializer &d)
+{
+    for (std::uint64_t &word : state_)
+        word = d.u64();
 }
 
 } // namespace isim

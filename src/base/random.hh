@@ -14,6 +14,8 @@
 #include <array>
 #include <cstdint>
 
+#include "src/ckpt/fwd.hh"
+
 namespace isim {
 
 /** splitmix64 step; used for seeding and for cheap hash mixing. */
@@ -59,6 +61,10 @@ class Rng
      * skew modelling.
      */
     std::uint64_t zipf(std::uint64_t n, double theta);
+
+    /** Checkpoint the generator state (position in the stream). */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     std::array<std::uint64_t, 4> state_{};

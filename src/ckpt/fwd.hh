@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Forward declarations of the checkpoint serializer pair, so component
+ * headers can declare saveState()/restoreState() methods without
+ * pulling in the full serializer interface.
+ */
+
+#ifndef ISIM_CKPT_FWD_HH
+#define ISIM_CKPT_FWD_HH
+
+namespace isim::ckpt {
+
+class Serializer;
+class Deserializer;
+
+} // namespace isim::ckpt
+
+#endif // ISIM_CKPT_FWD_HH

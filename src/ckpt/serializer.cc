@@ -1,0 +1,357 @@
+#include "src/ckpt/serializer.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "src/base/logging.hh"
+
+namespace isim::ckpt {
+
+namespace {
+
+constexpr char kMagic[magicBytes + 1] = "ISIMCKPT";
+
+// tag(4) + length(8) + crc(4)
+constexpr std::size_t kSectionHeaderBytes = 16;
+
+std::string
+fourccName(std::uint32_t tag_value)
+{
+    std::string name;
+    for (int i = 0; i < 4; ++i) {
+        const char c =
+            static_cast<char>((tag_value >> (8 * i)) & 0xff);
+        name += (c >= 0x20 && c < 0x7f) ? c : '?';
+    }
+    return name;
+}
+
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    const std::array<std::uint32_t, 256> &table = crcTable();
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+std::uint64_t
+fnv1a64(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+Serializer::Serializer()
+{
+    buf_.insert(buf_.end(), kMagic, kMagic + magicBytes);
+    u32(formatVersion);
+}
+
+void
+Serializer::u8(std::uint8_t v)
+{
+    buf_.push_back(v);
+}
+
+void
+Serializer::u16(std::uint16_t v)
+{
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+Serializer::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+Serializer::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+Serializer::i64(std::int64_t v)
+{
+    u64(static_cast<std::uint64_t>(v));
+}
+
+void
+Serializer::f64(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+Serializer::b(bool v)
+{
+    u8(v ? 1 : 0);
+}
+
+void
+Serializer::str(const std::string &v)
+{
+    u64(v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void
+Serializer::memRef(const MemRef &r)
+{
+    u8(static_cast<std::uint8_t>(r.kind));
+    b(r.kernel);
+    u8(r.depDist);
+    u16(r.instrCount);
+    u64(r.paddr);
+}
+
+void
+Serializer::beginSection(std::uint32_t tag)
+{
+    isim_assert(!sectionOpen_, "nested checkpoint section");
+    sectionOpen_ = true;
+    headerAt_ = buf_.size();
+    u32(tag);
+    u64(0); // payload length, patched by endSection()
+    u32(0); // payload CRC, patched by endSection()
+}
+
+void
+Serializer::endSection()
+{
+    isim_assert(sectionOpen_, "endSection without beginSection");
+    sectionOpen_ = false;
+    const std::size_t payload_at = headerAt_ + kSectionHeaderBytes;
+    const std::uint64_t len = buf_.size() - payload_at;
+    const std::uint32_t crc = crc32(buf_.data() + payload_at, len);
+    for (int i = 0; i < 8; ++i)
+        buf_[headerAt_ + 4 + i] =
+            static_cast<std::uint8_t>((len >> (8 * i)) & 0xff);
+    for (int i = 0; i < 4; ++i)
+        buf_[headerAt_ + 12 + i] =
+            static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff);
+}
+
+void
+Serializer::writeFile(const std::string &path) const
+{
+    isim_assert(!sectionOpen_, "writeFile with an open section");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        isim_fatal("cannot open checkpoint '%s' for writing",
+                   path.c_str());
+    out.write(reinterpret_cast<const char *>(buf_.data()),
+              static_cast<std::streamsize>(buf_.size()));
+    if (!out)
+        isim_fatal("write to checkpoint '%s' failed", path.c_str());
+}
+
+Deserializer::Deserializer(std::vector<std::uint8_t> data)
+    : buf_(std::move(data))
+{
+    if (buf_.size() < magicBytes + 4)
+        isim_fatal("checkpoint truncated: %zu bytes, need at least "
+                   "%zu for the header",
+                   buf_.size(), magicBytes + 4);
+    if (std::memcmp(buf_.data(), kMagic, magicBytes) != 0)
+        isim_fatal("not a checkpoint: bad magic (want \"%s\")", kMagic);
+    pos_ = magicBytes;
+    const std::uint32_t version = u32();
+    if (version != formatVersion)
+        isim_fatal("checkpoint format version %u unsupported "
+                   "(this build reads version %u)",
+                   version, formatVersion);
+}
+
+Deserializer
+Deserializer::fromFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        isim_fatal("cannot open checkpoint '%s'", path.c_str());
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+    if (size > 0)
+        in.read(reinterpret_cast<char *>(data.data()), size);
+    if (!in)
+        isim_fatal("read of checkpoint '%s' failed", path.c_str());
+    return Deserializer(std::move(data));
+}
+
+const std::uint8_t *
+Deserializer::need(std::size_t n)
+{
+    if (buf_.size() - pos_ < n)
+        isim_fatal("checkpoint truncated: need %zu bytes at offset "
+                   "%zu, only %zu remain",
+                   n, pos_, buf_.size() - pos_);
+    if (sectionOpen_ && pos_ + n > sectionEnd_)
+        isim_fatal("checkpoint section overrun: read of %zu bytes at "
+                   "offset %zu crosses the section end at %zu",
+                   n, pos_, sectionEnd_);
+    const std::uint8_t *p = buf_.data() + pos_;
+    pos_ += n;
+    return p;
+}
+
+std::uint8_t
+Deserializer::u8()
+{
+    return *need(1);
+}
+
+std::uint16_t
+Deserializer::u16()
+{
+    const std::uint8_t *p = need(2);
+    return static_cast<std::uint16_t>(p[0] |
+                                      (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t
+Deserializer::u32()
+{
+    const std::uint8_t *p = need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t{p[i]} << (8 * i);
+    return v;
+}
+
+std::uint64_t
+Deserializer::u64()
+{
+    const std::uint8_t *p = need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+std::int64_t
+Deserializer::i64()
+{
+    return static_cast<std::int64_t>(u64());
+}
+
+double
+Deserializer::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+bool
+Deserializer::b()
+{
+    const std::uint8_t v = u8();
+    if (v > 1)
+        isim_fatal("checkpoint corrupt: bool byte is %u", v);
+    return v != 0;
+}
+
+std::string
+Deserializer::str()
+{
+    const std::uint64_t len = u64();
+    const std::uint8_t *p = need(len);
+    return std::string(reinterpret_cast<const char *>(p), len);
+}
+
+MemRef
+Deserializer::memRef()
+{
+    MemRef r;
+    const std::uint8_t kind = u8();
+    if (kind > static_cast<std::uint8_t>(RefKind::Store))
+        isim_fatal("checkpoint corrupt: MemRef kind %u", kind);
+    r.kind = static_cast<RefKind>(kind);
+    r.kernel = b();
+    r.depDist = u8();
+    r.instrCount = u16();
+    r.paddr = u64();
+    return r;
+}
+
+void
+Deserializer::beginSection(std::uint32_t tag)
+{
+    isim_assert(!sectionOpen_, "nested checkpoint section");
+    const std::uint32_t got = u32();
+    if (got != tag)
+        isim_fatal("checkpoint section mismatch: want '%s', found "
+                   "'%s'",
+                   fourccName(tag).c_str(), fourccName(got).c_str());
+    const std::uint64_t len = u64();
+    const std::uint32_t want_crc = u32();
+    if (buf_.size() - pos_ < len)
+        isim_fatal("checkpoint truncated inside section '%s': length "
+                   "says %llu bytes, only %zu remain",
+                   fourccName(tag).c_str(),
+                   static_cast<unsigned long long>(len),
+                   buf_.size() - pos_);
+    const std::uint32_t got_crc = crc32(buf_.data() + pos_, len);
+    if (got_crc != want_crc)
+        isim_fatal("checkpoint section '%s' failed its CRC check "
+                   "(stored %08x, computed %08x) — file corrupt",
+                   fourccName(tag).c_str(), want_crc, got_crc);
+    sectionOpen_ = true;
+    sectionEnd_ = pos_ + len;
+}
+
+void
+Deserializer::endSection()
+{
+    isim_assert(sectionOpen_, "endSection without beginSection");
+    if (pos_ != sectionEnd_)
+        isim_fatal("checkpoint section not fully consumed: %zu bytes "
+                   "left (format skew between writer and reader?)",
+                   sectionEnd_ - pos_);
+    sectionOpen_ = false;
+}
+
+void
+Deserializer::finish() const
+{
+    if (pos_ != buf_.size())
+        isim_fatal("checkpoint has %zu trailing bytes after the last "
+                   "section",
+                   buf_.size() - pos_);
+}
+
+} // namespace isim::ckpt

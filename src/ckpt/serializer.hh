@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Versioned binary checkpoint encoding: a Serializer/Deserializer
+ * visitor pair every stateful component implements saveState() /
+ * restoreState() against.
+ *
+ * Format (all integers little-endian):
+ *
+ *   [8]  magic "ISIMCKPT"
+ *   [4]  format version (u32)
+ *   then a sequence of sections:
+ *   [4]  section tag (fourcc, u32)
+ *   [8]  payload length in bytes (u64)
+ *   [4]  CRC-32 (IEEE) of the payload
+ *   [n]  payload
+ *
+ * Doubles are encoded as their IEEE-754 bit pattern, so a round trip
+ * is bit-exact (including NaN payloads). Components serialize
+ * unordered containers in sorted (canonical) order, so encoding the
+ * same logical state always yields the same bytes and checkpoint
+ * digests can be compared directly.
+ *
+ * The Deserializer bounds-checks every read and verifies magic,
+ * version, section tags, CRCs, and exact section consumption; any
+ * mismatch is a clean isim_fatal (PanicError in panic-throw mode),
+ * never undefined behaviour. See docs/CHECKPOINT.md.
+ */
+
+#ifndef ISIM_CKPT_SERIALIZER_HH
+#define ISIM_CKPT_SERIALIZER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/record.hh"
+
+namespace isim::ckpt {
+
+/** Bump when the encoding changes incompatibly (docs/CHECKPOINT.md). */
+inline constexpr std::uint32_t formatVersion = 1;
+
+/** "ISIMCKPT" */
+inline constexpr std::size_t magicBytes = 8;
+
+/** Build a section tag from a fourcc, e.g. sectionTag("OLTP"). */
+constexpr std::uint32_t
+sectionTag(const char (&fourcc)[5])
+{
+    return static_cast<std::uint32_t>(
+               static_cast<unsigned char>(fourcc[0])) |
+           static_cast<std::uint32_t>(
+               static_cast<unsigned char>(fourcc[1]))
+               << 8 |
+           static_cast<std::uint32_t>(
+               static_cast<unsigned char>(fourcc[2]))
+               << 16 |
+           static_cast<std::uint32_t>(
+               static_cast<unsigned char>(fourcc[3]))
+               << 24;
+}
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected). */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/** FNV-1a 64-bit hash; used for whole-checkpoint state digests. */
+std::uint64_t fnv1a64(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Appends primitive values to a growing byte buffer. Construction
+ * writes the magic and version; state is then written as a sequence
+ * of CRC-framed sections.
+ */
+class Serializer
+{
+  public:
+    Serializer();
+
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v);
+    /** Encoded as the IEEE-754 bit pattern (bit-exact round trip). */
+    void f64(double v);
+    void b(bool v);
+    /** u64 length followed by the raw bytes. */
+    void str(const std::string &v);
+    void memRef(const MemRef &r);
+
+    /** Open a section; every write until endSection() is its payload. */
+    void beginSection(std::uint32_t tag);
+    /** Close the open section, patching its length and CRC. */
+    void endSection();
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+    /** Write the buffer to a file; isim_fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t headerAt_ = 0; //!< offset of the open section header
+    bool sectionOpen_ = false;
+};
+
+/**
+ * Reads values back in the exact order they were written. All errors
+ * (truncation, bad magic, version or tag mismatch, CRC failure,
+ * trailing bytes) raise isim_fatal with a description of what was
+ * expected.
+ */
+class Deserializer
+{
+  public:
+    /** Takes the full file image; validates magic and version. */
+    explicit Deserializer(std::vector<std::uint8_t> data);
+
+    /** Load a checkpoint file; isim_fatal if unreadable. */
+    static Deserializer fromFile(const std::string &path);
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64();
+    double f64();
+    bool b();
+    std::string str();
+    MemRef memRef();
+
+    /** Enter the next section; verifies the tag and payload CRC. */
+    void beginSection(std::uint32_t tag);
+    /** Leave the section; verifies it was consumed exactly. */
+    void endSection();
+
+    /** True once every byte has been consumed. */
+    bool atEnd() const { return pos_ == buf_.size(); }
+
+    /** Fatal unless atEnd() — call after the last section. */
+    void finish() const;
+
+  private:
+    const std::uint8_t *need(std::size_t n);
+
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    std::size_t sectionEnd_ = 0;
+    bool sectionOpen_ = false;
+};
+
+} // namespace isim::ckpt
+
+#endif // ISIM_CKPT_SERIALIZER_HH

@@ -5,6 +5,11 @@
 
 #include "src/coherence/directory.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "src/ckpt/serializer.hh"
+
 namespace isim {
 
 Directory::Directory(const HomeMap &home_map, unsigned line_bits)
@@ -83,6 +88,43 @@ Directory::checkEntry(const DirEntry &e)
         break;
       case LineState::Exclusive:
         isim_panic("directory entries use Modified for owned lines");
+    }
+}
+
+void
+Directory::saveState(ckpt::Serializer &s) const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(map_.size());
+    for (const auto &[line_addr, e] : map_)
+        addrs.push_back(line_addr);
+    std::sort(addrs.begin(), addrs.end());
+    s.u64(addrs.size());
+    for (Addr line_addr : addrs) {
+        const DirEntry &e = map_.at(line_addr);
+        s.u64(line_addr);
+        s.u8(static_cast<std::uint8_t>(e.state));
+        s.u32(e.sharers);
+        s.u32(e.owner);
+    }
+}
+
+void
+Directory::restoreState(ckpt::Deserializer &d)
+{
+    map_.clear();
+    const std::uint64_t count = d.u64();
+    for (std::uint64_t n = 0; n < count; ++n) {
+        const Addr line_addr = d.u64();
+        DirEntry e;
+        const std::uint8_t state = d.u8();
+        if (state > static_cast<std::uint8_t>(LineState::Modified))
+            isim_fatal("checkpoint corrupt: directory state %u", state);
+        e.state = static_cast<LineState>(state);
+        e.sharers = d.u32();
+        e.owner = d.u32();
+        checkEntry(e, homeMap_.numNodes);
+        map_.emplace(line_addr, e);
     }
 }
 

@@ -19,6 +19,7 @@
 
 #include "src/base/logging.hh"
 #include "src/base/types.hh"
+#include "src/ckpt/fwd.hh"
 #include "src/mem/line_state.hh"
 
 namespace isim {
@@ -111,6 +112,14 @@ class Directory
     void forEachEntry(
         const std::function<void(Addr line_addr, const DirEntry &)> &fn)
         const;
+
+    /**
+     * Checkpoint every entry. Entries are written in sorted line-addr
+     * order so the encoding is canonical (the map itself is unordered
+     * and only ever point-queried, so iteration order is not state).
+     */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     HomeMap homeMap_;

@@ -24,6 +24,7 @@
 
 #include <algorithm>
 
+#include "src/ckpt/serializer.hh"
 #include "src/obs/tracer.hh"
 #include "src/stats/registry.hh"
 
@@ -264,6 +265,135 @@ MemorySystem::resetStats()
         node->l2.resetCounters();
         if (node->rac)
             node->rac->resetCounters();
+    }
+}
+
+namespace {
+
+void
+saveNodeStats(ckpt::Serializer &s, const NodeProtocolStats &st)
+{
+    s.u64(st.instrLocal);
+    s.u64(st.instrRemote);
+    s.u64(st.dataLocal);
+    s.u64(st.dataRemoteClean);
+    s.u64(st.dataRemoteDirty);
+    s.u64(st.upgrades);
+    s.u64(st.intraNodeInvals);
+    s.u64(st.storeRefs);
+    s.u64(st.storesCausingInval);
+    s.u64(st.invalidationsSent);
+    s.u64(st.writebacksToHome);
+    s.u64(st.replacementHints);
+    s.u64(st.victimHits);
+    s.u64(st.racUpgrades);
+    s.u64(st.prefetchesIssued);
+    s.u64(st.prefetchHits);
+    s.u64(st.mcQueueCycles);
+}
+
+void
+restoreNodeStats(ckpt::Deserializer &d, NodeProtocolStats &st)
+{
+    st.instrLocal = d.u64();
+    st.instrRemote = d.u64();
+    st.dataLocal = d.u64();
+    st.dataRemoteClean = d.u64();
+    st.dataRemoteDirty = d.u64();
+    st.upgrades = d.u64();
+    st.intraNodeInvals = d.u64();
+    st.storeRefs = d.u64();
+    st.storesCausingInval = d.u64();
+    st.invalidationsSent = d.u64();
+    st.writebacksToHome = d.u64();
+    st.replacementHints = d.u64();
+    st.victimHits = d.u64();
+    st.racUpgrades = d.u64();
+    st.prefetchesIssued = d.u64();
+    st.prefetchHits = d.u64();
+    st.mcQueueCycles = d.u64();
+}
+
+} // namespace
+
+void
+MemorySystem::saveState(ckpt::Serializer &s) const
+{
+    s.u64(transitionCount_);
+    s.u64(nocStats_.messages);
+    s.u64(nocStats_.ctrlMessages);
+    s.u64(nocStats_.dataMessages);
+    s.u64(nocStats_.bytes);
+    s.u64(nocStats_.hops);
+    s.u64(mcBusyUntil_.size());
+    for (Tick t : mcBusyUntil_)
+        s.u64(t);
+    dir_.saveState(s);
+    s.u64(nodes_.size());
+    for (const auto &node : nodes_) {
+        saveNodeStats(s, node->stats);
+        node->l2.saveState(s);
+        s.u64(node->victims.size());
+        for (const auto &[line_addr, state] : node->victims) {
+            s.u64(line_addr);
+            s.u8(static_cast<std::uint8_t>(state));
+        }
+        s.b(node->rac != nullptr);
+        if (node->rac)
+            node->rac->saveState(s);
+        s.u64(node->l1i.size());
+        for (const Cache &c : node->l1i)
+            c.saveState(s);
+        for (const Cache &c : node->l1d)
+            c.saveState(s);
+    }
+}
+
+void
+MemorySystem::restoreState(ckpt::Deserializer &d)
+{
+    transitionCount_ = d.u64();
+    nocStats_.messages = d.u64();
+    nocStats_.ctrlMessages = d.u64();
+    nocStats_.dataMessages = d.u64();
+    nocStats_.bytes = d.u64();
+    nocStats_.hops = d.u64();
+    if (d.u64() != mcBusyUntil_.size())
+        isim_fatal("checkpoint node count mismatch (mc horizons)");
+    for (Tick &t : mcBusyUntil_)
+        t = d.u64();
+    dir_.restoreState(d);
+    if (d.u64() != nodes_.size())
+        isim_fatal("checkpoint node count mismatch");
+    for (auto &node : nodes_) {
+        restoreNodeStats(d, node->stats);
+        node->l2.restoreState(d);
+        node->victims.clear();
+        const std::uint64_t nvictims = d.u64();
+        for (std::uint64_t i = 0; i < nvictims; ++i) {
+            const Addr line_addr = d.u64();
+            const std::uint8_t state = d.u8();
+            if (state >
+                static_cast<std::uint8_t>(LineState::Modified))
+                isim_fatal("checkpoint corrupt: victim state %u",
+                           state);
+            node->victims.emplace_back(
+                line_addr, static_cast<LineState>(state));
+        }
+        const bool has_rac = d.b();
+        if (has_rac != (node->rac != nullptr))
+            isim_fatal("checkpoint RAC presence mismatch: file %s a "
+                       "RAC, this machine %s",
+                       has_rac ? "has" : "lacks",
+                       node->rac ? "has one" : "does not");
+        if (node->rac)
+            node->rac->restoreState(d);
+        if (d.u64() != node->l1i.size())
+            isim_fatal("checkpoint cores-per-node mismatch");
+        for (Cache &c : node->l1i)
+            c.restoreState(d);
+        for (Cache &c : node->l1d)
+            c.restoreState(d);
     }
 }
 

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/fwd.hh"
 #include "src/coherence/directory.hh"
 #include "src/mem/cache.hh"
 #include "src/mem/rac.hh"
@@ -271,6 +272,14 @@ class MemorySystem
 
     /** Zero all statistics; cache and directory contents are kept. */
     void resetStats();
+
+    /**
+     * Checkpoint every cache array, victim buffer, RAC, directory
+     * entry and protocol/NoC counter. The latency table and geometry
+     * are configuration (restore verifies cache geometries match).
+     */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
     /**
      * Optional observer invoked on every counted L2 miss (profiling;

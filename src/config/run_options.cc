@@ -68,6 +68,10 @@ RunOptions::fromEnv()
         opts.statsOut = path;
     if (const auto v = parseUint(std::getenv("ISIM_STATS_EPOCH")))
         opts.statsEpochTicks = *v;
+    if (const char *dir = std::getenv("ISIM_SAVE_CKPT"))
+        opts.saveCkptDir = dir;
+    if (const char *dir = std::getenv("ISIM_FROM_CKPT"))
+        opts.fromCkptDir = dir;
     return opts;
 }
 
@@ -126,6 +130,10 @@ RunOptions::fromCommandLine(int &argc, char **argv)
         } else if (matches(i, "--stats-epoch")) {
             opts.statsEpochTicks =
                 parseUintOrDie("--stats-epoch", value);
+        } else if (matches(i, "--save-ckpt")) {
+            opts.saveCkptDir = value;
+        } else if (matches(i, "--from-ckpt")) {
+            opts.fromCkptDir = value;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             opts.verbose = false;
         } else {
@@ -179,6 +187,10 @@ runOptionsHelp()
            "(default: <json-dir>/<stem>.stats.json)\n"
            "  --stats-epoch=TICKS  embed per-epoch stat rows on this "
            "tick grid\n"
+           "  --save-ckpt=DIR      save a warm checkpoint per bar "
+           "into DIR after warm-up\n"
+           "  --from-ckpt=DIR      restore warm checkpoints from DIR "
+           "(skips warm-up)\n"
            "  --quiet              suppress per-run progress lines\n";
 }
 

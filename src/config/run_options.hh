@@ -55,13 +55,26 @@ struct RunOptions
     Tick statsEpochTicks = 0;
     /** What to capture and where (one observed bar per figure). */
     obs::ObsConfig obs;
+    /**
+     * Directory warm checkpoints are written into after each bar's
+     * warm-up ("" = off). One image per machine, named
+     * `<slug(config.name)>.ckpt`; see docs/CHECKPOINT.md.
+     */
+    std::string saveCkptDir;
+    /**
+     * Directory warm checkpoints are restored from ("" = off). Each
+     * bar skips its warm-up and measures from the image; the image's
+     * embedded configuration must match the bar's exactly.
+     */
+    std::string fromCkptDir;
 
     /**
      * Resolve the environment: ISIM_TXNS, ISIM_WARMUP, ISIM_SEED,
      * ISIM_JSON_DIR, ISIM_JOBS, ISIM_AUDIT_PERIOD, ISIM_STATS_OUT,
-     * ISIM_STATS_EPOCH. Malformed values are ignored (the variables
-     * are convenience overrides, often set globally in CI). This is
-     * the only getenv() site in the tree.
+     * ISIM_STATS_EPOCH, ISIM_SAVE_CKPT, ISIM_FROM_CKPT. Malformed
+     * values are ignored (the variables are convenience overrides,
+     * often set globally in CI). This is the only getenv() site in
+     * the tree.
      */
     static RunOptions fromEnv();
 
@@ -78,6 +91,8 @@ struct RunOptions
      *   --audit-period N         invariant full-audit period (>= 1)
      *   --stats-out FILE         write the stats manifest to FILE
      *   --stats-epoch TICKS      embed per-epoch rows on this grid
+     *   --save-ckpt DIR          save a warm checkpoint per bar
+     *   --from-ckpt DIR          restore warm checkpoints (skip warm-up)
      *   --quiet                  suppress per-run progress lines
      *
      * plus the observability flags (obsFromCommandLine). Flags

@@ -19,11 +19,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
 #include "src/base/logging.hh"
+#include "src/ckpt/checkpoint.hh"
 #include "src/core/sweep.hh"
 
 namespace isim {
@@ -35,10 +38,63 @@ std::mutex logMutex;
 
 } // namespace
 
+std::string
+checkpointSlug(const std::string &name)
+{
+    std::string slug;
+    for (const char c : name) {
+        slug += std::isalnum(static_cast<unsigned char>(c))
+                    ? static_cast<char>(std::tolower(
+                          static_cast<unsigned char>(c)))
+                    : '_';
+    }
+    return slug.substr(0, 64);
+}
+
+std::string
+checkpointPath(const std::string &dir, const std::string &name)
+{
+    return dir + "/" + checkpointSlug(name) + ".ckpt";
+}
+
 void
 ExperimentRunner::applyEnvOverrides(WorkloadParams &params)
 {
     RunOptions::fromEnv().applyTo(params);
+}
+
+RunResult
+ExperimentRunner::runMachine(const MachineConfig &cfg,
+                             obs::Observability *o) const
+{
+    std::unique_ptr<Machine> machine;
+    if (!options_.fromCkptDir.empty()) {
+        const std::string path =
+            checkpointPath(options_.fromCkptDir, cfg.name);
+        machine = Machine::fromCheckpoint(path);
+        // Measuring a warm image under different knobs would silently
+        // compare incomparable runs; insist on an exact config match.
+        if (ckpt::configBytes(machine->config()) !=
+            ckpt::configBytes(cfg)) {
+            isim_fatal("checkpoint '%s' was taken with a different "
+                       "configuration than '%s' requests (txns/seed/"
+                       "geometry must match exactly)",
+                       path.c_str(), cfg.name.c_str());
+        }
+    } else {
+        machine = std::make_unique<Machine>(cfg);
+    }
+    if (o != nullptr)
+        machine->attachObservability(o);
+    if (!machine->warm()) {
+        machine->runWarmup();
+        if (!options_.saveCkptDir.empty()) {
+            std::filesystem::create_directories(options_.saveCkptDir);
+            machine->saveCheckpoint(
+                checkpointPath(options_.saveCkptDir, cfg.name));
+        }
+    }
+    return machine->runMeasurement();
 }
 
 RunResult
@@ -50,8 +106,7 @@ ExperimentRunner::runOne(const MachineConfig &config) const
         const std::lock_guard<std::mutex> lock(logMutex);
         isim_inform("running %s ...", cfg.name.c_str());
     }
-    Machine machine(cfg);
-    RunResult r = machine.run();
+    RunResult r = runMachine(cfg, nullptr);
     if (!r.dbConsistent) {
         const std::lock_guard<std::mutex> lock(logMutex);
         isim_warn("%s: TPC-B consistency check FAILED", cfg.name.c_str());
@@ -69,9 +124,7 @@ ExperimentRunner::runObserved(const MachineConfig &config,
         const std::lock_guard<std::mutex> lock(logMutex);
         isim_inform("running %s (observed) ...", cfg.name.c_str());
     }
-    Machine machine(cfg);
-    machine.attachObservability(&o);
-    RunResult r = machine.run();
+    RunResult r = runMachine(cfg, &o);
     if (!r.dbConsistent) {
         const std::lock_guard<std::mutex> lock(logMutex);
         isim_warn("%s: TPC-B consistency check FAILED", cfg.name.c_str());

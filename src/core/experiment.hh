@@ -57,6 +57,15 @@ struct FigureResult
 };
 
 /**
+ * Filesystem slug of a machine name (lower-cased alphanumerics,
+ * everything else `_`, 64 chars max — the figure-stem rules), and the
+ * checkpoint path `<dir>/<slug>.ckpt` the runner saves/restores.
+ */
+std::string checkpointSlug(const std::string &name);
+std::string checkpointPath(const std::string &dir,
+                           const std::string &name);
+
+/**
  * Runs every configuration of a figure, concurrently when the
  * options allow (each run builds a fresh machine; see RunOptions).
  */
@@ -106,6 +115,13 @@ class ExperimentRunner
   private:
     RunResult runBar(const FigureSpec &spec, std::size_t index,
                      std::size_t observed_index) const;
+    /**
+     * Build (or restore, with fromCkptDir) the machine, run it, and
+     * save a warm checkpoint when saveCkptDir asks for one. The
+     * shared back end of runOne / runObserved.
+     */
+    RunResult runMachine(const MachineConfig &config,
+                         obs::Observability *o) const;
 
     RunOptions options_;
 };

@@ -18,6 +18,8 @@ MachineConfig::label() const
     return name;
 }
 
+Machine::~Machine() = default;
+
 Machine::Machine(const MachineConfig &config) : config_(config)
 {
     if (!validCombination(config_.level, config_.l2Impl)) {
@@ -315,30 +317,66 @@ Machine::snapshot() const
     return r;
 }
 
-RunResult
-Machine::run(TraceWriter *trace)
+void
+Machine::ensureSim(TraceWriter *trace)
 {
+    if (sim_ != nullptr)
+        return;
     SimOptions opts;
     opts.quantum = config_.workload.quantum;
     opts.trace = trace;
+    opts.maxSteps = maxSteps_;
     opts.obs = obs_;
-    Simulation sim(*sched_, *kernel_, *engine_, cpus_, opts);
+    sim_ = std::make_unique<Simulation>(*sched_, *kernel_, *engine_,
+                                        cpus_, opts);
+    if (pendingSim_ != nullptr) {
+        sim_->restoreState(*pendingSim_);
+        pendingSim_.reset();
+    }
+}
 
+void
+Machine::runWarmup(TraceWriter *trace)
+{
+    isim_assert(!warmupRan_, "warm-up already ran (or was restored)");
+    ensureSim(trace);
     if (obs_ != nullptr)
         obs_->beginRun(0);
-    sim.runUntilWarmupDone();
-    const Tick warm_end = sim.wallTime();
+    sim_->runUntilWarmupDone();
+    warmEnd_ = sim_->wallTime();
     resetStats(); // rebases oltp.txn.committed via the registry hook
+    warmupRan_ = true;
+}
 
-    sim.runUntilMeasurementDone();
+RunResult
+Machine::runMeasurement(TraceWriter *trace)
+{
+    isim_assert(warmupRan_, "runMeasurement before warm-up");
+    ensureSim(trace);
+    if (restored_) {
+        // The cold path announced the run at warm-up start; a restored
+        // machine begins at the warm boundary instead.
+        if (obs_ != nullptr)
+            obs_->beginRun(warmEnd_);
+        restored_ = false;
+    }
+    sim_->runUntilMeasurementDone();
     if (obs_ != nullptr)
-        obs_->endRun(sim.wallTime());
+        obs_->endRun(sim_->wallTime());
 
     RunResult r = snapshot();
-    r.wallTime = sim.wallTime() - warm_end;
+    r.wallTime = sim_->wallTime() - warmEnd_;
     if (obs_ != nullptr && obs_->sampler() != nullptr)
         r.epochs = obs_->sampler()->rows();
     return r;
+}
+
+RunResult
+Machine::run(TraceWriter *trace)
+{
+    if (!warmupRan_)
+        runWarmup(trace);
+    return runMeasurement(trace);
 }
 
 } // namespace isim

@@ -9,10 +9,12 @@
 #ifndef ISIM_CORE_MACHINE_HH
 #define ISIM_CORE_MACHINE_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/ckpt/fwd.hh"
 #include "src/coherence/protocol.hh"
 #include "src/cpu/core.hh"
 #include "src/cpu/ooo.hh"
@@ -26,6 +28,8 @@
 
 namespace isim {
 
+class Simulation;
+struct SimState;
 class TraceWriter;
 
 namespace obs {
@@ -116,6 +120,7 @@ class Machine
 {
   public:
     explicit Machine(const MachineConfig &config);
+    ~Machine(); //!< out of line: owns a Simulation by unique_ptr
 
     const MachineConfig &config() const { return config_; }
 
@@ -123,8 +128,57 @@ class Machine
      * Run warm-up then the measured transaction count; returns the
      * aggregated result for the measurement window. When `trace` is
      * given, every consumed reference (warm-up included) is captured.
+     * On a machine restored from a checkpoint the warm-up phase is
+     * skipped — the image already contains the warm state.
      */
     RunResult run(TraceWriter *trace = nullptr);
+
+    /**
+     * The two phases of run(), exposed separately so a checkpoint can
+     * be taken between them (SimOS-style: pay the warm-up once, seed
+     * many measurement runs from the image). runWarmup() runs the
+     * warm-up transactions and rebases the statistics; it must be
+     * called at most once, and not on a restored machine.
+     */
+    void runWarmup(TraceWriter *trace = nullptr);
+    RunResult runMeasurement(TraceWriter *trace = nullptr);
+
+    /** Whether the warm-up has run (or was restored from an image). */
+    bool warm() const { return warmupRan_; }
+
+    /** Simulated time at the end of warm-up (0 before it). */
+    Tick warmupEndTime() const { return warmEnd_; }
+
+    /** Hard step-count backstop for the loop (0 = none). */
+    void setMaxSteps(std::uint64_t max_steps) { maxSteps_ = max_steps; }
+
+    // ---- Checkpointing (implemented in src/ckpt/checkpoint.cc) ----
+
+    /**
+     * Serialize the machine's full warm state (configuration echo +
+     * every stateful component + the loop clocks) into the versioned
+     * checkpoint image format documented in docs/CHECKPOINT.md.
+     */
+    std::vector<std::uint8_t> checkpointBytes() const;
+    /** checkpointBytes() to a file; fatal on I/O error. */
+    void saveCheckpoint(const std::string &path) const;
+    /** FNV-1a 64 digest of checkpointBytes() (round-trip tests). */
+    std::uint64_t stateDigest() const;
+
+    /**
+     * Rebuild a machine from a checkpoint image. The returned machine
+     * is warm: run() / runMeasurement() continue from the image. The
+     * latency-override variant re-resolves the latency table for a
+     * different integration level / L2 implementation — cache
+     * *geometry* still has to match the image, only latencies change.
+     */
+    static std::unique_ptr<Machine>
+    fromCheckpointBytes(const std::vector<std::uint8_t> &bytes);
+    static std::unique_ptr<Machine>
+    fromCheckpoint(const std::string &path);
+    static std::unique_ptr<Machine>
+    fromCheckpoint(const std::string &path, IntegrationLevel level,
+                   L2Impl l2_impl);
 
     // Component access (tests, examples).
     VirtualMemory &vm() { return *vm_; }
@@ -161,6 +215,17 @@ class Machine
     /** Register every component's stats (called once, from the ctor). */
     void buildRegistry();
 
+    /**
+     * Create the simulation loop if it does not exist yet, adopting
+     * any pending restored loop state. Deferred to the first run call
+     * so a restored machine can still attachObservability() first
+     * (the loop binds its tracer at construction).
+     */
+    void ensureSim(TraceWriter *trace);
+
+    /** Restore component + loop state from an image (checkpoint.cc). */
+    void restoreFromImage(ckpt::Deserializer &d);
+
     MachineConfig config_;
     stats::Registry registry_;
     std::unique_ptr<VirtualMemory> vm_;
@@ -170,6 +235,14 @@ class Machine
     std::unique_ptr<MemorySystem> memSys_;
     std::vector<std::unique_ptr<CpuCore>> cpus_;
     obs::Observability *obs_ = nullptr;
+
+    std::unique_ptr<Simulation> sim_; //!< persists across run phases
+    /** Loop state restored from an image before sim_ exists. */
+    std::unique_ptr<SimState> pendingSim_;
+    Tick warmEnd_ = 0;      //!< wall time at the warm-up boundary
+    bool warmupRan_ = false;
+    bool restored_ = false; //!< built by fromCheckpoint*
+    std::uint64_t maxSteps_ = 0;
 };
 
 } // namespace isim

@@ -6,6 +6,7 @@
 #include "src/core/simulation.hh"
 
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 #include "src/coherence/protocol.hh"
 #include "src/obs/observability.hh"
 #include "src/trace/trace_io.hh"
@@ -177,6 +178,56 @@ void
 Simulation::runUntilMeasurementDone()
 {
     runUntil(&OltpEngine::measurementDone);
+}
+
+void
+SimState::saveState(ckpt::Serializer &s) const
+{
+    s.u64(steps);
+    s.u64(cpus.size());
+    for (const Cpu &c : cpus) {
+        s.u64(c.now);
+        s.u64(c.quantumStart);
+        s.u64(c.injected.size());
+        for (const MemRef &ref : c.injected)
+            s.memRef(ref);
+    }
+}
+
+void
+SimState::restoreState(ckpt::Deserializer &d)
+{
+    steps = d.u64();
+    const std::uint64_t ncpus = d.u64();
+    cpus.assign(ncpus, Cpu{});
+    for (Cpu &c : cpus) {
+        c.now = d.u64();
+        c.quantumStart = d.u64();
+        const std::uint64_t ninjected = d.u64();
+        for (std::uint64_t i = 0; i < ninjected; ++i)
+            c.injected.push_back(d.memRef());
+    }
+}
+
+SimState
+Simulation::captureState() const
+{
+    SimState st;
+    st.cpus = state_;
+    st.steps = steps_;
+    return st;
+}
+
+void
+Simulation::restoreState(const SimState &state)
+{
+    if (state.cpus.size() != state_.size()) {
+        isim_fatal("checkpoint CPU count mismatch: image has %zu, "
+                   "machine has %zu",
+                   state.cpus.size(), state_.size());
+    }
+    state_ = state.cpus;
+    steps_ = state.steps;
 }
 
 } // namespace isim

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/ckpt/fwd.hh"
 #include "src/cpu/core.hh"
 #include "src/oltp/workload.hh"
 #include "src/os/kernel.hh"
@@ -40,6 +41,27 @@ struct SimOptions
     obs::Observability *obs = nullptr;
 };
 
+/**
+ * The loop's own mutable state, detached from the loop object so a
+ * checkpoint restore can carry it before the Simulation exists (the
+ * loop binds its tracer at construction, which must happen after
+ * observability is attached).
+ */
+struct SimState
+{
+    struct Cpu
+    {
+        Tick now = 0;
+        Tick quantumStart = 0;
+        std::deque<MemRef> injected; //!< kernel switch path to run
+    };
+    std::vector<Cpu> cpus;
+    std::uint64_t steps = 0;
+
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
+};
+
 /** The loop itself. */
 class Simulation
 {
@@ -62,13 +84,13 @@ class Simulation
 
     std::uint64_t steps() const { return steps_; }
 
+    /** Snapshot the loop state for a checkpoint. */
+    SimState captureState() const;
+    /** Adopt a previously captured (or deserialized) loop state. */
+    void restoreState(const SimState &state);
+
   private:
-    struct CpuState
-    {
-        Tick now = 0;
-        Tick quantumStart = 0;
-        std::deque<MemRef> injected; //!< kernel switch path to run
-    };
+    using CpuState = SimState::Cpu;
 
     /** True if the CPU can make progress right now. */
     bool steppable(NodeId cpu) const;

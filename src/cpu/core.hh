@@ -7,6 +7,7 @@
 #ifndef ISIM_CPU_CORE_HH
 #define ISIM_CPU_CORE_HH
 
+#include "src/ckpt/fwd.hh"
 #include "src/cpu/cpu_stats.hh"
 #include "src/trace/record.hh"
 
@@ -62,6 +63,14 @@ class CpuCore
 
     /** Zero the accounting (used at the warm-up/measure boundary). */
     virtual void resetStats() { stats_ = CpuStats{}; }
+
+    /**
+     * Checkpoint the core's accounting and (for models that have it)
+     * microarchitectural timing state. The base version serializes
+     * CpuStats; stateful models override and call it first.
+     */
+    virtual void saveState(ckpt::Serializer &s) const;
+    virtual void restoreState(ckpt::Deserializer &d);
 
   protected:
     NodeId node_;

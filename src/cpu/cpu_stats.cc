@@ -5,6 +5,8 @@
 
 #include "src/cpu/cpu_stats.hh"
 
+#include "src/ckpt/serializer.hh"
+#include "src/cpu/core.hh"
 #include "src/stats/registry.hh"
 
 namespace isim {
@@ -40,6 +42,36 @@ CpuStats::registerStats(stats::Registry &r, const std::string &prefix) const
     r.formula(prefix + ".exec_time",
               "non-idle execution time (the figures' y-axis)", "ticks",
               [s] { return static_cast<double>(s->nonIdle()); });
+}
+
+void
+CpuCore::saveState(ckpt::Serializer &s) const
+{
+    s.u64(stats_.busy);
+    s.u64(stats_.l2HitStall);
+    s.u64(stats_.localStall);
+    s.u64(stats_.remoteStall);
+    s.u64(stats_.remoteDirtyStall);
+    s.u64(stats_.idle);
+    s.u64(stats_.kernelTime);
+    s.u64(stats_.instructions);
+    s.u64(stats_.loads);
+    s.u64(stats_.stores);
+}
+
+void
+CpuCore::restoreState(ckpt::Deserializer &d)
+{
+    stats_.busy = d.u64();
+    stats_.l2HitStall = d.u64();
+    stats_.localStall = d.u64();
+    stats_.remoteStall = d.u64();
+    stats_.remoteDirtyStall = d.u64();
+    stats_.idle = d.u64();
+    stats_.kernelTime = d.u64();
+    stats_.instructions = d.u64();
+    stats_.loads = d.u64();
+    stats_.stores = d.u64();
 }
 
 } // namespace isim

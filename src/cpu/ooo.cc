@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "src/ckpt/serializer.hh"
 #include "src/coherence/protocol.hh"
 
 namespace isim {
@@ -222,6 +223,62 @@ OooCpu::drain(Tick now)
     memIdx_ = 0;
     syncStats();
     return t;
+}
+
+void
+OooCpu::saveState(ckpt::Serializer &s) const
+{
+    CpuCore::saveState(s);
+    s.u64(fetchQ_);
+    s.u64(commitQ_);
+    s.u64(seq_);
+    for (Quarter q : memComplete_)
+        s.u64(q);
+    s.u64(memIdx_);
+    for (Quarter q : portFree_)
+        s.u64(q);
+    s.u64(windowRing_.size());
+    for (const auto &[seq_end, commit_q] : windowRing_) {
+        s.u64(seq_end);
+        s.u64(commit_q);
+    }
+    s.u64(windowAnchorQ_);
+    rng_.saveState(s);
+    s.u64(busyQ_);
+    s.u64(l2HitQ_);
+    s.u64(localQ_);
+    s.u64(remoteQ_);
+    s.u64(remoteDirtyQ_);
+    s.u64(kernelQ_);
+}
+
+void
+OooCpu::restoreState(ckpt::Deserializer &d)
+{
+    CpuCore::restoreState(d);
+    fetchQ_ = d.u64();
+    commitQ_ = d.u64();
+    seq_ = d.u64();
+    for (Quarter &q : memComplete_)
+        q = d.u64();
+    memIdx_ = d.u64();
+    for (Quarter &q : portFree_)
+        q = d.u64();
+    windowRing_.clear();
+    const std::uint64_t nring = d.u64();
+    for (std::uint64_t i = 0; i < nring; ++i) {
+        const std::uint64_t seq_end = d.u64();
+        const Quarter commit_q = d.u64();
+        windowRing_.emplace_back(seq_end, commit_q);
+    }
+    windowAnchorQ_ = d.u64();
+    rng_.restoreState(d);
+    busyQ_ = d.u64();
+    l2HitQ_ = d.u64();
+    localQ_ = d.u64();
+    remoteQ_ = d.u64();
+    remoteDirtyQ_ = d.u64();
+    kernelQ_ = d.u64();
 }
 
 } // namespace isim

@@ -60,6 +60,8 @@ class OooCpu : public CpuCore
     Tick consume(const MemRef &ref, Tick now) override;
     Tick drain(Tick now) override;
     void resetStats() override;
+    void saveState(ckpt::Serializer &s) const override;
+    void restoreState(ckpt::Deserializer &d) override;
 
     const OooParams &params() const { return params_; }
 

@@ -7,6 +7,7 @@
 
 #include <utility>
 
+#include "src/ckpt/serializer.hh"
 #include "src/stats/registry.hh"
 
 namespace isim {
@@ -85,6 +86,30 @@ Cache::downgradeLine(Addr line_addr)
         return false;
     line->state = LineState::Shared;
     return true;
+}
+
+void
+Cache::saveState(ckpt::Serializer &s) const
+{
+    s.u64(counters_.accesses);
+    s.u64(counters_.hits);
+    s.u64(counters_.fills);
+    s.u64(counters_.cleanEvictions);
+    s.u64(counters_.dirtyEvictions);
+    s.u64(counters_.invalidationsReceived);
+    array_.saveState(s);
+}
+
+void
+Cache::restoreState(ckpt::Deserializer &d)
+{
+    counters_.accesses = d.u64();
+    counters_.hits = d.u64();
+    counters_.fills = d.u64();
+    counters_.cleanEvictions = d.u64();
+    counters_.dirtyEvictions = d.u64();
+    counters_.invalidationsReceived = d.u64();
+    array_.restoreState(d);
 }
 
 } // namespace isim

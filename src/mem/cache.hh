@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/ckpt/fwd.hh"
 #include "src/mem/cache_array.hh"
 
 namespace isim {
@@ -88,6 +89,10 @@ class Cache
      * was present in Modified state.
      */
     bool downgradeLine(Addr line_addr);
+
+    /** Checkpoint counters and the tag array. */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     std::string name_;

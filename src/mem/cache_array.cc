@@ -6,6 +6,7 @@
 #include "src/mem/cache_array.hh"
 
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 
 namespace isim {
 
@@ -120,6 +121,67 @@ CacheArray::forEachValid(
     for (const auto &line : lines_) {
         if (line.valid())
             fn(lineAddrOf(line), line);
+    }
+}
+
+void
+CacheArray::saveState(ckpt::Serializer &s) const
+{
+    s.u64(geom_.sizeBytes);
+    s.u32(geom_.assoc);
+    s.u32(geom_.lineBytes);
+    s.u64(useStamp_);
+    // Valid lines only, recorded with their slot index so restore
+    // reproduces the exact (set, way) placement — allocate() prefers
+    // invalid ways, so placement is behaviour, not just metadata.
+    s.u64(validLines());
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const CacheLine &line = lines_[i];
+        if (!line.valid())
+            continue;
+        s.u64(i);
+        s.u64(line.tag);
+        s.u8(static_cast<std::uint8_t>(line.state));
+        s.b(line.prefetched);
+        s.u64(line.lastUse);
+    }
+}
+
+void
+CacheArray::restoreState(ckpt::Deserializer &d)
+{
+    const std::uint64_t size_bytes = d.u64();
+    const std::uint32_t assoc = d.u32();
+    const std::uint32_t line_bytes = d.u32();
+    if (size_bytes != geom_.sizeBytes || assoc != geom_.assoc ||
+        line_bytes != geom_.lineBytes)
+        isim_fatal("checkpoint cache geometry mismatch: file has "
+                   "%llu B / %u-way / %u B lines, this machine has "
+                   "%llu B / %u-way / %u B lines",
+                   static_cast<unsigned long long>(size_bytes), assoc,
+                   line_bytes,
+                   static_cast<unsigned long long>(geom_.sizeBytes),
+                   geom_.assoc, geom_.lineBytes);
+    useStamp_ = d.u64();
+    for (auto &line : lines_)
+        line = CacheLine{};
+    const std::uint64_t valid = d.u64();
+    for (std::uint64_t n = 0; n < valid; ++n) {
+        const std::uint64_t slot = d.u64();
+        if (slot >= lines_.size())
+            isim_fatal("checkpoint corrupt: cache slot %llu out of "
+                       "range (%zu slots)",
+                       static_cast<unsigned long long>(slot),
+                       lines_.size());
+        CacheLine &line = lines_[slot];
+        line.tag = d.u64();
+        const std::uint8_t state = d.u8();
+        if (state > static_cast<std::uint8_t>(LineState::Modified) ||
+            state == static_cast<std::uint8_t>(LineState::Invalid))
+            isim_fatal("checkpoint corrupt: cache line state %u", state);
+        line.state = static_cast<LineState>(state);
+        line.prefetched = d.b();
+        line.lastUse = d.u64();
     }
 }
 

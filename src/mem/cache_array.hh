@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/base/types.hh"
+#include "src/ckpt/fwd.hh"
 #include "src/mem/geometry.hh"
 #include "src/mem/line_state.hh"
 
@@ -84,6 +85,13 @@ class CacheArray
     void forEachValid(
         const std::function<void(Addr line_addr, const CacheLine &)> &fn)
         const;
+
+    /**
+     * Checkpoint the resident lines (exact set/way placement and LRU
+     * stamps). Geometry is configuration; restore verifies it matches.
+     */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     CacheLine *setBase(std::uint64_t set_index)

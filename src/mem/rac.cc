@@ -5,6 +5,7 @@
 
 #include "src/mem/rac.hh"
 
+#include "src/ckpt/serializer.hh"
 #include "src/stats/registry.hh"
 
 namespace isim {
@@ -53,6 +54,30 @@ Rac::install(Addr line_addr, LineState state)
 {
     ++counters_.allocations;
     return cache_.fill(line_addr, state);
+}
+
+void
+Rac::saveState(ckpt::Serializer &s) const
+{
+    s.u64(counters_.lookups);
+    s.u64(counters_.hits);
+    s.u64(counters_.allocations);
+    s.u64(counters_.dirtyInsertions);
+    s.u64(counters_.dirtyServicesToRemote);
+    s.u64(counters_.writebacksToHome);
+    cache_.saveState(s);
+}
+
+void
+Rac::restoreState(ckpt::Deserializer &d)
+{
+    counters_.lookups = d.u64();
+    counters_.hits = d.u64();
+    counters_.allocations = d.u64();
+    counters_.dirtyInsertions = d.u64();
+    counters_.dirtyServicesToRemote = d.u64();
+    counters_.writebacksToHome = d.u64();
+    cache_.restoreState(d);
 }
 
 } // namespace isim

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/ckpt/fwd.hh"
 #include "src/mem/cache.hh"
 
 namespace isim {
@@ -70,6 +71,10 @@ class Rac
     void noteDirtyInsertion() { ++counters_.dirtyInsertions; }
     void noteDirtyServiceToRemote() { ++counters_.dirtyServicesToRemote; }
     void noteWritebackToHome() { ++counters_.writebacksToHome; }
+
+    /** Checkpoint RAC counters and the underlying cache. */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     NodeId node_;

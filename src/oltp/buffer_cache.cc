@@ -5,6 +5,9 @@
 
 #include "src/oltp/buffer_cache.hh"
 
+#include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
+
 namespace isim {
 
 void
@@ -50,6 +53,25 @@ BufferCache::takeDirty(std::size_t max_blocks)
         it = dirty_.erase(it);
     }
     return taken;
+}
+
+void
+BufferCache::saveState(ckpt::Serializer &s) const
+{
+    s.u64(lookups_);
+    s.u64(dirty_.size());
+    for (std::uint64_t block : dirty_)
+        s.u64(block);
+}
+
+void
+BufferCache::restoreState(ckpt::Deserializer &d)
+{
+    lookups_ = d.u64();
+    dirty_.clear();
+    const std::uint64_t count = d.u64();
+    for (std::uint64_t i = 0; i < count; ++i)
+        dirty_.insert(d.u64());
 }
 
 } // namespace isim

@@ -13,10 +13,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "src/base/random.hh"
+#include "src/ckpt/fwd.hh"
 #include "src/oltp/sga.hh"
 #include "src/os/vm.hh"
 #include "src/trace/record.hh"
@@ -60,9 +61,19 @@ class BufferCache
     /** Zero the lookup counter (warm-up boundary); dirty set is kept. */
     void resetCounters() { lookups_ = 0; }
 
+    /** Checkpoint the dirty set and lookup counter. */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
+
   private:
     const Sga &sga_;
-    std::unordered_set<std::uint64_t> dirty_;
+    /**
+     * Ordered so takeDirty() hands blocks to the database writer in a
+     * canonical (block-number) order — an unordered set would make the
+     * writer's flush pattern depend on hash iteration order, breaking
+     * checkpoint bit-exactness.
+     */
+    std::set<std::uint64_t> dirty_;
     std::uint64_t lookups_ = 0;
 };
 

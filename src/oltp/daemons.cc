@@ -6,8 +6,13 @@
 #include "src/oltp/daemons.hh"
 
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 
 namespace isim {
+
+namespace {
+constexpr Pid noPid = ~Pid{0};
+} // namespace
 
 LogWriterProcess::LogWriterProcess(OltpEngine &engine, Pid pid, NodeId cpu)
     : Process("lgwr", pid, cpu), engine_(engine)
@@ -100,6 +105,56 @@ DbWriterProcess::step(Tick)
     s.kind = StepKind::BlockTimed;
     s.delay = engine_.params().dbWriterPeriod;
     return s;
+}
+
+void
+LogWriterProcess::saveState(ckpt::Serializer &s) const
+{
+    Process::saveState(s);
+    s.u8(static_cast<std::uint8_t>(state_));
+    s.u64(flushes_);
+    s.u64(commitsServed_);
+    s.u64(serving_.size());
+    for (const Process *p : serving_)
+        s.u32(p ? p->pid() : noPid);
+}
+
+void
+LogWriterProcess::restoreState(ckpt::Deserializer &d)
+{
+    Process::restoreState(d);
+    const std::uint8_t state = d.u8();
+    if (state > static_cast<std::uint8_t>(State::Completing))
+        isim_fatal("checkpoint corrupt: log-writer state %u", state);
+    state_ = static_cast<State>(state);
+    flushes_ = d.u64();
+    commitsServed_ = d.u64();
+    serving_.clear();
+    const std::uint64_t nserving = d.u64();
+    for (std::uint64_t i = 0; i < nserving; ++i) {
+        const Pid pid = d.u32();
+        Process *p = engine_.sched().processByPid(pid);
+        if (p == nullptr)
+            isim_fatal("checkpoint corrupt: unknown served pid %u",
+                       pid);
+        serving_.push_back(p);
+    }
+}
+
+void
+DbWriterProcess::saveState(ckpt::Serializer &s) const
+{
+    Process::saveState(s);
+    rng_.saveState(s);
+    s.u64(blocksFlushed_);
+}
+
+void
+DbWriterProcess::restoreState(ckpt::Deserializer &d)
+{
+    Process::restoreState(d);
+    rng_.restoreState(d);
+    blocksFlushed_ = d.u64();
 }
 
 } // namespace isim

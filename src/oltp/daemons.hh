@@ -25,6 +25,9 @@ class LogWriterProcess : public Process
     std::uint64_t flushes() const { return flushes_; }
     std::uint64_t commitsServed() const { return commitsServed_; }
 
+    void saveState(ckpt::Serializer &s) const override;
+    void restoreState(ckpt::Deserializer &d) override;
+
   private:
     enum class State : std::uint8_t { Idle, Writing, Completing };
 
@@ -45,6 +48,9 @@ class DbWriterProcess : public Process
     ProcessStep step(Tick now) override;
 
     std::uint64_t blocksFlushed() const { return blocksFlushed_; }
+
+    void saveState(ckpt::Serializer &s) const override;
+    void restoreState(ckpt::Deserializer &d) override;
 
   private:
     OltpEngine &engine_;

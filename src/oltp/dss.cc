@@ -6,6 +6,7 @@
 #include "src/oltp/dss.hh"
 
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 #include "src/os/layout.hh"
 
 namespace isim {
@@ -126,6 +127,35 @@ DssScanProcess::step(Tick now)
       }
     }
     isim_panic("unreachable DSS phase");
+}
+
+void
+DssScanProcess::saveState(ckpt::Serializer &s) const
+{
+    Process::saveState(s);
+    rng_.saveState(s);
+    s.u8(static_cast<std::uint8_t>(phase_));
+    s.u64(queries_);
+    s.u64(queryStart_);
+    s.b(done_);
+    s.u64(scanBlock_);
+    s.u64(blocksLeft_);
+}
+
+void
+DssScanProcess::restoreState(ckpt::Deserializer &d)
+{
+    Process::restoreState(d);
+    rng_.restoreState(d);
+    const std::uint8_t phase = d.u8();
+    if (phase > static_cast<std::uint8_t>(Phase::Finalize))
+        isim_fatal("checkpoint corrupt: DSS phase %u", phase);
+    phase_ = static_cast<Phase>(phase);
+    queries_ = d.u64();
+    queryStart_ = d.u64();
+    done_ = d.b();
+    scanBlock_ = d.u64();
+    blocksLeft_ = d.u64();
 }
 
 } // namespace isim

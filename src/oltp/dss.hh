@@ -33,6 +33,9 @@ class DssScanProcess : public Process
 
     std::uint64_t queriesExecuted() const { return queries_; }
 
+    void saveState(ckpt::Serializer &s) const override;
+    void restoreState(ckpt::Deserializer &d) override;
+
   private:
     enum class Phase : std::uint8_t { Plan, Scan, Finalize };
 

@@ -5,6 +5,9 @@
 
 #include "src/oltp/latch.hh"
 
+#include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
+
 namespace isim {
 
 void
@@ -40,6 +43,27 @@ LatchTable::emitRelease(unsigned latch, VirtualMemory &vm, NodeId node,
                          static_cast<std::uint16_t>(node), 0, latch,
                          paddr);
     }
+}
+
+void
+LatchTable::saveState(ckpt::Serializer &s) const
+{
+    s.u64(acquires_);
+    s.u64(contended_);
+    s.u64(lastHolder_.size());
+    for (NodeId holder : lastHolder_)
+        s.u32(holder);
+}
+
+void
+LatchTable::restoreState(ckpt::Deserializer &d)
+{
+    acquires_ = d.u64();
+    contended_ = d.u64();
+    if (d.u64() != lastHolder_.size())
+        isim_fatal("checkpoint latch count mismatch");
+    for (NodeId &holder : lastHolder_)
+        holder = d.u32();
 }
 
 } // namespace isim

@@ -15,6 +15,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/ckpt/fwd.hh"
 #include "src/obs/tracer.hh"
 #include "src/oltp/sga.hh"
 #include "src/os/vm.hh"
@@ -51,6 +52,10 @@ class LatchTable
     }
 
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
+    /** Checkpoint holder state and counters. */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     const Sga &sga_;

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "src/ckpt/serializer.hh"
+
 namespace isim {
 
 void
@@ -49,6 +51,20 @@ RedoLog::emitFlush(std::uint64_t max_slots, VirtualMemory &vm, NodeId node,
     }
     flushed_ += n;
     return n;
+}
+
+void
+RedoLog::saveState(ckpt::Serializer &s) const
+{
+    s.u64(cursor_);
+    s.u64(flushed_);
+}
+
+void
+RedoLog::restoreState(ckpt::Deserializer &d)
+{
+    cursor_ = d.u64();
+    flushed_ = d.u64();
 }
 
 } // namespace isim

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "src/ckpt/fwd.hh"
 #include "src/oltp/latch.hh"
 #include "src/oltp/sga.hh"
 #include "src/os/vm.hh"
@@ -46,6 +47,10 @@ class RedoLog
     std::uint64_t cursor() const { return cursor_; }
     std::uint64_t flushed() const { return flushed_; }
     std::uint64_t unflushed() const { return cursor_ - flushed_; }
+
+    /** Checkpoint the cursor and flush horizon. */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     const Sga &sga_;

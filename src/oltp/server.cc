@@ -7,6 +7,7 @@
 
 #include "src/base/intmath.hh"
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 #include "src/os/layout.hh"
 
 namespace isim {
@@ -313,6 +314,45 @@ ServerProcess::step(Tick now)
       }
     }
     isim_panic("unreachable server phase");
+}
+
+void
+ServerProcess::saveState(ckpt::Serializer &s) const
+{
+    Process::saveState(s);
+    rng_.saveState(s);
+    s.u8(static_cast<std::uint8_t>(phase_));
+    s.u64(txns_);
+    s.u64(txnStart_);
+    s.b(done_);
+    s.u64(account_);
+    s.u64(teller_);
+    s.u64(branch_);
+    s.i64(delta_);
+    s.u64(lastBlockTouched_);
+    s.u32(lastRowLine_);
+    s.u64(warmCursor_);
+}
+
+void
+ServerProcess::restoreState(ckpt::Deserializer &d)
+{
+    Process::restoreState(d);
+    rng_.restoreState(d);
+    const std::uint8_t phase = d.u8();
+    if (phase > static_cast<std::uint8_t>(Phase::Think))
+        isim_fatal("checkpoint corrupt: server phase %u", phase);
+    phase_ = static_cast<Phase>(phase);
+    txns_ = d.u64();
+    txnStart_ = d.u64();
+    done_ = d.b();
+    account_ = d.u64();
+    teller_ = d.u64();
+    branch_ = d.u64();
+    delta_ = d.i64();
+    lastBlockTouched_ = d.u64();
+    lastRowLine_ = d.u32();
+    warmCursor_ = d.u64();
 }
 
 } // namespace isim

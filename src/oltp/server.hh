@@ -27,6 +27,9 @@ class ServerProcess : public Process, private LineDataEmitter
 
     std::uint64_t transactionsExecuted() const { return txns_; }
 
+    void saveState(ckpt::Serializer &s) const override;
+    void restoreState(ckpt::Deserializer &d) override;
+
   private:
     enum class Phase : std::uint8_t {
         ReadRequest,  //!< pipe read from the client

@@ -5,10 +5,12 @@
 
 #include "src/oltp/tables.hh"
 
+#include <algorithm>
 #include <numeric>
 
 #include "src/base/intmath.hh"
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 
 namespace isim {
 
@@ -144,6 +146,65 @@ TpcbDatabase::checkConsistency() const
         std::accumulate(branches_.begin(), branches_.end(),
                         std::int64_t{0});
     return acc == tel && tel == brn && brn == historyDeltaSum_;
+}
+
+namespace {
+
+void
+saveBalances(ckpt::Serializer &s,
+             const std::vector<std::int64_t> &balances)
+{
+    s.u64(balances.size());
+    std::uint64_t nonzero = 0;
+    for (std::int64_t v : balances)
+        if (v != 0)
+            ++nonzero;
+    s.u64(nonzero);
+    for (std::size_t i = 0; i < balances.size(); ++i) {
+        if (balances[i] != 0) {
+            s.u64(i);
+            s.i64(balances[i]);
+        }
+    }
+}
+
+void
+restoreBalances(ckpt::Deserializer &d,
+                std::vector<std::int64_t> &balances, const char *table)
+{
+    if (d.u64() != balances.size())
+        isim_fatal("checkpoint %s table size mismatch", table);
+    std::fill(balances.begin(), balances.end(), std::int64_t{0});
+    const std::uint64_t nonzero = d.u64();
+    for (std::uint64_t n = 0; n < nonzero; ++n) {
+        const std::uint64_t i = d.u64();
+        if (i >= balances.size())
+            isim_fatal("checkpoint corrupt: %s row %llu out of range",
+                       table, static_cast<unsigned long long>(i));
+        balances[i] = d.i64();
+    }
+}
+
+} // namespace
+
+void
+TpcbDatabase::saveState(ckpt::Serializer &s) const
+{
+    saveBalances(s, accounts_);
+    saveBalances(s, tellers_);
+    saveBalances(s, branches_);
+    s.u64(historyCount_);
+    s.i64(historyDeltaSum_);
+}
+
+void
+TpcbDatabase::restoreState(ckpt::Deserializer &d)
+{
+    restoreBalances(d, accounts_, "account");
+    restoreBalances(d, tellers_, "teller");
+    restoreBalances(d, branches_, "branch");
+    historyCount_ = d.u64();
+    historyDeltaSum_ = d.i64();
 }
 
 } // namespace isim

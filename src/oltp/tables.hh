@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/ckpt/fwd.hh"
 #include "src/oltp/sga.hh"
 #include "src/oltp/workload_params.hh"
 
@@ -68,6 +69,14 @@ class TpcbDatabase
 
     /** Number of blocks occupied by the static tables + index. */
     std::uint64_t staticBlocks() const { return historyBase_; }
+
+    /**
+     * Checkpoint the balances and history accumulators. Balances are
+     * written sparsely (only nonzero entries) — a warmed TPC-B run
+     * touches a small fraction of the account table.
+     */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     WorkloadParams params_;

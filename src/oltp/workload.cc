@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 #include "src/oltp/daemons.hh"
 #include "src/oltp/dss.hh"
 #include "src/oltp/server.hh"
@@ -187,6 +188,68 @@ OltpEngine::registerStats(stats::Registry &r)
         bufferCache_.resetCounters();
         clearLatencyStats();
     });
+}
+
+namespace {
+
+constexpr Pid noPid = ~Pid{0};
+
+} // namespace
+
+void
+OltpEngine::saveState(ckpt::Serializer &s) const
+{
+    s.u64(committed_);
+    s.u64(statBase_.committed);
+    s.u64(statBase_.cursor);
+    s.u64(statBase_.flushed);
+    txnLatency_.saveState(s);
+    db_.saveState(s);
+    bufferCache_.saveState(s);
+    latches_.saveState(s);
+    redo_.saveState(s);
+    // Commit coordination: processes referenced by pid.
+    s.u64(commitWaiters_.size());
+    for (const Process *p : commitWaiters_)
+        s.u32(p->pid());
+    s.u32(sleepingLogWriter_ ? sleepingLogWriter_->pid() : noPid);
+}
+
+void
+OltpEngine::restoreState(ckpt::Deserializer &d)
+{
+    isim_assert(sched_ != nullptr,
+                "restore before createProcesses");
+    committed_ = d.u64();
+    statBase_.committed = d.u64();
+    statBase_.cursor = d.u64();
+    statBase_.flushed = d.u64();
+    txnLatency_.restoreState(d);
+    db_.restoreState(d);
+    bufferCache_.restoreState(d);
+    latches_.restoreState(d);
+    redo_.restoreState(d);
+    commitWaiters_.clear();
+    const std::uint64_t nwaiters = d.u64();
+    for (std::uint64_t i = 0; i < nwaiters; ++i) {
+        const Pid pid = d.u32();
+        Process *p = sched_->processByPid(pid);
+        if (p == nullptr)
+            isim_fatal("checkpoint corrupt: unknown commit-waiter "
+                       "pid %u",
+                       pid);
+        commitWaiters_.push_back(p);
+    }
+    const Pid lgwr = d.u32();
+    if (lgwr == noPid) {
+        sleepingLogWriter_ = nullptr;
+    } else {
+        sleepingLogWriter_ = sched_->processByPid(lgwr);
+        if (sleepingLogWriter_ == nullptr)
+            isim_fatal("checkpoint corrupt: unknown log-writer pid "
+                       "%u",
+                       lgwr);
+    }
 }
 
 } // namespace isim

@@ -117,6 +117,15 @@ class OltpEngine
     }
     obs::Tracer *tracer() const { return tracer_; }
 
+    /**
+     * Checkpoint the SGA-resident state (tables, dirty set, latches,
+     * redo), the commit-coordination queues (as pids) and the stats
+     * rebase baselines. Per-process state is handled by the scheduler,
+     * which owns the processes; createProcesses must have run.
+     */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
+
   private:
     WorkloadParams params_;
     VirtualMemory &vm_;

@@ -6,6 +6,7 @@
 #include "src/os/kernel.hh"
 
 #include "src/base/intmath.hh"
+#include "src/ckpt/serializer.hh"
 #include "src/os/layout.hh"
 
 namespace isim {
@@ -150,6 +151,25 @@ KernelModel::syscall(NodeId cpu, std::deque<MemRef> &out,
             out.push_back(storeRef(paddr, 0, true));
         }
     }
+}
+
+void
+KernelModel::saveState(ckpt::Serializer &s) const
+{
+    s.u64(rngs_.size());
+    for (const Rng &rng : rngs_)
+        rng.saveState(s);
+    s.u64(instrs_);
+}
+
+void
+KernelModel::restoreState(ckpt::Deserializer &d)
+{
+    if (d.u64() != rngs_.size())
+        isim_fatal("checkpoint kernel CPU count mismatch");
+    for (Rng &rng : rngs_)
+        rng.restoreState(d);
+    instrs_ = d.u64();
 }
 
 } // namespace isim

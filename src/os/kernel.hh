@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/base/random.hh"
+#include "src/ckpt/fwd.hh"
 #include "src/oltp/code_model.hh"
 #include "src/os/vm.hh"
 #include "src/trace/record.hh"
@@ -75,6 +76,10 @@ class KernelModel
 
     /** Instructions emitted so far (for kernel-share calibration). */
     std::uint64_t instructionsEmitted() const { return instrs_; }
+
+    /** Checkpoint the per-CPU RNG streams and instruction count. */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     void touchShared(NodeId cpu, unsigned refs, unsigned stores,

@@ -5,6 +5,8 @@
 
 #include "src/os/process.hh"
 
+#include "src/ckpt/serializer.hh"
+
 namespace isim {
 
 const char *
@@ -23,6 +25,23 @@ stepKindName(StepKind kind)
         return "Done";
     }
     return "?";
+}
+
+void
+Process::saveState(ckpt::Serializer &s) const
+{
+    s.u64(pending_.size());
+    for (const MemRef &r : pending_)
+        s.memRef(r);
+}
+
+void
+Process::restoreState(ckpt::Deserializer &d)
+{
+    pending_.clear();
+    const std::uint64_t count = d.u64();
+    for (std::uint64_t i = 0; i < count; ++i)
+        pending_.push_back(d.memRef());
 }
 
 } // namespace isim

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/base/types.hh"
+#include "src/ckpt/fwd.hh"
 #include "src/trace/record.hh"
 
 namespace isim {
@@ -63,6 +64,14 @@ class Process
     enum class SchedState : std::uint8_t { Ready, Running, Blocked, Done };
     SchedState schedState = SchedState::Ready;
     Tick wakeTime = 0;
+
+    /**
+     * Checkpoint the process's execution state. The base class
+     * serializes the pending reference queue; subclasses with state of
+     * their own override, calling the base version first.
+     */
+    virtual void saveState(ckpt::Serializer &s) const;
+    virtual void restoreState(ckpt::Deserializer &d);
 
   protected:
     /**

@@ -15,6 +15,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/ckpt/fwd.hh"
 #include "src/os/process.hh"
 
 namespace isim {
@@ -76,12 +77,33 @@ class Scheduler
     /** Number of voluntary + involuntary context switches so far. */
     std::uint64_t contextSwitches() const { return switches_; }
 
+    /** The registered process with this pid (nullptr if unknown). */
+    Process *processByPid(Pid pid) const;
+
+    /**
+     * Checkpoint scheduler bookkeeping and, via Process::saveState,
+     * every registered process. Sleepers are serialized in pop order
+     * and renumbered on restore, preserving their relative wake order.
+     */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
+
   private:
     struct TimedWake
     {
         Tick at;
         Process *process;
-        bool operator>(const TimedWake &o) const { return at > o.at; }
+        /**
+         * Insertion sequence; breaks wake-time ties FIFO so the pop
+         * order of simultaneous wakes (e.g. a commit group released by
+         * one log flush) is well-defined rather than heap-shape
+         * dependent — required for checkpoints to be bit-exact.
+         */
+        std::uint64_t seq;
+        bool operator>(const TimedWake &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
     };
 
     struct CpuQueues
@@ -100,6 +122,7 @@ class Scheduler
     std::vector<std::unique_ptr<Process>> processes_;
     std::uint64_t finished_ = 0;
     std::uint64_t switches_ = 0;
+    std::uint64_t wakeSeq_ = 0; //!< next TimedWake::seq
 };
 
 } // namespace isim

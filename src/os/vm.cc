@@ -6,9 +6,11 @@
 #include "src/os/vm.hh"
 
 #include <algorithm>
+#include <vector>
 
 #include "src/base/intmath.hh"
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 
 namespace isim {
 
@@ -201,6 +203,88 @@ std::uint64_t
 VirtualMemory::framesAllocated(NodeId node) const
 {
     return allocCount_[node];
+}
+
+namespace {
+
+/** Sorted keys of an unordered map (canonical serialization order). */
+template <typename Map>
+std::vector<std::uint64_t>
+sortedKeys(const Map &map)
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(map.size());
+    for (const auto &kv : map)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace
+
+void
+VirtualMemory::saveState(ckpt::Serializer &s) const
+{
+    rng_.saveState(s);
+    s.u64(allocCount_.size());
+    for (std::uint64_t n : allocCount_)
+        s.u64(n);
+    s.u64(pages_.size());
+    for (std::uint64_t vpn : sortedKeys(pages_)) {
+        s.u64(vpn);
+        s.u64(pages_.at(vpn));
+    }
+    s.u64(replicated_.size());
+    for (std::uint64_t vpn : sortedKeys(replicated_)) {
+        s.u64(vpn);
+        const std::vector<Addr> &copies = replicated_.at(vpn);
+        s.u64(copies.size());
+        for (Addr frame : copies)
+            s.u64(frame);
+    }
+    s.u64(usedFrames_.size());
+    for (const auto &frames : usedFrames_) {
+        std::vector<std::uint64_t> sorted(frames.begin(), frames.end());
+        std::sort(sorted.begin(), sorted.end());
+        s.u64(sorted.size());
+        for (std::uint64_t pfn : sorted)
+            s.u64(pfn);
+    }
+}
+
+void
+VirtualMemory::restoreState(ckpt::Deserializer &d)
+{
+    rng_.restoreState(d);
+    if (d.u64() != allocCount_.size())
+        isim_fatal("checkpoint VM node count mismatch");
+    for (std::uint64_t &n : allocCount_)
+        n = d.u64();
+    pages_.clear();
+    const std::uint64_t npages = d.u64();
+    for (std::uint64_t i = 0; i < npages; ++i) {
+        const std::uint64_t vpn = d.u64();
+        pages_[vpn] = d.u64();
+    }
+    replicated_.clear();
+    const std::uint64_t nrepl = d.u64();
+    for (std::uint64_t i = 0; i < nrepl; ++i) {
+        const std::uint64_t vpn = d.u64();
+        std::vector<Addr> copies(d.u64());
+        for (Addr &frame : copies)
+            frame = d.u64();
+        replicated_[vpn] = std::move(copies);
+    }
+    if (d.u64() != usedFrames_.size())
+        isim_fatal("checkpoint VM frame-table count mismatch");
+    for (auto &frames : usedFrames_) {
+        frames.clear();
+        const std::uint64_t nframes = d.u64();
+        for (std::uint64_t i = 0; i < nframes; ++i)
+            frames.insert(d.u64());
+    }
+    for (TlbEntry &e : tlb_)
+        e = TlbEntry{};
 }
 
 } // namespace isim

@@ -27,6 +27,7 @@
 
 #include "src/base/random.hh"
 #include "src/base/types.hh"
+#include "src/ckpt/fwd.hh"
 #include "src/coherence/directory.hh"
 
 namespace isim {
@@ -128,6 +129,16 @@ class VirtualMemory
     {
         return pages_.size() + replicated_.size();
     }
+
+    /**
+     * Checkpoint the page tables, frame allocator and RNG. Region
+     * policy declarations are configuration (the engine re-declares
+     * them on construction) and profiling attribution is diagnostic
+     * state; neither is part of the bit-exactness contract. The TLB is
+     * a pure functional cache and is simply cleared on restore.
+     */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     struct Region

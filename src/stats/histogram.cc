@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 
 namespace isim {
 
@@ -64,6 +65,43 @@ Histogram::clear()
     sum_ = 0.0;
     min_ = 0;
     max_ = 0;
+}
+
+void
+Histogram::saveState(ckpt::Serializer &s) const
+{
+    s.u64(bucketWidth_);
+    s.u64(counts_.size());
+    for (std::uint64_t c : counts_)
+        s.u64(c);
+    s.u64(overflow_);
+    s.u64(count_);
+    s.f64(sum_);
+    s.u64(min_);
+    s.u64(max_);
+}
+
+void
+Histogram::restoreState(ckpt::Deserializer &d)
+{
+    const std::uint64_t width = d.u64();
+    const std::uint64_t buckets = d.u64();
+    if (width != bucketWidth_ || buckets != counts_.size())
+        isim_fatal("checkpoint histogram '%s' geometry mismatch: "
+                   "file has width %llu x %llu buckets, this build "
+                   "has %llu x %zu",
+                   name_.c_str(),
+                   static_cast<unsigned long long>(width),
+                   static_cast<unsigned long long>(buckets),
+                   static_cast<unsigned long long>(bucketWidth_),
+                   counts_.size());
+    for (std::uint64_t &c : counts_)
+        c = d.u64();
+    overflow_ = d.u64();
+    count_ = d.u64();
+    sum_ = d.f64();
+    min_ = d.u64();
+    max_ = d.u64();
 }
 
 } // namespace isim

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "src/ckpt/fwd.hh"
+
 namespace isim {
 
 /**
@@ -49,6 +51,14 @@ class Histogram
     double quantile(double q) const;
 
     void clear();
+
+    /**
+     * Checkpoint the accumulated samples. The geometry (name, bucket
+     * width, bucket count) is configuration, not state: restore
+     * verifies it matches and fatals on skew.
+     */
+    void saveState(ckpt::Serializer &s) const;
+    void restoreState(ckpt::Deserializer &d);
 
   private:
     std::string name_;

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Checkpoint/restore tests: round-trip digests, bit-identical
+ * continued execution, byte-identical figure output from a warm
+ * restore, latency-override restores, and corrupt-input robustness
+ * (truncation, bad magic, wrong version, flipped payload bytes must
+ * all fail with a clean PanicError, never undefined behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.hh"
+#include "src/ckpt/checkpoint.hh"
+#include "src/ckpt/serializer.hh"
+#include "src/core/experiment.hh"
+#include "src/core/machine.hh"
+#include "src/core/registry.hh"
+#include "src/core/report.hh"
+#include "src/cpu/core.hh"
+
+namespace isim {
+namespace {
+
+/** A small machine that still exercises commits, daemons and paging. */
+MachineConfig
+smallConfig(std::uint64_t seed, CpuModel model = CpuModel::InOrder,
+            unsigned cpus = 2)
+{
+    MachineConfig cfg;
+    cfg.name = "ckpt-test";
+    cfg.numCpus = cpus;
+    cfg.cpuModel = model;
+    cfg.l2 = CacheGeometry{512 * kib, 2, 64};
+    cfg.l2Impl = L2Impl::OffchipAssoc;
+    cfg.workload.branches = 8;
+    cfg.workload.accountsPerBranch = 10000;
+    cfg.workload.blockBufferBytes = 64 * mib;
+    cfg.workload.transactions = 30;
+    cfg.workload.warmupTransactions = 12;
+    cfg.workload.seed = seed;
+    return cfg;
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/** Bit-exact snapshot equality (NaN quantiles compare by pattern). */
+void
+expectSameSnapshot(const stats::Snapshot &a, const stats::Snapshot &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].u, b[i].u) << a[i].name;
+        EXPECT_EQ(doubleBits(a[i].d), doubleBits(b[i].d)) << a[i].name;
+        EXPECT_EQ(a[i].dist.count, b[i].dist.count) << a[i].name;
+        EXPECT_EQ(doubleBits(a[i].dist.sum), doubleBits(b[i].dist.sum))
+            << a[i].name;
+        EXPECT_EQ(doubleBits(a[i].dist.mean), doubleBits(b[i].dist.mean))
+            << a[i].name;
+        EXPECT_EQ(a[i].dist.min, b[i].dist.min) << a[i].name;
+        EXPECT_EQ(a[i].dist.max, b[i].dist.max) << a[i].name;
+        EXPECT_EQ(doubleBits(a[i].dist.p50), doubleBits(b[i].dist.p50))
+            << a[i].name;
+        EXPECT_EQ(doubleBits(a[i].dist.p95), doubleBits(b[i].dist.p95))
+            << a[i].name;
+        EXPECT_EQ(doubleBits(a[i].dist.p99), doubleBits(b[i].dist.p99))
+            << a[i].name;
+    }
+}
+
+TEST(Checkpoint, RoundTripDigestIdentical)
+{
+    setQuiet(true);
+    // Property: restore(save(M)) encodes back to the same bytes, for
+    // warm machines of both CPU models across several seeds.
+    for (const CpuModel model :
+         {CpuModel::InOrder, CpuModel::OutOfOrder}) {
+        for (const std::uint64_t seed : {7ull, 1234ull, 0xdeadbeefull}) {
+            Machine m(smallConfig(seed, model));
+            m.runWarmup();
+            const std::vector<std::uint8_t> image = m.checkpointBytes();
+            const std::unique_ptr<Machine> restored =
+                Machine::fromCheckpointBytes(image);
+            EXPECT_EQ(m.stateDigest(), restored->stateDigest())
+                << "model=" << cpuModelName(model) << " seed=" << seed;
+            EXPECT_EQ(image, restored->checkpointBytes());
+        }
+    }
+}
+
+TEST(Checkpoint, ContinuedExecutionBitIdentical)
+{
+    setQuiet(true);
+    // The core contract: measuring from a restored image must produce
+    // exactly the run the cold machine produces after its warm-up.
+    Machine cold(smallConfig(42));
+    cold.runWarmup();
+    const std::vector<std::uint8_t> image = cold.checkpointBytes();
+    const RunResult a = cold.runMeasurement();
+
+    const std::unique_ptr<Machine> warm =
+        Machine::fromCheckpointBytes(image);
+    const RunResult b = warm->runMeasurement();
+
+    EXPECT_EQ(a.transactions, b.transactions);
+    EXPECT_EQ(a.wallTime, b.wallTime);
+    EXPECT_EQ(a.cpu.busy, b.cpu.busy);
+    EXPECT_EQ(a.cpu.idle, b.cpu.idle);
+    EXPECT_EQ(a.cpu.kernelTime, b.cpu.kernelTime);
+    EXPECT_EQ(a.cpu.instructions, b.cpu.instructions);
+    EXPECT_EQ(a.misses.totalL2Misses(), b.misses.totalL2Misses());
+    EXPECT_EQ(a.misses.dataRemoteDirty, b.misses.dataRemoteDirty);
+    EXPECT_EQ(a.misses.invalidationsSent, b.misses.invalidationsSent);
+    EXPECT_EQ(a.dbConsistent, b.dbConsistent);
+    expectSameSnapshot(a.stats, b.stats);
+}
+
+TEST(Checkpoint, SaveFileRestoreAndDigest)
+{
+    setQuiet(true);
+    const std::string path = ::testing::TempDir() + "/isim_ckpt_rt.ckpt";
+    Machine m(smallConfig(99, CpuModel::OutOfOrder, 1));
+    m.runWarmup();
+    m.saveCheckpoint(path);
+    const std::unique_ptr<Machine> restored =
+        Machine::fromCheckpoint(path);
+    EXPECT_EQ(m.stateDigest(), restored->stateDigest());
+    EXPECT_TRUE(restored->warm());
+    EXPECT_EQ(restored->warmupEndTime(), m.warmupEndTime());
+    std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, LatencyOverrideRestoreMeasuresFaster)
+{
+    setQuiet(true);
+    // The SimOS use case: one warm image seeds measurement runs of
+    // several latency configurations. The override changes only the
+    // latency table, so the run completes and full integration beats
+    // the base machine it was warmed as.
+    const std::string path =
+        ::testing::TempDir() + "/isim_ckpt_lat.ckpt";
+    MachineConfig cfg = smallConfig(7, CpuModel::InOrder, 1);
+    cfg.level = IntegrationLevel::Base;
+    cfg.l2Impl = L2Impl::OffchipDirect;
+    Machine m(cfg);
+    m.runWarmup();
+    m.saveCheckpoint(path);
+    const RunResult base = m.runMeasurement();
+
+    const std::unique_ptr<Machine> full = Machine::fromCheckpoint(
+        path, IntegrationLevel::FullInt, L2Impl::OnchipSram);
+    EXPECT_EQ(full->config().level, IntegrationLevel::FullInt);
+    const RunResult fast = full->runMeasurement();
+    EXPECT_EQ(base.transactions, fast.transactions);
+    EXPECT_LT(fast.execTime(), base.execTime());
+    std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, FigureRunsByteIdenticalFromWarmRestore)
+{
+    setQuiet(true);
+    // Acceptance contract on two registry figures: --save-ckpt then
+    // --from-ckpt produces byte-identical figure JSON and stats
+    // manifests to the cold run that wrote the images.
+    const std::string dir = ::testing::TempDir() + "/isim_ckpt_figs";
+    std::filesystem::create_directories(dir);
+
+    RunOptions base;
+    base.txns = 40;
+    base.warmup = 10;
+    base.seed = 7;
+    base.jobs = 1;
+    base.verbose = false;
+
+    for (const char *id : {"fig05", "fig07"}) {
+        const FigureEntry *entry = FigureRegistry::instance().find(id);
+        ASSERT_NE(entry, nullptr) << id;
+        const FigureSpec spec = entry->make();
+
+        RunOptions saveOpts = base;
+        saveOpts.saveCkptDir = dir;
+        const FigureResult cold = ExperimentRunner(saveOpts).run(spec);
+
+        RunOptions loadOpts = base;
+        loadOpts.fromCkptDir = dir;
+        const FigureResult warm = ExperimentRunner(loadOpts).run(spec);
+
+        EXPECT_EQ(figureToJson(cold), figureToJson(warm)) << id;
+        EXPECT_EQ(figureStatsJson(cold), figureStatsJson(warm)) << id;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, RunnerRejectsMismatchedConfig)
+{
+    setQuiet(true);
+    // Restoring an image under different workload knobs would compare
+    // incomparable runs; the runner must refuse, not silently measure.
+    const std::string dir = ::testing::TempDir() + "/isim_ckpt_mismatch";
+    std::filesystem::create_directories(dir);
+    const MachineConfig cfg = smallConfig(7, CpuModel::InOrder, 1);
+    {
+        Machine m(cfg);
+        m.runWarmup();
+        m.saveCheckpoint(checkpointPath(dir, cfg.name));
+    }
+    RunOptions opts;
+    opts.verbose = false;
+    opts.fromCkptDir = dir;
+    opts.txns = 999; // differs from the image's transaction count
+    const ScopedPanicThrow guard;
+    EXPECT_THROW(ExperimentRunner(opts).runOne(cfg), PanicError);
+    std::filesystem::remove_all(dir);
+}
+
+class CheckpointCorruption : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setQuiet(true);
+        Machine m(smallConfig(3, CpuModel::InOrder, 1));
+        m.runWarmup();
+        image_ = m.checkpointBytes();
+        ASSERT_GT(image_.size(), 64u);
+    }
+
+    std::vector<std::uint8_t> image_;
+};
+
+TEST_F(CheckpointCorruption, TruncatedFileFailsCleanly)
+{
+    const ScopedPanicThrow guard;
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{4}, std::size_t{11},
+          image_.size() / 2, image_.size() - 1}) {
+        std::vector<std::uint8_t> cut(image_.begin(),
+                                      image_.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              keep));
+        EXPECT_THROW(Machine::fromCheckpointBytes(cut), PanicError)
+            << "kept " << keep << " bytes";
+    }
+}
+
+TEST_F(CheckpointCorruption, BadMagicFailsCleanly)
+{
+    const ScopedPanicThrow guard;
+    std::vector<std::uint8_t> bad = image_;
+    bad[0] ^= 0xff;
+    EXPECT_THROW(Machine::fromCheckpointBytes(bad), PanicError);
+}
+
+TEST_F(CheckpointCorruption, WrongVersionFailsCleanly)
+{
+    const ScopedPanicThrow guard;
+    std::vector<std::uint8_t> bad = image_;
+    bad[ckpt::magicBytes] += 1; // version field follows the magic
+    EXPECT_THROW(Machine::fromCheckpointBytes(bad), PanicError);
+}
+
+TEST_F(CheckpointCorruption, FlippedPayloadBytesFailCrcCleanly)
+{
+    const ScopedPanicThrow guard;
+    // Flip bytes across the image; every flip must be caught (CRC,
+    // tag, bounds or value validation), never crash or mis-restore
+    // silently into a machine with a different digest.
+    for (const std::size_t at :
+         {ckpt::magicBytes + 4 + 16,     // first CONF payload byte
+          image_.size() / 3, image_.size() / 2, image_.size() - 1}) {
+        std::vector<std::uint8_t> bad = image_;
+        bad[at] ^= 0x01;
+        EXPECT_THROW(Machine::fromCheckpointBytes(bad), PanicError)
+            << "flipped byte " << at;
+    }
+}
+
+TEST_F(CheckpointCorruption, TrailingGarbageFailsCleanly)
+{
+    const ScopedPanicThrow guard;
+    std::vector<std::uint8_t> bad = image_;
+    bad.push_back(0xab);
+    EXPECT_THROW(Machine::fromCheckpointBytes(bad), PanicError);
+}
+
+TEST_F(CheckpointCorruption, MissingFileFailsCleanly)
+{
+    const ScopedPanicThrow guard;
+    EXPECT_THROW(
+        Machine::fromCheckpoint("/nonexistent/isim-nowhere.ckpt"),
+        PanicError);
+}
+
+} // namespace
+} // namespace isim

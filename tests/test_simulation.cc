@@ -9,11 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/base/logging.hh"
 #include "src/core/machine.hh"
 #include "src/core/simulation.hh"
+#include "src/cpu/inorder.hh"
 #include "src/trace/trace_io.hh"
 
 namespace isim {
@@ -142,6 +145,74 @@ TEST(Simulation, WallTimeIsMaxOfCpuClocks)
     EXPECT_GT(r.wallTime, 0u);
     // Wall time of the window cannot exceed summed non-idle + idle.
     EXPECT_LE(r.wallTime, r.cpu.nonIdle() + r.cpu.idle + 1);
+}
+
+/** A process that event-blocks forever; nothing will ever wake it. */
+class StuckProcess : public Process
+{
+  public:
+    StuckProcess() : Process("stuck", /*pid=*/900, /*cpu=*/0) {}
+    ProcessStep step(Tick) override
+    {
+        ProcessStep s;
+        s.kind = StepKind::BlockEvent;
+        return s;
+    }
+};
+
+TEST(Simulation, DeadlockPanicsInsteadOfSpinning)
+{
+    setQuiet(true);
+    // Borrow a machine's kernel/engine/memory system but drive the
+    // loop with a private scheduler whose only process event-blocks
+    // with no waker: every CPU is stalled yet live work remains — a
+    // workload deadlock, which must panic rather than spin or return.
+    Machine m(config(1, 10));
+    Scheduler sched(1);
+    sched.add(std::make_unique<StuckProcess>());
+    std::vector<std::unique_ptr<CpuCore>> cpus;
+    cpus.push_back(std::make_unique<InOrderCpu>(0, m.memSys()));
+    Simulation sim(sched, m.kernel(), m.engine(), cpus, SimOptions{});
+    const ScopedPanicThrow guard;
+    EXPECT_THROW(sim.runUntilMeasurementDone(), PanicError);
+}
+
+TEST(Simulation, AllProcessesExitingEndsTheLoopCleanly)
+{
+    setQuiet(true);
+    // The other arm of the stalled-loop branch: the only process
+    // retires, so the loop must simply return (no panic) even though
+    // the workload never reaches its transaction target.
+    class OneShotProcess : public Process
+    {
+      public:
+        OneShotProcess() : Process("oneshot", /*pid=*/901, /*cpu=*/0) {}
+        ProcessStep step(Tick) override
+        {
+            ProcessStep s;
+            s.kind = StepKind::Done;
+            return s;
+        }
+    };
+    Machine m(config(1, 10));
+    Scheduler sched(1);
+    sched.add(std::make_unique<OneShotProcess>());
+    std::vector<std::unique_ptr<CpuCore>> cpus;
+    cpus.push_back(std::make_unique<InOrderCpu>(0, m.memSys()));
+    Simulation sim(sched, m.kernel(), m.engine(), cpus, SimOptions{});
+    sim.runUntilMeasurementDone();
+    EXPECT_EQ(sched.finished(), 1u);
+}
+
+TEST(Simulation, MaxStepsBackstopFires)
+{
+    setQuiet(true);
+    // 500 steps cannot complete the workload; the runaway backstop
+    // must trip instead of letting the loop run unbounded.
+    Machine m(config(1, 30));
+    m.setMaxSteps(500);
+    const ScopedPanicThrow guard;
+    EXPECT_THROW(m.run(), PanicError);
 }
 
 } // namespace

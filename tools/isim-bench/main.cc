@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -51,6 +52,10 @@ usage(std::FILE *to, const char *argv0)
         "\nOptions:\n"
         "  --quick           small workload (%llu txns, %llu warm-up) "
         "for CI smoke\n"
+        "  --warm-restore    also time a second run of each figure "
+        "restored from\n"
+        "                    warm checkpoints (reports warm_wall_ms / "
+        "warm_speedup)\n"
         "  --out=FILE        output path (default: BENCH_<date>.json)\n"
         "  --date=DATE       date stamp to embed (default: today, "
         "UTC)\n"
@@ -79,11 +84,14 @@ struct BenchRow
     double wallMs = 0.0;
     std::uint64_t committedTxns = 0;
     std::uint64_t simulatedNs = 0;
+    /** Wall time of the warm-restored rerun; < 0 when not measured. */
+    double warmWallMs = -1.0;
 };
 
 std::string
 benchToJson(const std::string &date, const RunOptions &options,
-            bool quick, const std::vector<BenchRow> &rows)
+            bool quick, bool warm_restore,
+            const std::vector<BenchRow> &rows)
 {
     std::ostringstream os;
     JsonWriter json(os, 2);
@@ -92,6 +100,7 @@ benchToJson(const std::string &date, const RunOptions &options,
         .kv("version", std::uint64_t{1})
         .kv("date", date)
         .kv("quick", quick)
+        .kv("warm_restore", warm_restore)
         .kv("jobs", std::uint64_t{options.jobs})
         .kv("txns", options.txns ? *options.txns : std::uint64_t{0})
         .kv("warmup",
@@ -113,8 +122,17 @@ benchToJson(const std::string &date, const RunOptions &options,
             .kv("wall_ms", row.wallMs, 2)
             .kv("committed_txns", row.committedTxns)
             .kv("txns_per_sec", txnsPerSec, 1)
-            .kv("simulated_ns", row.simulatedNs)
-            .endObject();
+            .kv("simulated_ns", row.simulatedNs);
+        if (row.warmWallMs >= 0.0) {
+            // The checkpoint payoff: the same measurement window with
+            // the warm-up paid from the image instead of simulated.
+            json.kv("warm_wall_ms", row.warmWallMs, 2)
+                .kv("warm_speedup",
+                    row.warmWallMs > 0.0 ? row.wallMs / row.warmWallMs
+                                         : 0.0,
+                    2);
+        }
+        json.endObject();
     }
     json.endArray();
     json.kv("total_wall_ms", total, 2);
@@ -131,6 +149,7 @@ main(int argc, char **argv)
     RunOptions opts = RunOptions::fromCommandLine(argc, argv);
 
     bool quick = false;
+    bool warmRestore = false;
     std::string outPath;
     std::string date = todayUtc();
     std::vector<std::string> ids;
@@ -140,6 +159,8 @@ main(int argc, char **argv)
             return usage(stdout, argv[0]);
         if (arg == "--quick") {
             quick = true;
+        } else if (arg == "--warm-restore") {
+            warmRestore = true;
         } else if (arg.rfind("--out=", 0) == 0) {
             outPath = arg.substr(6);
         } else if (arg.rfind("--date=", 0) == 0) {
@@ -179,14 +200,20 @@ main(int argc, char **argv)
         selected.push_back(entry);
     }
 
-    const ExperimentRunner runner(opts);
     std::vector<BenchRow> rows;
     rows.reserve(selected.size());
+    const std::string ckptDir = "bench-ckpt.tmp";
     for (const FigureEntry *entry : selected) {
         const FigureSpec spec = entry->make();
         using Clock = std::chrono::steady_clock;
+
+        RunOptions coldOpts = opts;
+        if (warmRestore) {
+            std::filesystem::create_directories(ckptDir);
+            coldOpts.saveCkptDir = ckptDir;
+        }
         const Clock::time_point start = Clock::now();
-        const FigureResult result = runner.run(spec);
+        const FigureResult result = ExperimentRunner(coldOpts).run(spec);
         const Clock::time_point stop = Clock::now();
 
         BenchRow row;
@@ -199,14 +226,40 @@ main(int argc, char **argv)
             row.committedTxns += r.transactions;
             row.simulatedNs += r.wallTime;
         }
+
+        if (warmRestore) {
+            // Same figure, same knobs, but the warm-up comes from the
+            // images the cold pass just wrote.
+            RunOptions warmOpts = opts;
+            warmOpts.fromCkptDir = ckptDir;
+            const Clock::time_point wstart = Clock::now();
+            ExperimentRunner(warmOpts).run(spec);
+            const Clock::time_point wstop = Clock::now();
+            row.warmWallMs =
+                std::chrono::duration<double, std::milli>(wstop -
+                                                          wstart)
+                    .count();
+            std::filesystem::remove_all(ckptDir);
+        }
+
         rows.push_back(row);
-        std::printf("%-12s %8.1f ms  (%zu bars, %llu txns)\n",
-                    row.id.c_str(), row.wallMs, row.bars,
-                    static_cast<unsigned long long>(
-                        row.committedTxns));
+        if (row.warmWallMs >= 0.0) {
+            std::printf("%-12s %8.1f ms cold / %8.1f ms warm  "
+                        "(%zu bars, %llu txns)\n",
+                        row.id.c_str(), row.wallMs, row.warmWallMs,
+                        row.bars,
+                        static_cast<unsigned long long>(
+                            row.committedTxns));
+        } else {
+            std::printf("%-12s %8.1f ms  (%zu bars, %llu txns)\n",
+                        row.id.c_str(), row.wallMs, row.bars,
+                        static_cast<unsigned long long>(
+                            row.committedTxns));
+        }
     }
 
-    const std::string doc = benchToJson(date, opts, quick, rows);
+    const std::string doc =
+        benchToJson(date, opts, quick, warmRestore, rows);
     std::string err;
     if (!jsonValidate(doc, &err))
         isim_panic("bench JSON does not validate: %s", err.c_str());
