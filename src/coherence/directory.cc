@@ -96,6 +96,7 @@ Directory::saveState(ckpt::Serializer &s) const
 {
     std::vector<Addr> addrs;
     addrs.reserve(map_.size());
+    // isim-lint: allow(ordered-output): keys are collected then sorted before emission
     for (const auto &[line_addr, e] : map_)
         addrs.push_back(line_addr);
     std::sort(addrs.begin(), addrs.end());

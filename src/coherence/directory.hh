@@ -123,6 +123,7 @@ class Directory
 
   private:
     HomeMap homeMap_;
+    // ckpt: transient(lineBits_): derived from the line size at construction
     unsigned lineBits_;
     std::unordered_map<Addr, DirEntry> map_;
 };

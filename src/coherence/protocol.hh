@@ -409,15 +409,22 @@ class MemorySystem
                             const AccessOutcome &out, Addr line_addr,
                             Tick now);
 
+    // ckpt: transient(tracer_): observer hook, reattached by the harness
     obs::Tracer *tracer_ = nullptr;
+    // ckpt: transient(missHook_): verification callback, reinstalled per run
     MissHook missHook_;
+    // ckpt: transient(mutation_): fault-injection setting, reapplied per run
     ProtocolMutation mutation_ = ProtocolMutation::None;
     std::uint64_t transitionCount_ = 0;
     std::vector<Tick> mcBusyUntil_; //!< per-home controller horizon
+    // ckpt: transient(config_): construction parameter, identical by contract
     MemSysConfig config_;
+    // ckpt: transient(homeMap_): derived from config_ at construction
     HomeMap homeMap_;
+    // ckpt: transient(lineBits_): derived from the line size at construction
     unsigned lineBits_;
     Directory dir_;
+    // ckpt: transient(nocTopo_): stateless geometry derived from config_
     TorusTopology nocTopo_;
     NocCounters nocStats_;
     std::vector<std::unique_ptr<Node>> nodes_;

@@ -159,6 +159,9 @@ void
 RunOptions::applyGlobal() const
 {
     verify::setAuditPeriod(auditPeriod);
+    // --quiet silences inform/warn status lines as well as the
+    // runner's per-experiment progress output.
+    setQuiet(!verbose);
 }
 
 unsigned

@@ -51,12 +51,14 @@ runFigureAndPrint(const FigureSpec &spec, const RunOptions &options)
     options.applyGlobal();
     const ExperimentRunner runner(options);
     const FigureResult result = runner.run(spec);
+    // The report is the CLI's product output, not a diagnostic.
+    // isim-lint: allow(logging): figure reports are the CLI's stdout contract
     printFigureReport(std::cout, result);
     if (!options.jsonDir.empty()) {
         const std::string path =
             options.jsonDir + "/" + figureJsonStem(spec) + ".json";
         writeTextFile(path, figureToJson(result), "figure JSON");
-        std::cout << "json written to " << path << "\n";
+        isim_inform("json written to %s", path.c_str());
     }
     if (!options.statsOut.empty() || !options.jsonDir.empty()) {
         const std::string path =
@@ -72,7 +74,7 @@ runFigureAndPrint(const FigureSpec &spec, const RunOptions &options)
             isim_panic("stats manifest does not validate: %s",
                        err.c_str());
         writeTextFile(path, manifest, "stats manifest");
-        std::cout << "stats written to " << path << "\n";
+        isim_inform("stats written to %s", path.c_str());
     }
     return 0;
 }
@@ -90,6 +92,7 @@ runRegisteredFigures(const std::string &id, const RunOptions &options)
         if (rc != 0)
             return rc;
         if (!entry->note.empty())
+            // isim-lint: allow(logging): figure notes accompany the report on stdout
             std::cout << entry->note;
     }
     return 0;

@@ -73,6 +73,7 @@ class CpuCore
     virtual void restoreState(ckpt::Deserializer &d);
 
   protected:
+    // ckpt: transient(node_): construction-time placement, identical by contract
     NodeId node_;
     MemorySystem &mem_;
     CpuStats stats_;

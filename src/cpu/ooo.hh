@@ -80,6 +80,7 @@ class OooCpu : public CpuCore
     void retireRecord(std::uint64_t seq_end, Quarter commit_q);
     void attribute(MissClass cls, Quarter exposed_q, bool kernel);
 
+    // ckpt: transient(params_): construction parameter, identical by contract
     OooParams params_;
 
     Quarter fetchQ_ = 0;   //!< time the last fetched instruction left fetch

@@ -1,0 +1,200 @@
+#include "src/lint/lexer.hh"
+
+#include <cctype>
+#include <cstddef>
+
+namespace isim {
+namespace lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Encoding prefixes that may precede a raw string's R. */
+bool
+isRawStringIdent(const std::string &ident)
+{
+    return ident == "R" || ident == "u8R" || ident == "uR" ||
+           ident == "UR" || ident == "LR";
+}
+
+} // namespace
+
+LexResult
+lex(const std::string &text)
+{
+    LexResult out;
+    const std::size_t n = text.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto peek = [&](std::size_t ahead) -> char {
+        return i + ahead < n ? text[i + ahead] : '\0';
+    };
+
+    while (i < n) {
+        const char c = text[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line continuation.
+        if (c == '\\' && peek(1) == '\n') {
+            ++line;
+            i += 2;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && peek(1) == '/') {
+            const int start_line = line;
+            i += 2;
+            std::string body;
+            while (i < n && text[i] != '\n')
+                body.push_back(text[i++]);
+            out.comments.push_back({body, start_line, false});
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && peek(1) == '*') {
+            const int start_line = line;
+            i += 2;
+            std::string body;
+            while (i < n && !(text[i] == '*' && peek(1) == '/')) {
+                if (text[i] == '\n')
+                    ++line;
+                body.push_back(text[i++]);
+            }
+            if (i < n)
+                i += 2; // closing */
+            out.comments.push_back({body, start_line, true});
+            continue;
+        }
+
+        // Identifier (possibly a raw-string prefix).
+        if (isIdentStart(c)) {
+            std::string ident;
+            while (i < n && isIdentChar(text[i]))
+                ident.push_back(text[i++]);
+            if (i < n && text[i] == '"' && isRawStringIdent(ident)) {
+                // Raw string: R"delim( ... )delim"
+                ++i; // opening quote
+                std::string delim;
+                while (i < n && text[i] != '(')
+                    delim.push_back(text[i++]);
+                if (i < n)
+                    ++i; // opening paren
+                const std::string close = ")" + delim + "\"";
+                const std::size_t end = text.find(close, i);
+                const std::size_t stop = end == std::string::npos
+                                             ? n
+                                             : end + close.size();
+                const int start_line = line;
+                for (; i < stop; ++i)
+                    if (text[i] == '\n')
+                        ++line;
+                out.tokens.push_back(
+                    {TokKind::String, "<raw-string>", start_line});
+                continue;
+            }
+            // Encoding prefix glued to an ordinary literal (u8"x").
+            if (i < n && (text[i] == '"' || text[i] == '\'') &&
+                (ident == "u8" || ident == "u" || ident == "U" ||
+                 ident == "L")) {
+                // Fall through to the literal scanner below; drop the
+                // prefix rather than emitting it as an identifier.
+            } else {
+                out.tokens.push_back(
+                    {TokKind::Identifier, ident, line});
+                continue;
+            }
+        }
+
+        // String / character literal.
+        if (text[i] == '"' || text[i] == '\'') {
+            const char quote = text[i];
+            const int start_line = line;
+            ++i;
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\' && i + 1 < n) {
+                    if (text[i + 1] == '\n')
+                        ++line;
+                    i += 2;
+                    continue;
+                }
+                if (text[i] == '\n')
+                    ++line; // unterminated; keep scanning anyway
+                ++i;
+            }
+            if (i < n)
+                ++i; // closing quote
+            out.tokens.push_back({quote == '"' ? TokKind::String
+                                               : TokKind::Char,
+                                  quote == '"' ? "<string>" : "<char>",
+                                  start_line});
+            continue;
+        }
+
+        // Number (pp-number: includes hex, floats, digit separators).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(
+                             peek(1))))) {
+            std::string num;
+            while (i < n) {
+                const char d = text[i];
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    num.push_back(text[i++]);
+                    continue;
+                }
+                // Exponent sign: 1e-3, 0x1p+4.
+                if ((d == '+' || d == '-') && !num.empty()) {
+                    const char p = num.back();
+                    if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+                        num.push_back(text[i++]);
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.tokens.push_back({TokKind::Number, num, line});
+            continue;
+        }
+
+        // Punctuation; fuse `::` and `->` so the checks can reason
+        // about qualification and member access with one-token
+        // lookback (and so `:` unambiguously means a range-for colon,
+        // label, or base clause).
+        if (c == ':' && peek(1) == ':') {
+            out.tokens.push_back({TokKind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && peek(1) == '>') {
+            out.tokens.push_back({TokKind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace isim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A comment- and string-stripping C++ tokenizer for isim-lint.
+ *
+ * This is deliberately not a compiler front end: no preprocessing, no
+ * type checking, no LLVM dependency. It produces a flat token stream
+ * (identifiers, numbers, punctuation) with comments collected on the
+ * side so the rule checks in checks.cc can pattern-match repo
+ * conventions — `saveState` bodies, `*Stats` member lists, banned
+ * identifiers — while annotations like `// isim-lint: allow(...)`
+ * remain visible through the comment channel. Output is a pure
+ * function of the input text, so lint results are deterministic.
+ */
+
+#ifndef ISIM_LINT_LEXER_HH
+#define ISIM_LINT_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace isim {
+namespace lint {
+
+enum class TokKind : std::uint8_t {
+    Identifier, //!< [A-Za-z_][A-Za-z0-9_]* (keywords included)
+    Number,     //!< pp-number: 0x1f, 1'000, 1.5e-3, ...
+    String,     //!< string literal (text is the raw spelling)
+    Char,       //!< character literal
+    Punct,      //!< one punctuation token; `::` and `->` are fused
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0;
+
+    bool is(const char *t) const { return text == t; }
+    bool isIdent(const char *t) const
+    {
+        return kind == TokKind::Identifier && text == t;
+    }
+};
+
+/** One comment, with the `//` / `/ * * /` delimiters stripped. */
+struct Comment
+{
+    std::string text;
+    int line = 0;       //!< line the comment starts on
+    bool block = false; //!< true for a /'*...*'/ comment
+};
+
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/**
+ * Tokenize C++ source text. Handles line/block comments, ordinary and
+ * raw string literals, character literals, digit separators, and line
+ * continuations; never throws on malformed input (an unterminated
+ * literal simply ends the stream at end of file).
+ */
+LexResult lex(const std::string &text);
+
+} // namespace lint
+} // namespace isim
+
+#endif // ISIM_LINT_LEXER_HH

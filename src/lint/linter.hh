@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The isim-lint driver: owns the file set, runs every rule, applies
+ * `// isim-lint: allow(...)` suppressions, and returns findings in a
+ * deterministic order (path, line, rule, message). See checks.hh for
+ * the rule ids and docs/LINTING.md for the full catalogue.
+ */
+
+#ifndef ISIM_LINT_LINTER_HH
+#define ISIM_LINT_LINTER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/lint/checks.hh"
+#include "src/lint/source.hh"
+
+namespace isim {
+namespace lint {
+
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+    const char *detail;
+};
+
+class Linter
+{
+  public:
+    void addFile(SourceFile file) { files_.push_back(std::move(file)); }
+    const std::vector<SourceFile> &files() const { return files_; }
+
+    /**
+     * Run every rule over the file set. Findings covered by a
+     * well-formed allow() suppression are dropped (except rule
+     * `suppression`, which polices the annotations themselves);
+     * the rest come back sorted and deduplicated.
+     */
+    std::vector<Finding> run() const;
+
+    /** The rule catalogue, in the order --list-rules prints it. */
+    static const std::vector<RuleInfo> &rules();
+
+    /** Render one finding as `path:line: [rule] message`. */
+    static std::string format(const Finding &finding);
+
+  private:
+    std::vector<SourceFile> files_;
+};
+
+} // namespace lint
+} // namespace isim
+
+#endif // ISIM_LINT_LINTER_HH

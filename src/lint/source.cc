@@ -1,0 +1,164 @@
+#include "src/lint/source.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace isim {
+namespace lint {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Convert backslashes and strip a leading "./" so path matching is
+ *  spelling-independent. */
+std::string
+normalizePath(std::string path)
+{
+    for (char &c : path)
+        if (c == '\\')
+            c = '/';
+    while (path.rfind("./", 0) == 0)
+        path.erase(0, 2);
+    return path;
+}
+
+/**
+ * Parse `marker(<arg>)[: reason]` starting at `pos` in a comment.
+ * Returns false when the marker is present but unparseable (missing
+ * parens); `arg` and `reason` come back trimmed.
+ */
+bool
+parseMarker(const std::string &text, std::size_t pos,
+            const std::string &marker, std::string &arg,
+            std::string &reason)
+{
+    std::size_t p = pos + marker.size();
+    while (p < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[p])))
+        ++p;
+    if (p >= text.size() || text[p] != '(')
+        return false;
+    const std::size_t close = text.find(')', p);
+    if (close == std::string::npos)
+        return false;
+    arg = trim(text.substr(p + 1, close - p - 1));
+    std::string rest = trim(text.substr(close + 1));
+    if (!rest.empty() && rest[0] == ':')
+        rest = trim(rest.substr(1));
+    reason = rest;
+    return true;
+}
+
+} // namespace
+
+SourceFile
+SourceFile::fromString(std::string path, const std::string &text)
+{
+    SourceFile f;
+    f.path_ = normalizePath(std::move(path));
+    LexResult lexed = lex(text);
+    f.tokens_ = std::move(lexed.tokens);
+    f.comments_ = std::move(lexed.comments);
+    f.parseAnnotations();
+    return f;
+}
+
+bool
+SourceFile::load(const std::string &path, SourceFile &out,
+                 std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = fromString(path, buffer.str());
+    return true;
+}
+
+void
+SourceFile::parseAnnotations()
+{
+    for (const Comment &comment : comments_) {
+        // Annotations are line comments that *start* with the marker
+        // (`// isim-lint: ...`, `// ckpt: ...`). Block comments and
+        // prose that merely mentions the syntax never bind.
+        if (comment.block)
+            continue;
+        const std::string text = trim(comment.text);
+        if (text.rfind("isim-lint:", 0) == 0) {
+            const std::size_t allow = text.find("allow", 10);
+            Suppression s;
+            s.line = comment.line;
+            if (allow == std::string::npos ||
+                !parseMarker(text, allow, "allow", s.rule,
+                             s.reason)) {
+                s.malformed = true;
+            }
+            suppressions_.push_back(std::move(s));
+            continue;
+        }
+        // (`ckpt::` is qualified-name prose, not an annotation.)
+        if (text.rfind("ckpt:", 0) == 0 &&
+            !(text.size() > 5 && text[5] == ':')) {
+            const std::size_t tr = text.find("transient", 5);
+            CkptTransient t;
+            t.line = comment.line;
+            std::string reason;
+            if (tr == std::string::npos ||
+                !parseMarker(text, tr, "transient", t.member,
+                             reason) ||
+                t.member.empty()) {
+                t.malformed = true;
+            }
+            transients_.push_back(std::move(t));
+        }
+    }
+}
+
+bool
+SourceFile::suppressed(const std::string &rule, int line) const
+{
+    for (const Suppression &s : suppressions_) {
+        if (s.malformed || s.rule != rule || s.reason.empty())
+            continue;
+        if (s.line == line || s.line == line - 1)
+            return true;
+    }
+    return false;
+}
+
+bool
+SourceFile::transient(const std::string &member) const
+{
+    for (const CkptTransient &t : transients_)
+        if (!t.malformed && t.member == member)
+            return true;
+    return false;
+}
+
+bool
+SourceFile::under(const std::string &prefix) const
+{
+    if (path_.rfind(prefix, 0) == 0)
+        return true;
+    const std::string anchored = "/" + prefix;
+    return path_.find(anchored) != std::string::npos;
+}
+
+} // namespace lint
+} // namespace isim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * One lint input file: its token stream plus the repo-convention
+ * annotations parsed out of its comments.
+ *
+ * Two annotation forms are recognized:
+ *
+ *   // isim-lint: allow(<rule>): <reason>
+ *       Suppresses findings of <rule> on the same line or the line
+ *       directly below. The reason is mandatory; an empty reason is
+ *       itself a finding (rule `suppression`), so CI can never be
+ *       silenced without a recorded justification.
+ *
+ *   // ckpt: transient(<member>): <optional reason>
+ *       Declares a data member intentionally absent from its class's
+ *       saveState/restoreState image (wiring pointers, derived
+ *       caches). Scoped to the file containing the class declaration.
+ */
+
+#ifndef ISIM_LINT_SOURCE_HH
+#define ISIM_LINT_SOURCE_HH
+
+#include <string>
+#include <vector>
+
+#include "src/lint/lexer.hh"
+
+namespace isim {
+namespace lint {
+
+struct Suppression
+{
+    std::string rule;   //!< rule id inside allow(...)
+    std::string reason; //!< text after the closing paren, trimmed
+    int line = 0;
+    bool malformed = false; //!< allow(...) that failed to parse
+};
+
+struct CkptTransient
+{
+    std::string member;
+    int line = 0;
+    bool malformed = false;
+};
+
+class SourceFile
+{
+  public:
+    /** Lex `text` under the given display path (no filesystem I/O). */
+    static SourceFile fromString(std::string path,
+                                 const std::string &text);
+
+    /**
+     * Read and lex a file from disk. Returns false (with `error` set)
+     * if the file cannot be read.
+     */
+    static bool load(const std::string &path, SourceFile &out,
+                     std::string &error);
+
+    const std::string &path() const { return path_; }
+    const std::vector<Token> &tokens() const { return tokens_; }
+    const std::vector<Comment> &comments() const { return comments_; }
+    const std::vector<Suppression> &suppressions() const
+    {
+        return suppressions_;
+    }
+    const std::vector<CkptTransient> &transients() const
+    {
+        return transients_;
+    }
+
+    /**
+     * True when a well-formed allow(`rule`) with a non-empty reason
+     * covers `line` (annotation on the same line or the one above).
+     */
+    bool suppressed(const std::string &rule, int line) const;
+
+    /** True when `member` carries a ckpt: transient annotation. */
+    bool transient(const std::string &member) const;
+
+    /** Path prefix test against the normalized (forward-slash) path:
+     *  matches at the string start or after any directory separator,
+     *  so "src/ckpt/" matches both relative and absolute spellings. */
+    bool under(const std::string &prefix) const;
+
+    /** Exact-file test, same anchoring rules as under(). */
+    bool isFile(const std::string &relpath) const
+    {
+        return under(relpath) &&
+               path_.size() >= relpath.size() &&
+               path_.compare(path_.size() - relpath.size(),
+                             relpath.size(), relpath) == 0;
+    }
+
+  private:
+    void parseAnnotations();
+
+    std::string path_;
+    std::vector<Token> tokens_;
+    std::vector<Comment> comments_;
+    std::vector<Suppression> suppressions_;
+    std::vector<CkptTransient> transients_;
+};
+
+} // namespace lint
+} // namespace isim
+
+#endif // ISIM_LINT_SOURCE_HH

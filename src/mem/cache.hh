@@ -95,6 +95,7 @@ class Cache
     void restoreState(ckpt::Deserializer &d);
 
   private:
+    // ckpt: transient(name_): construction-time label, identical by contract
     std::string name_;
     CacheArray array_;
     CacheCounters counters_;

@@ -104,9 +104,13 @@ class CacheArray
     }
 
     CacheGeometry geom_;
+    // ckpt: transient(numSets_): derived from geom_ at construction
     std::uint64_t numSets_;
+    // ckpt: transient(pow2_): derived from geom_ at construction
     bool pow2_;
+    // ckpt: transient(setMask_): derived from geom_ at construction
     std::uint64_t setMask_;
+    // ckpt: transient(tagShift_): derived from geom_ at construction
     unsigned tagShift_;
     std::uint64_t useStamp_ = 0;
     std::vector<CacheLine> lines_;

@@ -77,6 +77,7 @@ class Rac
     void restoreState(ckpt::Deserializer &d);
 
   private:
+    // ckpt: transient(node_): construction-time placement, identical by contract
     NodeId node_;
     Cache cache_;
     RacCounters counters_;

@@ -53,6 +53,7 @@ class DssScanProcess : public Process
 
     std::uint64_t scanBlock_ = 0;   //!< next block of this query
     std::uint64_t blocksLeft_ = 0;  //!< blocks remaining in the query
+    // ckpt: transient(privateBase_): VM region base, identical by contract
     Addr privateBase_;
 };
 

@@ -59,6 +59,7 @@ class LatchTable
 
   private:
     const Sga &sga_;
+    // ckpt: transient(tracer_): observer hook, reattached by the harness
     obs::Tracer *tracer_ = nullptr;
     /** Node that last acquired each latch (contention detection). */
     std::vector<NodeId> lastHolder_;

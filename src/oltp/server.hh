@@ -78,6 +78,7 @@ class ServerProcess : public Process, private LineDataEmitter
     std::uint64_t lastBlockTouched_ = 0;
     std::uint32_t lastRowLine_ = 0; //!< line offset of the current row
     std::uint64_t warmCursor_ = 0;  //!< cyclic sweep over the warm band
+    // ckpt: transient(privateBase_): VM region base, identical by contract
     Addr privateBase_;
 };
 

@@ -79,15 +79,28 @@ class TpcbDatabase
     void restoreState(ckpt::Deserializer &d);
 
   private:
+    // The table layout below is a pure function of the workload
+    // parameters; the checkpoint serializes balances and the history
+    // cursor only.
+    // ckpt: transient(params_): construction parameter, identical by contract
     WorkloadParams params_;
+    // ckpt: transient(rowsPerBlock_): derived from params_ at construction
     unsigned rowsPerBlock_;
+    // ckpt: transient(branchBase_): layout derived from params_
     std::uint64_t branchBase_ = 0; //!< block index of first branch block
+    // ckpt: transient(tellerBase_): layout derived from params_
     std::uint64_t tellerBase_;
+    // ckpt: transient(accountBase_): layout derived from params_
     std::uint64_t accountBase_;
+    // ckpt: transient(indexRootBlock_): layout derived from params_
     std::uint64_t indexRootBlock_;
+    // ckpt: transient(indexLeafBase_): layout derived from params_
     std::uint64_t indexLeafBase_;
+    // ckpt: transient(indexLeaves_): layout derived from params_
     std::uint64_t indexLeaves_;
+    // ckpt: transient(historyBase_): layout derived from params_
     std::uint64_t historyBase_;
+    // ckpt: transient(maxHistoryBlocks_): layout derived from params_
     std::uint64_t maxHistoryBlocks_;
 
     std::vector<std::int64_t> accounts_;

@@ -127,18 +127,23 @@ class OltpEngine
     void restoreState(ckpt::Deserializer &d);
 
   private:
+    // ckpt: transient(params_): construction parameter, identical by contract
     WorkloadParams params_;
     VirtualMemory &vm_;
     KernelModel &kernel_;
+    // ckpt: transient(numCpus_): construction parameter, identical by contract
     unsigned numCpus_;
 
+    // ckpt: transient(sga_): address-layout object; latch state lives in latches_
     Sga sga_;
     TpcbDatabase db_;
     BufferCache bufferCache_;
     LatchTable latches_;
     RedoLog redo_;
+    // ckpt: transient(dbCode_): stateless code-footprint model
     CodeModel dbCode_;
 
+    // ckpt: transient(tracer_): observer hook, reattached by the harness
     obs::Tracer *tracer_ = nullptr;
     Scheduler *sched_ = nullptr;
     std::vector<Process *> commitWaiters_;

@@ -90,7 +90,9 @@ class KernelModel
                          std::deque<MemRef> &out);
 
     VirtualMemory &vm_;
+    // ckpt: transient(params_): construction parameter, identical by contract
     KernelParams params_;
+    // ckpt: transient(code_): stateless code-footprint model
     std::unique_ptr<CodeModel> code_;
     std::vector<Rng> rngs_;
     std::uint64_t instrs_ = 0;

@@ -62,7 +62,9 @@ class Process
 
     /** Scheduler bookkeeping (owned by the scheduler). */
     enum class SchedState : std::uint8_t { Ready, Running, Blocked, Done };
+    // ckpt: transient(schedState): saved by Scheduler::saveState, which owns it
     SchedState schedState = SchedState::Ready;
+    // ckpt: transient(wakeTime): saved by Scheduler::saveState, which owns it
     Tick wakeTime = 0;
 
     /**
@@ -91,8 +93,13 @@ class Process
     }
 
   private:
+    // Identity is re-established by createProcesses before restore;
+    // Scheduler::restoreState matches checkpoint records by pid.
+    // ckpt: transient(name_): reconstructed identity, identical by contract
     std::string name_;
+    // ckpt: transient(pid_): reconstructed identity, matched by Scheduler restore
     Pid pid_;
+    // ckpt: transient(cpu_): reconstructed placement, identical by contract
     NodeId cpu_;
 };
 

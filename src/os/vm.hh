@@ -155,15 +155,20 @@ class VirtualMemory
     Region *regionOf(Addr vaddr);
     Addr allocFrame(NodeId node, std::uint64_t color_hint);
 
+    // ckpt: transient(config_): construction parameter, identical by contract
     VmConfig config_;
+    // ckpt: transient(pageShift_): derived from config_ at construction
     unsigned pageShift_;
     Rng rng_;
+    // ckpt: transient(profiling_): observability toggle, reapplied per run
     bool profiling_ = false;
+    // ckpt: transient(regions_): region table rebuilt by setup, identical by contract
     std::vector<Region> regions_;
     std::unordered_map<std::uint64_t, Addr> pages_; //!< vpn -> frame base
     std::unordered_map<std::uint64_t, std::vector<Addr>> replicated_;
     std::vector<std::unordered_set<std::uint64_t>> usedFrames_;
     std::vector<std::uint64_t> allocCount_;
+    // ckpt: transient(frameRegion_): profiling attribution diagnostic only
     std::unordered_map<std::uint64_t, std::uint16_t> frameRegion_;
 
     /** Small translation cache (functional only; no TLB-miss timing). */

@@ -1,0 +1,14 @@
+// Fixture: this file sits under src/ckpt/, so the whole file is a
+// serialization path. Declaring an unordered container here and
+// iterating it directly must both be flagged by ordered-output.
+
+namespace fix {
+
+void
+badEmit(const std::unordered_map<unsigned long, unsigned long> &live)
+{
+    for (const auto &kv : live)
+        emit(kv);
+}
+
+} // namespace fix

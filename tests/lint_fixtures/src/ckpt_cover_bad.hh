@@ -1,0 +1,24 @@
+// Fixture: 'lostCounter_' is deliberately absent from the checkpoint
+// image and carries no transient annotation; ckpt-coverage must flag
+// it (and only it — 'ticks_' is serialized).
+
+namespace fix {
+
+class BadGadget
+{
+  public:
+    void saveState(ckpt::Serializer &s) const
+    {
+        s.u64(ticks_);
+    }
+    void restoreState(ckpt::Deserializer &d)
+    {
+        ticks_ = d.u64();
+    }
+
+  private:
+    unsigned long ticks_ = 0;
+    unsigned long lostCounter_ = 0;
+};
+
+} // namespace fix

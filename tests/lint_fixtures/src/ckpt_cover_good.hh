@@ -1,0 +1,28 @@
+// Fixture: full checkpoint coverage — every member is either
+// serialized by saveState/restoreState or declared transient with a
+// reason. ckpt-coverage must report nothing.
+
+namespace fix {
+
+class GoodGadget
+{
+  public:
+    void saveState(ckpt::Serializer &s) const
+    {
+        s.u64(ticks_);
+        s.u64(spins_);
+    }
+    void restoreState(ckpt::Deserializer &d)
+    {
+        ticks_ = d.u64();
+        spins_ = d.u64();
+    }
+
+  private:
+    unsigned long ticks_ = 0;
+    unsigned long spins_ = 0;
+    // ckpt: transient(scratch_): rebuilt on first use
+    unsigned long scratch_ = 0;
+};
+
+} // namespace fix

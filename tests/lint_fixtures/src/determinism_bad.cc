@@ -1,0 +1,20 @@
+// Fixture: every statement below reaches for a banned entropy or
+// wall-clock source; the determinism rule must flag all four.
+
+namespace fix {
+
+unsigned
+badSeed()
+{
+    std::mt19937 gen;
+    return static_cast<unsigned>(rand()) ^
+           static_cast<unsigned>(time(nullptr));
+}
+
+const char *
+badConfig()
+{
+    return getenv("ISIM_FIXTURE");
+}
+
+} // namespace fix

@@ -1,0 +1,19 @@
+// Fixture: the sanctioned seeded Rng plus one justified, well-formed
+// suppression. The determinism rule must report nothing.
+
+namespace fix {
+
+unsigned
+goodSeed(Rng &rng)
+{
+    return rng.next();
+}
+
+unsigned long
+stampedRun()
+{
+    // isim-lint: allow(determinism): fixture records wall-clock metadata only
+    return static_cast<unsigned long>(time(nullptr));
+}
+
+} // namespace fix

@@ -1,0 +1,13 @@
+// Fixture: bare stdio in library code; the logging rule must flag
+// both the printf call and the std::cout stream.
+
+namespace fix {
+
+void
+badReport(unsigned long n)
+{
+    std::printf("count=%lu\n", n);
+    std::cout << "count " << n << "\n";
+}
+
+} // namespace fix

@@ -1,0 +1,15 @@
+// Fixture: diagnostics routed through the logging macros, plus one
+// justified suppression for a deliberate stdout write. The logging
+// rule must report nothing.
+
+namespace fix {
+
+void
+goodReport(unsigned long n)
+{
+    isim_inform("count=%lu", n);
+    // isim-lint: allow(logging): fixture demonstrates a justified stdout write
+    std::cout << n;
+}
+
+} // namespace fix

@@ -1,0 +1,20 @@
+// Fixture: the sanctioned canonicalization idiom — collect the keys,
+// sort, iterate the sorted copy. The container name appears only as
+// an argument to the canonicalizer, so ordered-output stays quiet.
+
+namespace fix {
+
+class GoodTable
+{
+  public:
+    void saveState(ckpt::Serializer &s) const
+    {
+        for (unsigned long key : sortedKeys(map_))
+            s.u64(map_.at(key));
+    }
+
+  private:
+    std::unordered_map<unsigned long, unsigned long> map_;
+};
+
+} // namespace fix

@@ -1,0 +1,17 @@
+// Fixture: 'misses' never reaches the registry; stats-coverage must
+// flag it (and only it — 'hits' is registered).
+
+namespace fix {
+
+struct FixtureStats
+{
+    unsigned long hits = 0;
+    unsigned long misses = 0;
+
+    void registerStats(stats::Registry &r, const std::string &prefix)
+    {
+        r.add(prefix + ".hits", &hits);
+    }
+};
+
+} // namespace fix

@@ -1,0 +1,18 @@
+// Fixture: every counter is registered; stats-coverage must report
+// nothing.
+
+namespace fix {
+
+struct QuietStats
+{
+    unsigned long hits = 0;
+    unsigned long misses = 0;
+
+    void registerStats(stats::Registry &r, const std::string &prefix)
+    {
+        r.add(prefix + ".hits", &hits);
+        r.add(prefix + ".misses", &misses);
+    }
+};
+
+} // namespace fix

@@ -1,0 +1,19 @@
+// Fixture: four broken annotations — reason-less, unknown rule,
+// missing parens, and an empty transient member. The suppression
+// meta-rule must flag each one.
+
+namespace fix {
+
+// isim-lint: allow(logging)
+void one();
+
+// isim-lint: allow(made-up-rule): the rule id does not exist
+void two();
+
+// isim-lint: allow logging: missing parentheses around the rule
+void three();
+
+// ckpt: transient(): missing the member name
+void four();
+
+} // namespace fix

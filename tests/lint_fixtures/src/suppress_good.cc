@@ -1,0 +1,22 @@
+// Fixture: well-formed annotations doing their job — a justified
+// allow() absorbing a determinism finding and a transient declaration
+// absorbing a ckpt-coverage finding. Nothing may be reported.
+
+namespace fix {
+
+// isim-lint: allow(determinism): fixture shows a justified suppression
+unsigned long stamp = time(nullptr);
+
+class QuietBox
+{
+  public:
+    void saveState(ckpt::Serializer &s) const { s.u64(v_); }
+    void restoreState(ckpt::Deserializer &d) { v_ = d.u64(); }
+
+  private:
+    unsigned long v_ = 0;
+    // ckpt: transient(cache_): derived on demand
+    unsigned long cache_ = 0;
+};
+
+} // namespace fix

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/logging.hh"
 #include "src/config/run_options.hh"
 #include "src/verify/invariants.hh"
 
@@ -185,6 +186,19 @@ TEST(RunOptions, EffectiveJobsClampsToWork)
     EXPECT_EQ(opts.effectiveJobs(0), 1u);
     opts.jobs = 0; // auto: one per hardware thread, at least one
     EXPECT_GE(opts.effectiveJobs(64), 1u);
+}
+
+TEST(RunOptions, ApplyGlobalWiresQuietToVerbose)
+{
+    const bool before = quiet();
+    RunOptions opts;
+    opts.verbose = false; // what --quiet sets
+    opts.applyGlobal();
+    EXPECT_TRUE(quiet());
+    opts.verbose = true;
+    opts.applyGlobal();
+    EXPECT_FALSE(quiet());
+    setQuiet(before);
 }
 
 TEST(RunOptions, ApplyGlobalInstallsAuditPeriod)

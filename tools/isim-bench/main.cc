@@ -69,6 +69,7 @@ usage(std::FILE *to, const char *argv0)
 std::string
 todayUtc()
 {
+    // isim-lint: allow(determinism): date stamp is metadata only; --date overrides it for reproducible output
     const std::time_t now = std::time(nullptr);
     std::tm tm{};
     gmtime_r(&now, &tm);

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * isim-lint — the repo-specific static analyzer.
+ *
+ * Walks the given files/directories (*.cc, *.hh, *.cpp), runs the
+ * rule set described in docs/LINTING.md, and prints findings as
+ * `path:line: [rule] message`.
+ *
+ * Exit status (CI-consumable):
+ *   0  clean
+ *   1  findings
+ *   2  usage error or unreadable input
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/lint/linter.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+using isim::lint::Finding;
+using isim::lint::Linter;
+using isim::lint::RuleInfo;
+using isim::lint::SourceFile;
+
+int
+usage(const char *argv0, bool to_stdout)
+{
+    std::FILE *to = to_stdout ? stdout : stderr;
+    std::fprintf(
+        to,
+        "usage: %s [options] <file-or-dir>...\n"
+        "\n"
+        "Repo-specific static analysis for IntegraSim: determinism\n"
+        "sources, ordered serialization output, checkpoint and stats\n"
+        "coverage, logging discipline. See docs/LINTING.md.\n"
+        "\n"
+        "options:\n"
+        "  --list-rules   print the rule catalogue and exit\n"
+        "  -q, --quiet    print only the summary line\n"
+        "  -h, --help     this message\n"
+        "\n"
+        "Directories are walked recursively for *.cc/*.hh/*.cpp;\n"
+        "build*/, .git/ and lint_fixtures/ (deliberate-violation\n"
+        "test inputs) are skipped. Exit status: 0 clean, 1 findings,\n"
+        "2 usage/IO error.\n",
+        argv0);
+    return to_stdout ? 0 : 2;
+}
+
+int
+listRules()
+{
+    for (const RuleInfo &rule : Linter::rules()) {
+        std::printf("%-15s %s\n", rule.id, rule.summary);
+        std::printf("%-15s %s\n\n", "", rule.detail);
+    }
+    std::printf("suppress with:  // isim-lint: allow(<rule>): "
+                "<reason>\n");
+    std::printf("transients:     // ckpt: transient(<member>): "
+                "<optional reason>\n");
+    return 0;
+}
+
+bool
+skippedDir(const fs::path &path)
+{
+    const std::string name = path.filename().string();
+    return name == ".git" || name.rfind("build", 0) == 0 ||
+           name == "lint_fixtures";
+}
+
+bool
+lintableFile(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp";
+}
+
+/** Deterministic recursive collection of lintable files. */
+void
+collect(const fs::path &path, std::vector<std::string> &out)
+{
+    if (fs::is_directory(path)) {
+        std::vector<fs::path> entries;
+        for (const auto &entry : fs::directory_iterator(path))
+            entries.push_back(entry.path());
+        std::sort(entries.begin(), entries.end());
+        for (const fs::path &entry : entries) {
+            if (fs::is_directory(entry)) {
+                if (!skippedDir(entry))
+                    collect(entry, out);
+            } else if (lintableFile(entry)) {
+                out.push_back(entry.generic_string());
+            }
+        }
+        return;
+    }
+    // Explicitly named files are linted regardless of extension.
+    out.push_back(path.generic_string());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quiet = false;
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--list-rules") == 0)
+            return listRules();
+        if (std::strcmp(arg, "-q") == 0 ||
+            std::strcmp(arg, "--quiet") == 0) {
+            quiet = true;
+        } else if (std::strcmp(arg, "-h") == 0 ||
+                   std::strcmp(arg, "--help") == 0) {
+            return usage(argv[0], true);
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg);
+            return usage(argv[0], false);
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (roots.empty())
+        return usage(argv[0], false);
+
+    std::vector<std::string> paths;
+    for (const std::string &root : roots) {
+        std::error_code ec;
+        if (!fs::exists(root, ec)) {
+            std::fprintf(stderr, "isim-lint: no such path: %s\n",
+                         root.c_str());
+            return 2;
+        }
+        collect(root, paths);
+    }
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+    Linter linter;
+    for (const std::string &path : paths) {
+        SourceFile file;
+        std::string error;
+        if (!SourceFile::load(path, file, error)) {
+            std::fprintf(stderr, "isim-lint: %s\n", error.c_str());
+            return 2;
+        }
+        linter.addFile(std::move(file));
+    }
+
+    const std::vector<Finding> findings = linter.run();
+    if (!quiet)
+        for (const Finding &finding : findings)
+            std::printf("%s\n", Linter::format(finding).c_str());
+    std::printf("isim-lint: %zu finding%s in %zu files\n",
+                findings.size(), findings.size() == 1 ? "" : "s",
+                paths.size());
+    return findings.empty() ? 0 : 1;
+}
