@@ -533,4 +533,81 @@ jsonParse(const std::string &text, JsonValue &out, std::string *err)
     return JsonParser(text, err).run(&out);
 }
 
+namespace {
+
+void
+appendJsonText(const JsonValue &v, std::string &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        return;
+      case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        return;
+      case JsonValue::Kind::Number: {
+        char buf[40];
+        const double d = v.number;
+        // Integral doubles within the exact range print as integers;
+        // everything else uses the shortest %.Ng that parses back to
+        // the same double (15 digits when they suffice, 17 at most) —
+        // exact round trip without "0.10000000000000001" noise.
+        if (std::nearbyint(d) == d && std::fabs(d) < 9.007199254740992e15) {
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(d));
+        } else {
+            for (int prec = 15; prec <= 17; ++prec) {
+                std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+                if (std::strtod(buf, nullptr) == d)
+                    break;
+            }
+        }
+        out += buf;
+        return;
+      }
+      case JsonValue::Kind::String:
+        out += '"';
+        out += jsonEscape(v.text);
+        out += '"';
+        return;
+      case JsonValue::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &e : v.array) {
+            if (!first)
+                out += ", ";
+            first = false;
+            appendJsonText(e, out);
+        }
+        out += ']';
+        return;
+      }
+      case JsonValue::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[k, e] : v.members) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += '"';
+            out += jsonEscape(k);
+            out += "\": ";
+            appendJsonText(e, out);
+        }
+        out += '}';
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+jsonToText(const JsonValue &value)
+{
+    std::string out;
+    appendJsonText(value, out);
+    return out;
+}
+
 } // namespace isim

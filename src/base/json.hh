@@ -142,6 +142,17 @@ class JsonValue
 bool jsonParse(const std::string &text, JsonValue &out,
                std::string *err = nullptr);
 
+/**
+ * Deterministic compact re-serialization of a parsed node: member
+ * order preserved, `"key": value` with ", " separators and no
+ * newlines. Integral numbers (up to a double's 53-bit exact range)
+ * emit as integers; everything else uses the shortest %g rendering
+ * that round-trips the double exactly — so two parses of equal
+ * documents always re-emit byte-identical text (the campaign-manifest
+ * merge relies on this).
+ */
+std::string jsonToText(const JsonValue &value);
+
 } // namespace isim
 
 #endif // ISIM_BASE_JSON_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Campaign merge: assemble the per-cell results from the cache into
+ * one `campaign.json` — itself a valid isim-stats manifest (figure =
+ * campaign name, one bar per cell in expansion order), so
+ * `isim-stat dump/grep/diff` consume whole campaigns unchanged.
+ *
+ * The merge is byte-deterministic: stats are re-emitted with
+ * jsonToText() (exact round trip of the cached bytes), wall-ms is
+ * the simulated measurement wall-clock echoed from the cell's META,
+ * and per-bar "status" records only the result ("ok"/"failed") —
+ * never whether the cell was freshly run or a cache hit. An
+ * interrupted-and-resumed campaign therefore merges to exactly the
+ * bytes an uninterrupted run produces.
+ */
+
+#ifndef ISIM_CAMPAIGN_MERGE_HH
+#define ISIM_CAMPAIGN_MERGE_HH
+
+#include <string>
+#include <vector>
+
+#include "src/campaign/queue.hh"
+
+namespace isim {
+namespace campaign {
+
+/** Per-bar result status, indexed like plan.bars (aliases resolved). */
+struct BarStatus
+{
+    bool ok = false;
+    std::string reason; //!< failure reason when !ok
+};
+
+/**
+ * Build the campaign.json text from the plan and each bar's cached
+ * manifest. Failed bars are included with status "failed" and an
+ * empty stats block, so a partially failed campaign still merges
+ * (and diffs loudly). Fatal when an ok bar's cache file is missing
+ * or malformed; the result is jsonValidate-clean by contract.
+ */
+std::string mergeCampaignJson(const CampaignPlan &plan,
+                              const std::string &out_dir,
+                              const std::vector<BarStatus> &status);
+
+} // namespace campaign
+} // namespace isim
+
+#endif // ISIM_CAMPAIGN_MERGE_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Wire protocol encoding/decoding and fd writes.
+ */
+
+#include "src/campaign/protocol.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace isim {
+namespace campaign {
+
+namespace {
+
+/** Strict non-negative integer token. */
+bool
+parseUintToken(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (errno != 0 || end != tok.c_str() + tok.size() || tok[0] == '-')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+fail(std::string *err, const std::string &what)
+{
+    if (err != nullptr)
+        *err = what;
+    return false;
+}
+
+} // namespace
+
+std::string
+encodeMessage(const WireMessage &m)
+{
+    std::ostringstream os;
+    switch (m.kind) {
+      case WireMessage::Kind::Hello:
+        os << "HELLO " << m.version << ' ' << m.nbars;
+        break;
+      case WireMessage::Kind::Bar:
+        os << "BAR " << m.index << ' ' << leaseModeName(m.mode);
+        break;
+      case WireMessage::Kind::Done:
+        os << "DONE " << m.index << ' ' << leaseModeName(m.mode) << ' '
+           << m.key;
+        break;
+      case WireMessage::Kind::Fail:
+        os << "FAIL " << m.index << ' ' << leaseModeName(m.mode) << ' '
+           << m.reason;
+        break;
+      case WireMessage::Kind::Quit:
+        os << "QUIT";
+        break;
+    }
+    os << '\n';
+    return os.str();
+}
+
+bool
+decodeMessage(const std::string &line, WireMessage &out,
+              std::string *err)
+{
+    std::istringstream is(line);
+    std::string verb;
+    if (!(is >> verb))
+        return fail(err, "empty message");
+
+    std::uint64_t v = 0;
+    std::string modeTok;
+    if (verb == "HELLO") {
+        out.kind = WireMessage::Kind::Hello;
+        std::string versionTok;
+        std::string nbarsTok;
+        if (!(is >> versionTok >> nbarsTok))
+            return fail(err, "HELLO: missing fields");
+        if (!parseUintToken(versionTok, v))
+            return fail(err, "HELLO: bad version");
+        out.version = static_cast<int>(v);
+        if (!parseUintToken(nbarsTok, v))
+            return fail(err, "HELLO: bad bar count");
+        out.nbars = v;
+    } else if (verb == "BAR" || verb == "DONE" || verb == "FAIL") {
+        std::string indexTok;
+        if (!(is >> indexTok >> modeTok))
+            return fail(err, verb + ": missing fields");
+        if (!parseUintToken(indexTok, v))
+            return fail(err, verb + ": bad index");
+        out.index = static_cast<std::size_t>(v);
+        if (!leaseModeFromName(modeTok, out.mode))
+            return fail(err, verb + ": bad mode '" + modeTok + "'");
+        if (verb == "BAR") {
+            out.kind = WireMessage::Kind::Bar;
+        } else if (verb == "DONE") {
+            out.kind = WireMessage::Kind::Done;
+            if (!(is >> out.key))
+                return fail(err, "DONE: missing key");
+        } else {
+            out.kind = WireMessage::Kind::Fail;
+            std::getline(is, out.reason);
+            // Strip the single separating space.
+            if (!out.reason.empty() && out.reason.front() == ' ')
+                out.reason.erase(0, 1);
+        }
+    } else if (verb == "QUIT") {
+        out.kind = WireMessage::Kind::Quit;
+    } else {
+        return fail(err, "unknown verb '" + verb + "'");
+    }
+
+    std::string extra;
+    if (out.kind != WireMessage::Kind::Fail && (is >> extra))
+        return fail(err, verb + ": trailing garbage '" + extra + "'");
+    return true;
+}
+
+bool
+writeMessage(int fd, const WireMessage &m)
+{
+    const std::string text = encodeMessage(m);
+    std::size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n =
+            ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace campaign
+} // namespace isim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The supervisor <-> worker wire protocol: newline-terminated ASCII
+ * messages over the worker's stdin/stdout pipes.
+ *
+ *   worker -> supervisor
+ *     HELLO <version> <nbars>   handshake: protocol version and the
+ *                               worker's independently expanded bar
+ *                               count (a plan-mismatch tripwire)
+ *     DONE <index> <mode> <key> lease finished; result on disk
+ *     FAIL <index> <mode> <reason...>  lease failed (reason is the
+ *                               rest of the line, spaces included)
+ *
+ *   supervisor -> worker
+ *     BAR <index> <mode>        lease: run bar <index> as <mode>
+ *                               (cold | build | restore | image)
+ *     QUIT                      finish in-flight leases and exit
+ *
+ * Messages are short (far below PIPE_BUF) and written with a single
+ * write(2) each, so concurrent worker threads never interleave
+ * bytes. Anything unparseable is a protocol error — the peer is
+ * broken, not chatty.
+ */
+
+#ifndef ISIM_CAMPAIGN_PROTOCOL_HH
+#define ISIM_CAMPAIGN_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/campaign/queue.hh"
+
+namespace isim {
+namespace campaign {
+
+constexpr int kProtocolVersion = 1;
+
+struct WireMessage
+{
+    enum class Kind : std::uint8_t { Hello, Bar, Done, Fail, Quit };
+
+    Kind kind = Kind::Quit;
+    int version = 0;            //!< Hello
+    std::uint64_t nbars = 0;    //!< Hello
+    std::size_t index = 0;      //!< Bar / Done / Fail
+    LeaseMode mode = LeaseMode::Cold; //!< Bar / Done / Fail
+    std::string key;            //!< Done
+    std::string reason;         //!< Fail
+};
+
+/** One newline-terminated line for the message. */
+std::string encodeMessage(const WireMessage &m);
+
+/**
+ * Parse one line (without the trailing newline). False on a
+ * malformed message, with a description in `err` when non-null.
+ */
+bool decodeMessage(const std::string &line, WireMessage &out,
+                   std::string *err = nullptr);
+
+/**
+ * write(2) the full message to `fd`, retrying on EINTR / partial
+ * writes. False when the peer is gone (EPIPE / closed fd).
+ */
+bool writeMessage(int fd, const WireMessage &m);
+
+} // namespace campaign
+} // namespace isim
+
+#endif // ISIM_CAMPAIGN_PROTOCOL_HH

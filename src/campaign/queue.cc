@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Campaign expansion and lease scheduling.
+ */
+
+#include "src/campaign/queue.hh"
+
+#include <filesystem>
+#include <set>
+
+#include "src/base/logging.hh"
+#include "src/campaign/cache.hh"
+#include "src/ckpt/checkpoint.hh"
+#include "src/core/registry.hh"
+#include "src/stats/manifest.hh"
+
+namespace isim {
+namespace campaign {
+
+const char *
+leaseModeName(LeaseMode mode)
+{
+    switch (mode) {
+      case LeaseMode::Cold:
+        return "cold";
+      case LeaseMode::Build:
+        return "build";
+      case LeaseMode::Restore:
+        return "restore";
+      case LeaseMode::ImageOnly:
+        return "image";
+    }
+    isim_panic("bad LeaseMode %d", static_cast<int>(mode));
+}
+
+bool
+leaseModeFromName(const std::string &name, LeaseMode &out)
+{
+    if (name == "cold")
+        out = LeaseMode::Cold;
+    else if (name == "build")
+        out = LeaseMode::Build;
+    else if (name == "restore")
+        out = LeaseMode::Restore;
+    else if (name == "image")
+        out = LeaseMode::ImageOnly;
+    else
+        return false;
+    return true;
+}
+
+std::string
+warmGroupKey(const MachineConfig &config)
+{
+    // Canonicalize exactly the knobs a latency-override restore may
+    // change (plus the name, which is a label, not state): what is
+    // left — geometry, workload, seed, CPU model, memory layout —
+    // must match the image bit-for-bit for a restore to be valid.
+    MachineConfig canon = config;
+    canon.name = "";
+    canon.level = IntegrationLevel::Base;
+    canon.l2Impl = L2Impl::OffchipDirect;
+    const std::vector<std::uint8_t> bytes = ckpt::configBytes(canon);
+    return stats::hex64(ckpt::fnv1a64(bytes.data(), bytes.size()));
+}
+
+CampaignPlan
+expandCampaign(const CampaignSpec &spec, const RunOptions &options)
+{
+    CampaignPlan plan;
+    plan.spec = spec;
+
+    // Resolve figure ids like `isim-fig run` does (exact id first,
+    // then prefix expansion), deduplicated in resolution order.
+    const FigureRegistry &registry = FigureRegistry::instance();
+    std::vector<const FigureEntry *> entries;
+    std::set<std::string> seenIds;
+    for (const std::string &id : spec.figures) {
+        const std::vector<const FigureEntry *> matches =
+            registry.resolve(id);
+        if (matches.empty())
+            isim_fatal("campaign '%s': unknown figure '%s'",
+                       spec.name.c_str(), id.c_str());
+        for (const FigureEntry *entry : matches) {
+            if (seenIds.insert(entry->id).second)
+                entries.push_back(entry);
+        }
+    }
+
+    // Seed axis outermost, figures in resolution order inside, bars
+    // in figure order innermost. With no seed axis there is exactly
+    // one pass, under each bar's own (possibly --seed-overridden)
+    // seed.
+    std::vector<std::optional<std::uint64_t>> seedAxis;
+    if (spec.seeds.empty()) {
+        seedAxis.push_back(std::nullopt);
+    } else {
+        for (const std::uint64_t seed : spec.seeds)
+            seedAxis.push_back(seed);
+    }
+
+    for (const std::optional<std::uint64_t> &seed : seedAxis) {
+        for (const FigureEntry *entry : entries) {
+            const FigureSpec figure = entry->make();
+            for (const FigureBar &fb : figure.bars) {
+                MachineConfig cfg = fb.config;
+                // Spec overrides first, then flags on top (flags
+                // win), then the seed axis (which beats --seed).
+                if (spec.txns)
+                    cfg.workload.transactions = *spec.txns;
+                if (spec.warmup)
+                    cfg.workload.warmupTransactions = *spec.warmup;
+                options.applyTo(cfg.workload);
+                if (seed)
+                    cfg.workload.seed = *seed;
+
+                CampaignBar bar;
+                bar.index = plan.bars.size();
+                bar.figureId = entry->id;
+                bar.name = entry->id + ":" + cfg.name;
+                if (seed)
+                    bar.name += "@s" + std::to_string(*seed);
+                bar.config = cfg;
+                const std::vector<std::uint8_t> bytes =
+                    ckpt::configBytes(cfg);
+                bar.key = stats::resultKey(bytes, cfg.workload.seed);
+                bar.configDigest = stats::configDigest(bytes);
+                bar.seed = cfg.workload.seed;
+                bar.groupKey = warmGroupKey(cfg);
+                plan.bars.push_back(std::move(bar));
+            }
+        }
+    }
+
+    // Bar names address stats ("<bar>/<stat>") in the merged
+    // manifest; a clash would be unreportable.
+    std::set<std::string> names;
+    for (const CampaignBar &bar : plan.bars) {
+        if (!names.insert(bar.name).second)
+            isim_fatal("campaign '%s': duplicate bar name '%s'",
+                       spec.name.c_str(), bar.name.c_str());
+    }
+
+    // Identical cells (same key) collapse to one lease: the later
+    // bar aliases the first and shares its cached result.
+    std::map<std::string, std::size_t> firstByKey;
+    for (CampaignBar &bar : plan.bars) {
+        const auto [it, fresh] =
+            firstByKey.emplace(bar.key, bar.index);
+        if (!fresh)
+            bar.aliasOf = it->second;
+    }
+
+    // Checkpoint groups (aliases excluded — they never run).
+    std::map<std::string, std::vector<std::size_t>> byGroup;
+    for (const CampaignBar &bar : plan.bars) {
+        if (bar.aliasOf == kNoAlias)
+            byGroup[bar.groupKey].push_back(bar.index);
+    }
+    for (auto &[key, members] : byGroup) {
+        if (members.size() >= 2)
+            plan.groups.emplace(key, std::move(members));
+    }
+    return plan;
+}
+
+CampaignQueue::CampaignQueue(const CampaignPlan &plan,
+                             const std::string &out_dir)
+    : plan_(plan)
+{
+    state_.resize(plan.bars.size(), State::Pending);
+    reason_.resize(plan.bars.size());
+    tally_.total = plan.bars.size();
+    for (const CampaignBar &bar : plan.bars) {
+        if (bar.aliasOf != kNoAlias) {
+            ++tally_.aliases;
+            continue;
+        }
+        if (barResultCached(barStatsPath(out_dir, bar.key), bar.key)) {
+            state_[bar.index] = State::Cached;
+            ++tally_.cached;
+        }
+    }
+    for (const auto &[key, members] : plan.groups) {
+        Group group;
+        group.members = members;
+        group.imageReady =
+            std::filesystem::exists(imagePath(out_dir, key));
+        groups_.emplace(key, std::move(group));
+    }
+}
+
+std::size_t
+CampaignQueue::resolveAlias(std::size_t index) const
+{
+    const std::size_t primary = plan_.bars[index].aliasOf;
+    return primary == kNoAlias ? index : primary;
+}
+
+CampaignQueue::Group *
+CampaignQueue::groupOf(std::size_t index)
+{
+    const auto it = groups_.find(plan_.bars[index].groupKey);
+    return it == groups_.end() ? nullptr : &it->second;
+}
+
+std::optional<Lease>
+CampaignQueue::next()
+{
+    for (const CampaignBar &bar : plan_.bars) {
+        const std::size_t i = bar.index;
+        if (bar.aliasOf != kNoAlias)
+            continue;
+        Group *group = groupOf(i);
+        if (group == nullptr) {
+            if (state_[i] == State::Pending) {
+                state_[i] = State::Leased;
+                return Lease{i, LeaseMode::Cold};
+            }
+            continue;
+        }
+        const bool builder = group->members.front() == i;
+        if (builder) {
+            if (state_[i] == State::Pending) {
+                state_[i] = State::Leased;
+                return Lease{i, group->imageReady
+                                    ? LeaseMode::Restore
+                                    : LeaseMode::Build};
+            }
+            // A cached builder with members still waiting on a
+            // missing image regenerates it without re-measuring.
+            if (state_[i] == State::Cached && !group->imageReady &&
+                !group->imageLeased) {
+                bool pendingMember = false;
+                for (const std::size_t m : group->members)
+                    pendingMember |= state_[m] == State::Pending;
+                if (pendingMember) {
+                    group->imageLeased = true;
+                    return Lease{i, LeaseMode::ImageOnly};
+                }
+            }
+            continue;
+        }
+        // Non-builder members measure from the image only: a cold
+        // run would warm under different latencies and produce a
+        // result the campaign could never reproduce on resume.
+        if (state_[i] == State::Pending && group->imageReady) {
+            state_[i] = State::Leased;
+            return Lease{i, LeaseMode::Restore};
+        }
+    }
+    return std::nullopt;
+}
+
+void
+CampaignQueue::complete(const Lease &lease)
+{
+    Group *group = groupOf(lease.index);
+    if (lease.mode == LeaseMode::ImageOnly) {
+        isim_assert(group != nullptr);
+        group->imageReady = true;
+        group->imageLeased = false;
+        ++tally_.imagesBuilt;
+        return;
+    }
+    isim_assert(state_[lease.index] == State::Leased,
+                "completing a lease that is not out");
+    state_[lease.index] = State::Done;
+    ++tally_.ran;
+    switch (lease.mode) {
+      case LeaseMode::Build:
+        isim_assert(group != nullptr);
+        group->imageReady = true;
+        ++tally_.imagesBuilt;
+        break;
+      case LeaseMode::Restore:
+        ++tally_.imagesRestored;
+        break;
+      case LeaseMode::Cold:
+        ++tally_.coldRuns;
+        break;
+      case LeaseMode::ImageOnly:
+        break; // handled above
+    }
+}
+
+void
+CampaignQueue::fail(const Lease &lease, const std::string &reason)
+{
+    Group *group = groupOf(lease.index);
+    if (lease.mode == LeaseMode::ImageOnly) {
+        isim_assert(group != nullptr);
+        group->imageLeased = false;
+        // The builder keeps its cached result; only the members
+        // waiting on the image are lost.
+        cascadeFail(*group, "warm image build failed: " + reason);
+        return;
+    }
+    isim_assert(state_[lease.index] == State::Leased,
+                "failing a lease that is not out");
+    state_[lease.index] = State::Failed;
+    reason_[lease.index] = reason;
+    ++tally_.failed;
+    if (lease.mode == LeaseMode::Build) {
+        isim_assert(group != nullptr);
+        cascadeFail(*group, "warm image build failed: " + reason);
+    }
+}
+
+void
+CampaignQueue::cascadeFail(Group &group, const std::string &reason)
+{
+    for (const std::size_t m : group.members) {
+        if (state_[m] != State::Pending)
+            continue;
+        state_[m] = State::Failed;
+        reason_[m] = reason;
+        ++tally_.failed;
+    }
+}
+
+void
+CampaignQueue::requeue(const Lease &lease)
+{
+    Group *group = groupOf(lease.index);
+    if (lease.mode == LeaseMode::ImageOnly) {
+        isim_assert(group != nullptr);
+        group->imageLeased = false;
+        return;
+    }
+    isim_assert(state_[lease.index] == State::Leased,
+                "requeueing a lease that is not out");
+    state_[lease.index] = State::Pending;
+}
+
+bool
+CampaignQueue::finished() const
+{
+    for (const CampaignBar &bar : plan_.bars) {
+        if (bar.aliasOf != kNoAlias)
+            continue;
+        const State st = state_[bar.index];
+        if (st == State::Pending || st == State::Leased)
+            return false;
+    }
+    return true;
+}
+
+bool
+CampaignQueue::barOk(std::size_t index) const
+{
+    const State st = state_[resolveAlias(index)];
+    return st == State::Cached || st == State::Done;
+}
+
+const std::string &
+CampaignQueue::failReason(std::size_t index) const
+{
+    return reason_[resolveAlias(index)];
+}
+
+} // namespace campaign
+} // namespace isim

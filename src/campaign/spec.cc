@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Campaign spec parsing and validation.
+ */
+
+#include "src/campaign/spec.hh"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/base/json.hh"
+#include "src/base/logging.hh"
+
+namespace isim {
+namespace campaign {
+
+namespace {
+
+/** A JSON number that is a non-negative integer, or fatal. */
+std::uint64_t
+uintField(const JsonValue &v, const char *what)
+{
+    if (!v.isNumber() || v.number < 0.0 ||
+        std::nearbyint(v.number) != v.number) {
+        isim_fatal("campaign spec: \"%s\" must be a non-negative "
+                   "integer",
+                   what);
+    }
+    return static_cast<std::uint64_t>(v.number);
+}
+
+} // namespace
+
+CampaignSpec
+campaignSpecFromJson(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        isim_fatal("campaign spec: document is not a JSON object");
+    const JsonValue *schema = doc.get("schema");
+    if (!schema || !schema->isString() ||
+        schema->text != kCampaignSchema) {
+        isim_fatal("campaign spec: missing or wrong \"schema\" "
+                   "(want \"%s\")",
+                   kCampaignSchema);
+    }
+    const JsonValue *version = doc.get("version");
+    if (!version || !version->isNumber() ||
+        static_cast<int>(version->number) != kCampaignVersion) {
+        isim_fatal("campaign spec: unsupported version (this build "
+                   "understands %d)",
+                   kCampaignVersion);
+    }
+
+    CampaignSpec spec;
+    const JsonValue *name = doc.get("name");
+    if (!name || !name->isString() || name->text.empty())
+        isim_fatal("campaign spec: \"name\" must be a non-empty "
+                   "string");
+    spec.name = name->text;
+
+    const JsonValue *figures = doc.get("figures");
+    if (!figures || !figures->isArray() || figures->array.empty())
+        isim_fatal("campaign spec: \"figures\" must be a non-empty "
+                   "array of figure ids");
+    for (const JsonValue &f : figures->array) {
+        if (!f.isString() || f.text.empty())
+            isim_fatal("campaign spec: \"figures\" entries must be "
+                       "non-empty strings");
+        spec.figures.push_back(f.text);
+    }
+
+    if (const JsonValue *seeds = doc.get("seeds")) {
+        if (!seeds->isArray())
+            isim_fatal("campaign spec: \"seeds\" must be an array");
+        std::set<std::uint64_t> seen;
+        for (const JsonValue &s : seeds->array) {
+            const std::uint64_t seed = uintField(s, "seeds");
+            if (!seen.insert(seed).second)
+                isim_fatal("campaign spec: duplicate seed %llu",
+                           static_cast<unsigned long long>(seed));
+            spec.seeds.push_back(seed);
+        }
+    }
+
+    if (const JsonValue *txns = doc.get("txns")) {
+        const std::uint64_t v = uintField(*txns, "txns");
+        if (v == 0)
+            isim_fatal("campaign spec: \"txns\" must be positive");
+        spec.txns = v;
+    }
+    if (const JsonValue *warmup = doc.get("warmup"))
+        spec.warmup = uintField(*warmup, "warmup");
+
+    // Unknown top-level keys are a spec typo waiting to silently
+    // no-op ("seed" for "seeds"); reject them.
+    static const std::set<std::string> kKnown = {
+        "schema", "version", "name", "figures",
+        "seeds",  "txns",    "warmup",
+    };
+    for (const auto &[key, value] : doc.members) {
+        (void)value;
+        if (!kKnown.count(key))
+            isim_fatal("campaign spec: unknown key \"%s\"",
+                       key.c_str());
+    }
+    return spec;
+}
+
+CampaignSpec
+loadCampaignSpec(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        isim_fatal("campaign spec: cannot open '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue doc;
+    std::string err;
+    if (!jsonParse(buffer.str(), doc, &err))
+        isim_fatal("campaign spec: %s: %s", path.c_str(), err.c_str());
+    return campaignSpecFromJson(doc);
+}
+
+} // namespace campaign
+} // namespace isim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Campaign specification: the JSON document (schema "isim-campaign",
+ * version 1) that names an entire design-space study — which figures
+ * to run, under which seeds, at which transaction counts — as one
+ * resumable job for `isim-campaign run`:
+ *
+ *   {
+ *     "schema": "isim-campaign",
+ *     "version": 1,
+ *     "name": "smoke",
+ *     "figures": ["fig10-uni", "fig05"],
+ *     "seeds": [3, 4],
+ *     "txns": 40,
+ *     "warmup": 10
+ *   }
+ *
+ * "figures" entries resolve like `isim-fig run` ids (exact id, or a
+ * prefix expanding to several figures). "seeds" multiplies every bar
+ * by each listed seed; when absent, each bar runs under its config's
+ * own seed. "txns"/"warmup" override the workload counts for every
+ * cell (command-line --txns/--warmup still win — flags beat the
+ * spec, the seed axis beats --seed). See docs/CAMPAIGN.md.
+ */
+
+#ifndef ISIM_CAMPAIGN_SPEC_HH
+#define ISIM_CAMPAIGN_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isim {
+
+class JsonValue;
+
+namespace campaign {
+
+constexpr const char *kCampaignSchema = "isim-campaign";
+constexpr int kCampaignVersion = 1;
+
+/** Parsed campaign spec (validated; see campaignSpecFromJson). */
+struct CampaignSpec
+{
+    std::string name;
+    /** Figure ids or prefixes, resolved via the FigureRegistry. */
+    std::vector<std::string> figures;
+    /** Seed axis; empty = one cell per bar under its own seed. */
+    std::vector<std::uint64_t> seeds;
+    std::optional<std::uint64_t> txns;
+    std::optional<std::uint64_t> warmup;
+};
+
+/**
+ * Validate and extract a spec from a parsed document. Fatal on any
+ * schema violation (wrong schema/version, empty name or figure list,
+ * duplicate seeds, non-positive txns) — a campaign is a batch job,
+ * so a bad spec must stop the run, not warp it.
+ */
+CampaignSpec campaignSpecFromJson(const JsonValue &doc);
+
+/** Read, parse and validate a spec file; fatal on I/O or syntax. */
+CampaignSpec loadCampaignSpec(const std::string &path);
+
+} // namespace campaign
+} // namespace isim
+
+#endif // ISIM_CAMPAIGN_SPEC_HH

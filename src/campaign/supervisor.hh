@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Campaign supervisor: drives a whole campaign to completion —
+ * prepare/validate the output directory, scan the cache, then
+ * execute every pending lease either in-process (--procs=1,
+ * sequential and deterministic) or across a pool of forked
+ * `--worker` processes speaking the pipe protocol. A worker crash
+ * requeues its in-flight leases and respawns a replacement (within
+ * a crash budget); `--stop-after` turns the supervisor into a
+ * deterministic interruption point for resume testing.
+ *
+ * Exit codes: 0 = every bar ok; 2 = campaign merged but some bars
+ * failed; 3 = stopped early by stopAfter (no campaign.json written);
+ * 1 = fatal (bad spec, spec drift, crash budget exhausted).
+ */
+
+#ifndef ISIM_CAMPAIGN_SUPERVISOR_HH
+#define ISIM_CAMPAIGN_SUPERVISOR_HH
+
+#include <string>
+
+#include "src/config/run_options.hh"
+
+namespace isim {
+namespace campaign {
+
+struct CampaignRunConfig
+{
+    std::string specPath;
+    std::string outDir;
+    /** argv[0] fallback for re-exec (/proc/self/exe is preferred). */
+    std::string exePath;
+    RunOptions options; //!< options.procs selects the pool size
+    /**
+     * Stop issuing leases after this many completions this session,
+     * drain, and exit 3 (< 0 = run to completion). The cache keeps
+     * everything finished, so a rerun resumes exactly there.
+     */
+    long stopAfter = -1;
+};
+
+/** Run (or resume) the campaign; returns the process exit code. */
+int runCampaign(const CampaignRunConfig &config);
+
+} // namespace campaign
+} // namespace isim
+
+#endif // ISIM_CAMPAIGN_SUPERVISOR_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Campaign worker: executes one lease (the four modes of
+ * LeaseMode) against the result cache, and the `--worker` protocol
+ * loop isim-campaign forks — M threads pulling leases off stdin and
+ * answering DONE/FAIL on stdout.
+ */
+
+#ifndef ISIM_CAMPAIGN_WORKER_HH
+#define ISIM_CAMPAIGN_WORKER_HH
+
+#include <string>
+
+#include "src/campaign/queue.hh"
+
+namespace isim {
+namespace campaign {
+
+struct BarOutcome
+{
+    bool ok = false;
+    std::string reason; //!< failure description when !ok
+};
+
+/**
+ * Execute one lease: run the bar under its mode, and on success
+ * write its single-bar stats manifest (META key included) into the
+ * cache — or, for ImageOnly, just regenerate the group's warm
+ * image. Simulator panics are reported as failed outcomes; the
+ * caller must have setPanicThrow(true) in effect.
+ */
+BarOutcome runLeasedBar(const CampaignPlan &plan, const Lease &lease,
+                        const std::string &out_dir);
+
+/**
+ * The `--worker` mode: expand the same (spec, options) plan the
+ * supervisor holds, handshake with HELLO, then serve BAR leases with
+ * `max(1, options.jobs)` threads until QUIT (or stdin EOF — the
+ * supervisor died). Returns the process exit code.
+ */
+int workerMain(const std::string &spec_path, const std::string &out_dir,
+               const RunOptions &options);
+
+} // namespace campaign
+} // namespace isim
+
+#endif // ISIM_CAMPAIGN_WORKER_HH

@@ -60,6 +60,10 @@ RunOptions::fromEnv()
         opts.jsonDir = dir;
     if (const auto v = parseUint(std::getenv("ISIM_JOBS")))
         opts.jobs = static_cast<unsigned>(*v);
+    if (const auto v = parseUint(std::getenv("ISIM_PROCS"));
+        v && *v >= 1) {
+        opts.procs = static_cast<unsigned>(*v);
+    }
     if (const auto v = parseUint(std::getenv("ISIM_AUDIT_PERIOD"));
         v && *v >= 1) {
         opts.auditPeriod = *v;
@@ -119,6 +123,11 @@ RunOptions::fromCommandLine(int &argc, char **argv)
         } else if (matches(i, "--jobs")) {
             opts.jobs =
                 static_cast<unsigned>(parseUintOrDie("--jobs", value));
+        } else if (matches(i, "--procs")) {
+            const std::uint64_t v = parseUintOrDie("--procs", value);
+            if (v == 0)
+                isim_fatal("--procs must be >= 1");
+            opts.procs = static_cast<unsigned>(v);
         } else if (matches(i, "--audit-period")) {
             const std::uint64_t v =
                 parseUintOrDie("--audit-period", value);
@@ -185,6 +194,8 @@ runOptionsHelp()
            "  --json-dir=DIR       write the figure JSON into DIR\n"
            "  --jobs=N             run up to N bars concurrently "
            "(default: one per core)\n"
+           "  --procs=N            campaign worker processes "
+           "(isim-campaign; default 1)\n"
            "  --audit-period=N     invariant full-audit period\n"
            "  --stats-out=FILE     write the stats manifest to FILE "
            "(default: <json-dir>/<stem>.stats.json)\n"

@@ -37,6 +37,11 @@ struct RunOptions
      * hardware thread (std::thread::hardware_concurrency).
      */
     unsigned jobs = 0;
+    /**
+     * Worker *processes* for campaign runs (isim-campaign only; the
+     * single-process tools ignore it). 1 = run bars in-process.
+     */
+    unsigned procs = 1;
     /** Full-audit decimation period of the invariant auditor. */
     std::uint64_t auditPeriod = std::uint64_t{1} << 20;
     /** Per-run progress lines on stderr. */
@@ -70,7 +75,8 @@ struct RunOptions
 
     /**
      * Resolve the environment: ISIM_TXNS, ISIM_WARMUP, ISIM_SEED,
-     * ISIM_JSON_DIR, ISIM_JOBS, ISIM_AUDIT_PERIOD, ISIM_STATS_OUT,
+     * ISIM_JSON_DIR, ISIM_JOBS, ISIM_PROCS, ISIM_AUDIT_PERIOD,
+     * ISIM_STATS_OUT,
      * ISIM_STATS_EPOCH, ISIM_SAVE_CKPT, ISIM_FROM_CKPT. Malformed
      * values are ignored (the variables are convenience overrides,
      * often set globally in CI). This is the only getenv() site in
@@ -88,6 +94,7 @@ struct RunOptions
      *   --seed N                 workload seed for every bar
      *   --json-dir DIR           write figure JSON into DIR
      *   --jobs N                 worker threads (0 = one per core)
+     *   --procs N                worker processes (campaign runs, >= 1)
      *   --audit-period N         invariant full-audit period (>= 1)
      *   --stats-out FILE         write the stats manifest to FILE
      *   --stats-epoch TICKS      embed per-epoch rows on this grid

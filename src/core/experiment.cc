@@ -28,6 +28,7 @@
 #include "src/base/logging.hh"
 #include "src/ckpt/checkpoint.hh"
 #include "src/core/sweep.hh"
+#include "src/stats/manifest.hh"
 
 namespace isim {
 
@@ -94,7 +95,16 @@ ExperimentRunner::runMachine(const MachineConfig &cfg,
                 checkpointPath(options_.saveCkptDir, cfg.name));
         }
     }
-    return machine->runMeasurement();
+    RunResult r = machine->runMeasurement();
+    // Stamp the cell's content-address identity (META block of the
+    // stats manifest; the cache key isim-campaign stores results
+    // under). Computed from the *requested* config, which runMachine's
+    // restore path has already proven byte-equal to the image's.
+    const std::vector<std::uint8_t> cb = ckpt::configBytes(cfg);
+    r.resultKey = stats::resultKey(cb, cfg.workload.seed);
+    r.configDigest = stats::configDigest(cb);
+    r.seed = cfg.workload.seed;
+    return r;
 }
 
 RunResult

@@ -105,6 +105,14 @@ struct RunResult
     /** Per-epoch counter deltas; filled only with --stats-epoch. */
     std::vector<obs::EpochRow> epochs;
 
+    // Content-address identity of this run's (config, seed) cell,
+    // filled by ExperimentRunner::runMachine and echoed into the
+    // stats manifest's META block (stats::resultKey semantics). Empty
+    // for runs driven outside the runner (unit tests on raw Machine).
+    std::string resultKey;
+    std::string configDigest;
+    std::uint64_t seed = 0;
+
     /** The figures' y-axis: total non-idle execution time. */
     Tick execTime() const { return cpu.nonIdle(); }
     double tps() const

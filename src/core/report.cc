@@ -221,6 +221,14 @@ figureStatsJson(const FigureResult &result)
     for (const RunResult &r : result.runs) {
         stats::ManifestBar bar;
         bar.name = r.name;
+        if (!r.resultKey.empty()) {
+            bar.meta.present = true;
+            bar.meta.key = r.resultKey;
+            bar.meta.configDigest = r.configDigest;
+            bar.meta.seed = r.seed;
+            bar.meta.wallMs =
+                static_cast<double>(r.wallTime) / 1e6; // sim ns -> ms
+        }
         bar.stats = r.stats;
         bar.epochs = r.epochs;
         m.bars.push_back(std::move(bar));

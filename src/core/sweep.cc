@@ -5,6 +5,8 @@
 
 #include "src/core/sweep.hh"
 
+#include <set>
+
 #include "src/base/logging.hh"
 
 namespace isim {
@@ -14,8 +16,13 @@ SweepSpec::points() const
 {
     std::size_t total = 1;
     for (const SweepAxis &axis : axes) {
-        isim_assert(!axis.points.empty(),
-                    "sweep axis '%s' has no points", axis.name.c_str());
+        // A hard error, not an assert: an empty axis in a
+        // campaign-supplied sweep would silently expand to zero bars
+        // and the whole cross-product would vanish.
+        if (axis.points.empty()) {
+            isim_fatal("sweep '%s': axis '%s' has no points",
+                       id.c_str(), axis.name.c_str());
+        }
         total *= axis.points.size();
     }
     return total;
@@ -56,6 +63,18 @@ SweepSpec::expand() const
         FigureBar bar;
         bar.config = cfg;
         spec.bars.push_back(bar);
+    }
+    // Duplicate expanded names would collide in stats manifests and
+    // in the campaign result cache (bars are addressed by name within
+    // a figure); reject the cross-product outright.
+    std::set<std::string> seen;
+    for (const FigureBar &bar : spec.bars) {
+        if (!seen.insert(bar.config.name).second) {
+            isim_fatal("sweep '%s': duplicate bar name '%s' in "
+                       "cross-product (axis labels must be unique "
+                       "per combination)",
+                       id.c_str(), bar.config.name.c_str());
+        }
     }
     return spec;
 }

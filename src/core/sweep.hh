@@ -49,7 +49,11 @@ struct SweepSpec
     std::size_t normalizeTo = 0;
     bool multiprocessor = false;
 
-    /** Total number of cross-product points (1 when no axes). */
+    /**
+     * Total number of cross-product points (1 when no axes).
+     * Fatal on an axis with no points — that would silently expand
+     * to an empty figure.
+     */
     std::size_t points() const;
 
     /**
@@ -57,7 +61,9 @@ struct SweepSpec
      * `axes = {A, B}` yields bars (a0,b0), (a1,b0), ..., (a0,b1), ...
      * Bar names are the non-empty point labels joined with spaces;
      * when every chosen label is empty the config name set by the
-     * apply functions (or the base's) is kept.
+     * apply functions (or the base's) is kept. Fatal when two
+     * expanded bars end up with the same name (they would collide in
+     * manifests and in the campaign result cache).
      */
     FigureSpec expand() const;
 };

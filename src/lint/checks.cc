@@ -558,6 +558,7 @@ bool
 isOutputPathFile(const SourceFile &file)
 {
     return file.under("src/ckpt/") ||
+           file.under("src/campaign/") ||
            file.isFile("src/core/report.cc") ||
            file.isFile("src/stats/manifest.cc") ||
            file.isFile("src/obs/export.cc");

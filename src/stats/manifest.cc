@@ -11,12 +11,28 @@
 
 #include "src/base/json.hh"
 #include "src/base/logging.hh"
+#include "src/ckpt/serializer.hh"
 #include "src/obs/sampler.hh"
 
 namespace isim {
 namespace stats {
 
 namespace {
+
+void
+writeBarMeta(JsonWriter &w, const BarMeta &meta)
+{
+    w.beginObject();
+    w.kv("key", meta.key);
+    w.kv("config_digest", meta.configDigest);
+    w.kv("seed", meta.seed);
+    w.kv("schema_version", meta.schemaVersion);
+    if (meta.wallMs >= 0.0)
+        w.kv("wall_ms", meta.wallMs, 4);
+    if (!meta.status.empty())
+        w.kv("status", meta.status);
+    w.endObject();
+}
 
 void
 writeEpochRow(JsonWriter &w, const obs::EpochRow &row)
@@ -62,6 +78,38 @@ pushLeaf(std::vector<FlatStat> &out, const std::string &path,
 } // namespace
 
 std::string
+hex64(std::uint64_t v)
+{
+    static const char *kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+std::string
+resultKey(const std::vector<std::uint8_t> &config_bytes,
+          std::uint64_t seed)
+{
+    std::vector<std::uint8_t> bytes = config_bytes;
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    const auto version = static_cast<std::uint32_t>(kManifestVersion);
+    for (int i = 0; i < 4; ++i)
+        bytes.push_back(static_cast<std::uint8_t>(version >> (8 * i)));
+    return hex64(ckpt::fnv1a64(bytes.data(), bytes.size()));
+}
+
+std::string
+configDigest(const std::vector<std::uint8_t> &config_bytes)
+{
+    return hex64(
+        ckpt::fnv1a64(config_bytes.data(), config_bytes.size()));
+}
+
+std::string
 manifestToJson(const Manifest &m)
 {
     std::ostringstream os;
@@ -78,6 +126,10 @@ manifestToJson(const Manifest &m)
     for (const auto &bar : m.bars) {
         w.beginObject();
         w.kv("name", bar.name);
+        if (bar.meta.present) {
+            w.key("meta");
+            writeBarMeta(w, bar.meta);
+        }
         w.key("stats");
         writeSnapshotJson(w, bar.stats);
         if (!bar.epochs.empty()) {
@@ -136,6 +188,52 @@ flattenManifest(const JsonValue &doc)
               [](const FlatStat &x, const FlatStat &y) {
                   return x.path < y.path;
               });
+    return out;
+}
+
+std::vector<BarMetaView>
+manifestMeta(const JsonValue &doc)
+{
+    std::vector<BarMetaView> out;
+    if (!doc.isObject())
+        return out;
+    const JsonValue *bars = doc.get("bars");
+    if (bars == nullptr || !bars->isArray())
+        return out;
+    for (const JsonValue &bar : bars->array) {
+        const JsonValue *meta = bar.get("meta");
+        if (meta == nullptr || !meta->isObject())
+            continue;
+        BarMetaView view;
+        const JsonValue *name = bar.get("name");
+        view.bar = name != nullptr && name->isString() ? name->text : "";
+        view.meta.present = true;
+        if (const JsonValue *v = meta->get("key");
+            v != nullptr && v->isString()) {
+            view.meta.key = v->text;
+        }
+        if (const JsonValue *v = meta->get("config_digest");
+            v != nullptr && v->isString()) {
+            view.meta.configDigest = v->text;
+        }
+        if (const JsonValue *v = meta->get("seed");
+            v != nullptr && v->isNumber()) {
+            view.meta.seed = static_cast<std::uint64_t>(v->number);
+        }
+        if (const JsonValue *v = meta->get("schema_version");
+            v != nullptr && v->isNumber()) {
+            view.meta.schemaVersion = static_cast<int>(v->number);
+        }
+        if (const JsonValue *v = meta->get("wall_ms");
+            v != nullptr && v->isNumber()) {
+            view.meta.wallMs = v->number;
+        }
+        if (const JsonValue *v = meta->get("status");
+            v != nullptr && v->isString()) {
+            view.meta.status = v->text;
+        }
+        out.push_back(std::move(view));
+    }
     return out;
 }
 

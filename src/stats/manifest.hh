@@ -14,6 +14,8 @@
  *     "title": "...",
  *     "bars": [
  *       {"name": "1x8-1MB",
+ *        "meta": {"key": "<16 hex>", "config_digest": "<16 hex>",
+ *                 "seed": 7, "schema_version": 1, "wall_ms": 12.5},
  *        "stats": {"cpu.busy": {"kind": "counter", "unit": "ticks",
  *                               "desc": "...", "value": 12345}, ...},
  *        "epochs": [{"epoch": 0, "start": 0, "end": 1000000,
@@ -21,9 +23,16 @@
  *     ]
  *   }
  *
- * "epochs" is present only when per-epoch sampling was requested
- * (--stats-epoch). Distribution values are nested objects; undefined
- * quantiles (NaN) serialize as JSON null.
+ * "meta" is the bar's content-address block: "key" is the FNV-1a 64
+ * digest of the bar's canonical configuration encoding
+ * (ckpt::configBytes) + workload seed + this schema version — the
+ * identity the campaign orchestrator caches results under
+ * (docs/CAMPAIGN.md) — and "wall_ms" is the *simulated* wall-clock
+ * of the measurement window in milliseconds (deterministic, so
+ * manifests stay byte-comparable). "epochs" is present only when
+ * per-epoch sampling was requested (--stats-epoch). Distribution
+ * values are nested objects; undefined quantiles (NaN) serialize as
+ * JSON null.
  */
 
 #ifndef ISIM_STATS_MANIFEST_HH
@@ -48,10 +57,46 @@ namespace stats {
 constexpr const char *kManifestSchema = "isim-stats";
 constexpr int kManifestVersion = 1;
 
+/** Lower-case 16-digit hex rendering of a 64-bit digest. */
+std::string hex64(std::uint64_t v);
+
+/**
+ * Content-address key of one (configuration, seed) cell: the FNV-1a
+ * 64 digest of the canonical configuration encoding
+ * (ckpt::configBytes), the workload seed (8 bytes LE) and the
+ * manifest schema version (4 bytes LE), as 16 hex digits. Two cells
+ * share a key exactly when a cached result of one is a valid result
+ * of the other.
+ */
+std::string resultKey(const std::vector<std::uint8_t> &config_bytes,
+                      std::uint64_t seed);
+
+/** FNV-1a 64 of the canonical configuration encoding, as hex. */
+std::string configDigest(const std::vector<std::uint8_t> &config_bytes);
+
+/**
+ * The per-bar META block: the content-address identity a result is
+ * cached and audited under. Emitted into the manifest when `present`
+ * (every figure/campaign run sets it; hand-built manifests may not).
+ */
+struct BarMeta
+{
+    bool present = false;
+    std::string key;          //!< resultKey() of the bar's cell
+    std::string configDigest; //!< configDigest() of the bar's config
+    std::uint64_t seed = 0;   //!< workload seed the bar ran with
+    int schemaVersion = kManifestVersion;
+    /** Simulated wall-clock of the measurement window (ms); < 0 = omit. */
+    double wallMs = -1.0;
+    /** Campaign merge only ("ok" / "failed"); "" = omit. */
+    std::string status;
+};
+
 /** One bar's worth of manifest content. */
 struct ManifestBar
 {
     std::string name;
+    BarMeta meta;
     Snapshot stats;
     std::vector<obs::EpochRow> epochs; //!< empty unless epoch sampling on
 };
@@ -81,9 +126,23 @@ struct FlatStat
 /**
  * Flatten a parsed stats.json into sorted (path, value) pairs.
  * Fatal when the document is not an isim-stats manifest or the schema
- * version is newer than this build understands.
+ * version is newer than this build understands. META blocks are not
+ * stats and are skipped; read them with manifestMeta().
  */
 std::vector<FlatStat> flattenManifest(const JsonValue &doc);
+
+/** One bar's parsed META block (bars without one are skipped). */
+struct BarMetaView
+{
+    std::string bar;
+    BarMeta meta;
+};
+
+/**
+ * Extract every bar's META block from a parsed manifest, in document
+ * order. Manifests predating the META echo yield an empty vector.
+ */
+std::vector<BarMetaView> manifestMeta(const JsonValue &doc);
 
 /** One stat whose value differs between two manifests. */
 struct StatDiff

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * isim-campaign — run an entire design-space study as one resumable
+ * job (see docs/CAMPAIGN.md).
+ *
+ * Usage:
+ *   isim-campaign run    <spec.json> --out DIR [--procs N]
+ *                        [--stop-after K] [run options]
+ *   isim-campaign expand <spec.json> [run options]
+ *   isim-campaign status <spec.json> --out DIR [run options]
+ *
+ * `run` executes (or resumes) the campaign: completed cells found in
+ * the output directory are skipped, the rest are leased to worker
+ * processes (--procs) and the results merged into a campaign.json
+ * that isim-stat consumes. `expand` prints the bar plan — names,
+ * content-address keys, checkpoint groups — without running
+ * anything. `status` reports how much of the campaign is already in
+ * the cache.
+ *
+ * The internal `--worker` mode (spawned by `run`, not for humans)
+ * serves leases over stdin/stdout.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/campaign/cache.hh"
+#include "src/campaign/queue.hh"
+#include "src/campaign/supervisor.hh"
+#include "src/campaign/worker.hh"
+
+namespace {
+
+using namespace isim;
+
+int
+usage(std::FILE *to, const char *argv0)
+{
+    std::fprintf(
+        to,
+        "usage: %s run    <spec.json> --out DIR [options]\n"
+        "       %s expand <spec.json> [options]\n"
+        "       %s status <spec.json> --out DIR [options]\n"
+        "\n"
+        "Runs a campaign spec (schema \"isim-campaign\") as one "
+        "resumable job:\ncompleted cells are skipped on rerun, bars "
+        "sharing a warm image are\nbuilt once and restored many "
+        "times, and the merged campaign.json is a\nregular isim-stats "
+        "manifest. See docs/CAMPAIGN.md.\n"
+        "\nCampaign options:\n"
+        "  --out=DIR            campaign output/cache directory "
+        "(required)\n"
+        "  --stop-after=K       stop after K lease completions, exit "
+        "3 (resume\n                       testing)\n"
+        "\nRun options (shared with isim-fig):\n%s",
+        argv0, argv0, argv0, runOptionsHelp());
+    return to == stdout ? 0 : 2;
+}
+
+/** Consume `--flag VALUE` / `--flag=VALUE` from an arg list. */
+bool
+takeValue(std::vector<std::string> &args, std::size_t &i,
+          const char *flag, std::string &value)
+{
+    const std::string &arg = args[i];
+    const std::size_t n = std::strlen(flag);
+    if (arg.compare(0, n, flag) != 0)
+        return false;
+    if (arg.size() > n && arg[n] == '=') {
+        value = arg.substr(n + 1);
+        args.erase(args.begin() + static_cast<long>(i));
+        return true;
+    }
+    if (arg.size() != n)
+        return false;
+    if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+    }
+    value = args[i + 1];
+    args.erase(args.begin() + static_cast<long>(i),
+               args.begin() + static_cast<long>(i) + 2);
+    return true;
+}
+
+int
+cmdExpand(const std::string &spec_path, const RunOptions &opts)
+{
+    const campaign::CampaignSpec spec =
+        campaign::loadCampaignSpec(spec_path);
+    const campaign::CampaignPlan plan =
+        campaign::expandCampaign(spec, opts);
+    std::printf("campaign '%s': %zu bars, %zu checkpoint groups\n",
+                spec.name.c_str(), plan.bars.size(),
+                plan.groups.size());
+    for (const campaign::CampaignBar &bar : plan.bars) {
+        const char *role = "";
+        const auto it = plan.groups.find(bar.groupKey);
+        if (it != plan.groups.end()) {
+            role = it->second.front() == bar.index ? "  [builds image]"
+                                                   : "  [restores]";
+        }
+        if (bar.aliasOf != campaign::kNoAlias) {
+            std::printf("%4zu  %-40s key=%s  alias of %zu\n",
+                        bar.index, bar.name.c_str(), bar.key.c_str(),
+                        bar.aliasOf);
+            continue;
+        }
+        std::printf("%4zu  %-40s key=%s  group=%s%s\n", bar.index,
+                    bar.name.c_str(), bar.key.c_str(),
+                    bar.groupKey.c_str(), role);
+    }
+    return 0;
+}
+
+int
+cmdStatus(const std::string &spec_path, const std::string &out_dir,
+          const RunOptions &opts)
+{
+    const campaign::CampaignSpec spec =
+        campaign::loadCampaignSpec(spec_path);
+    const campaign::CampaignPlan plan =
+        campaign::expandCampaign(spec, opts);
+    std::size_t cached = 0;
+    std::size_t pending = 0;
+    for (const campaign::CampaignBar &bar : plan.bars) {
+        if (bar.aliasOf != campaign::kNoAlias)
+            continue;
+        const bool hit = campaign::barResultCached(
+            campaign::barStatsPath(out_dir, bar.key), bar.key);
+        ++(hit ? cached : pending);
+        std::printf("%-8s %s\n", hit ? "cached" : "pending",
+                    bar.name.c_str());
+    }
+    std::printf("campaign '%s': %zu cached, %zu pending\n",
+                spec.name.c_str(), cached, pending);
+    return pending == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *argv0 = argv[0];
+    RunOptions opts = RunOptions::fromCommandLine(argc, argv);
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (const std::string &arg : args) {
+        if (arg == "--help" || arg == "-h")
+            return usage(stdout, argv0);
+    }
+
+    // Campaign-specific flags (RunOptions left the rest to us).
+    std::string outDir;
+    std::string stopAfterText;
+    bool worker = false;
+    std::string specFlag;
+    for (std::size_t i = 0; i < args.size();) {
+        if (args[i] == "--worker") {
+            worker = true;
+            args.erase(args.begin() + static_cast<long>(i));
+            continue;
+        }
+        if (takeValue(args, i, "--out", outDir) ||
+            takeValue(args, i, "--spec", specFlag) ||
+            takeValue(args, i, "--stop-after", stopAfterText)) {
+            continue;
+        }
+        ++i;
+    }
+
+    if (worker) {
+        if (specFlag.empty() || outDir.empty()) {
+            std::fprintf(stderr,
+                         "--worker needs --spec and --out\n");
+            return 2;
+        }
+        return campaign::workerMain(specFlag, outDir, opts);
+    }
+
+    if (args.empty())
+        return usage(stderr, argv0);
+    const std::string command = args.front();
+    args.erase(args.begin());
+
+    if (args.size() != 1 || args.front().empty() ||
+        args.front()[0] == '-') {
+        std::fprintf(stderr, "%s needs exactly one spec file\n",
+                     command.c_str());
+        return usage(stderr, argv0);
+    }
+    const std::string specPath = args.front();
+
+    if (command == "expand")
+        return cmdExpand(specPath, opts);
+    if (command == "status") {
+        if (outDir.empty()) {
+            std::fprintf(stderr, "status needs --out\n");
+            return 2;
+        }
+        return cmdStatus(specPath, outDir, opts);
+    }
+    if (command == "run") {
+        if (outDir.empty()) {
+            std::fprintf(stderr, "run needs --out\n");
+            return 2;
+        }
+        campaign::CampaignRunConfig config;
+        config.specPath = specPath;
+        config.outDir = outDir;
+        config.exePath = argv0;
+        config.options = opts;
+        if (!stopAfterText.empty()) {
+            char *end = nullptr;
+            const long v = std::strtol(stopAfterText.c_str(), &end, 10);
+            if (end == stopAfterText.c_str() || *end != '\0' ||
+                v < 0) {
+                std::fprintf(stderr,
+                             "--stop-after: expected a non-negative "
+                             "integer\n");
+                return 2;
+            }
+            config.stopAfter = v;
+        }
+        opts.applyGlobal();
+        return campaign::runCampaign(config);
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage(stderr, argv0);
+}

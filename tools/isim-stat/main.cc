@@ -40,7 +40,9 @@ usage(std::ostream &os, int rc)
           "  grep PATTERN FILE           stats whose path contains "
           "PATTERN\n"
           "  diff A B [--tolerance=R]    compare two manifests; exit "
-          "1 on drift\n\n"
+          "1 on drift,\n"
+          "                              2 when either side has no "
+          "stats rows\n\n"
           "options:\n"
           "  --tolerance=R   relative tolerance for diff "
           "(|b-a|/max(|a|,|b|) <= R\n"
@@ -48,9 +50,9 @@ usage(std::ostream &os, int rc)
     return rc;
 }
 
-/** Read and parse a manifest file, flattened to sorted stat leaves. */
-std::vector<stats::FlatStat>
-loadManifest(const std::string &path)
+/** Read and parse a manifest file into its document tree. */
+JsonValue
+loadDoc(const std::string &path)
 {
     std::ifstream in(path);
     if (!in) {
@@ -65,7 +67,14 @@ loadManifest(const std::string &path)
         std::cerr << "isim-stat: " << path << ": " << err << "\n";
         std::exit(1);
     }
-    return stats::flattenManifest(doc);
+    return doc;
+}
+
+/** Read and parse a manifest file, flattened to sorted stat leaves. */
+std::vector<stats::FlatStat>
+loadManifest(const std::string &path)
+{
+    return stats::flattenManifest(loadDoc(path));
 }
 
 void
@@ -94,8 +103,27 @@ parseTolerance(const std::string &text)
 int
 cmdDump(const std::string &path, const std::string &pattern)
 {
+    const JsonValue doc = loadDoc(path);
+    // Bars that carry a META block print it first, so cache keys are
+    // auditable next to the stats they address.
+    if (pattern.empty()) {
+        for (const stats::BarMetaView &view : stats::manifestMeta(doc)) {
+            char line[512];
+            std::snprintf(line, sizeof(line),
+                          "META %s key=%s config=%s seed=%llu "
+                          "schema=%d%s%s\n",
+                          view.bar.c_str(), view.meta.key.c_str(),
+                          view.meta.configDigest.c_str(),
+                          static_cast<unsigned long long>(
+                              view.meta.seed),
+                          view.meta.schemaVersion,
+                          view.meta.status.empty() ? "" : " status=",
+                          view.meta.status.c_str());
+            std::fputs(line, stdout);
+        }
+    }
     std::size_t shown = 0;
-    for (const stats::FlatStat &s : loadManifest(path)) {
+    for (const stats::FlatStat &s : stats::flattenManifest(doc)) {
         if (!pattern.empty() &&
             s.path.find(pattern) == std::string::npos) {
             continue;
@@ -117,6 +145,15 @@ cmdDiff(const std::string &pathA, const std::string &pathB,
 {
     const std::vector<stats::FlatStat> a = loadManifest(pathA);
     const std::vector<stats::FlatStat> b = loadManifest(pathB);
+    // Two empty manifests compare "clean" vacuously — which is how a
+    // broken producer slips through a CI gate. Zero rows is an
+    // error, not a pass.
+    if (a.empty() || b.empty()) {
+        std::cerr << "isim-stat: '" << (a.empty() ? pathA : pathB)
+                  << "' has no stats rows; refusing to compare "
+                     "(a diff against nothing proves nothing)\n";
+        return 2;
+    }
     const stats::DiffResult d = stats::diffFlattened(a, b, tolerance);
     for (const stats::StatDiff &diff : d.diffs) {
         char line[320];
