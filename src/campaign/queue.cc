@@ -50,7 +50,7 @@ leaseModeFromName(const std::string &name, LeaseMode &out)
 }
 
 std::string
-warmGroupKey(const MachineConfig &config)
+warmGroupKey(const MachineConfig &config, ExecMode warmup_mode)
 {
     // Canonicalize exactly the knobs a latency-override restore may
     // change (plus the name, which is a label, not state): what is
@@ -60,7 +60,11 @@ warmGroupKey(const MachineConfig &config)
     canon.name = "";
     canon.level = IntegrationLevel::Base;
     canon.l2Impl = L2Impl::OffchipDirect;
-    const std::vector<std::uint8_t> bytes = ckpt::configBytes(canon);
+    std::vector<std::uint8_t> bytes = ckpt::configBytes(canon);
+    // The producing warm-up mode is part of the image's identity:
+    // checkpoint META records it and restore rejects a mismatch, so
+    // bars warmed differently must land in different groups.
+    bytes.push_back(static_cast<std::uint8_t>(warmup_mode));
     return stats::hex64(ckpt::fnv1a64(bytes.data(), bytes.size()));
 }
 
@@ -69,6 +73,7 @@ expandCampaign(const CampaignSpec &spec, const RunOptions &options)
 {
     CampaignPlan plan;
     plan.spec = spec;
+    plan.execMode = options.effectiveExecMode();
 
     // Resolve figure ids like `isim-fig run` does (exact id first,
     // then prefix expansion), deduplicated in resolution order.
@@ -102,6 +107,8 @@ expandCampaign(const CampaignSpec &spec, const RunOptions &options)
     for (const std::optional<std::uint64_t> &seed : seedAxis) {
         for (const FigureEntry *entry : entries) {
             const FigureSpec figure = entry->make();
+            const ExecMode warmupMode =
+                options.effectiveWarmupMode(figure.warmupMode);
             for (const FigureBar &fb : figure.bars) {
                 MachineConfig cfg = fb.config;
                 // Spec overrides first, then flags on top (flags
@@ -126,7 +133,8 @@ expandCampaign(const CampaignSpec &spec, const RunOptions &options)
                 bar.key = stats::resultKey(bytes, cfg.workload.seed);
                 bar.configDigest = stats::configDigest(bytes);
                 bar.seed = cfg.workload.seed;
-                bar.groupKey = warmGroupKey(cfg);
+                bar.warmupMode = warmupMode;
+                bar.groupKey = warmGroupKey(cfg, warmupMode);
                 plan.bars.push_back(std::move(bar));
             }
         }

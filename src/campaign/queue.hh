@@ -65,6 +65,12 @@ struct CampaignBar
     std::uint64_t seed = 0;
     std::string groupKey;   //!< warm-image identity (warmGroupKey)
     /**
+     * Warm-up execution mode of the bar (the figure's registry
+     * default, unless --warmup-mode overrides it). Folded into
+     * groupKey: bars warmed in different modes never share an image.
+     */
+    ExecMode warmupMode = ExecMode::Timing;
+    /**
      * When another bar earlier in expansion order has the same key,
      * its index: this bar is an alias — never leased, it shares the
      * primary's cached result and fate.
@@ -76,6 +82,8 @@ struct CampaignPlan
 {
     CampaignSpec spec;
     std::vector<CampaignBar> bars;
+    /** Measurement execution mode (--exec-mode; Timing by default). */
+    ExecMode execMode = ExecMode::Timing;
     /**
      * Checkpoint groups: groupKey -> member indices (ascending,
      * aliases excluded), only for groups with >= 2 members. The
@@ -88,9 +96,13 @@ struct CampaignPlan
  * The warm-image identity of a configuration: the config digest with
  * name, integration level and L2 implementation canonicalized away —
  * exactly the knobs fromCheckpoint(path, level, l2Impl) may override
- * on restore. Two bars share a warm image iff their keys are equal.
+ * on restore — plus the warm-up execution mode that produced (or will
+ * produce) the image. Two bars share a warm image iff their keys are
+ * equal; an image warmed atomically never masquerades as a
+ * timing-warmed one (checkpoint META enforces the same at restore).
  */
-std::string warmGroupKey(const MachineConfig &config);
+std::string warmGroupKey(const MachineConfig &config,
+                         ExecMode warmup_mode);
 
 /**
  * Expand a spec against the figure registry. Fatal on an unknown

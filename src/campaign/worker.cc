@@ -100,7 +100,7 @@ runLeasedBar(const CampaignPlan &plan, const Lease &lease,
           case LeaseMode::Build:
           case LeaseMode::ImageOnly:
             machine = std::make_unique<Machine>(bar.config);
-            machine->runWarmup();
+            machine->runWarmup(bar.warmupMode);
             if (lease.mode != LeaseMode::Cold)
                 saveImageAtomic(*machine, image);
             if (lease.mode == LeaseMode::ImageOnly)
@@ -108,17 +108,22 @@ runLeasedBar(const CampaignPlan &plan, const Lease &lease,
             break;
           case LeaseMode::Restore:
             machine = Machine::fromCheckpoint(image, bar.config.level,
-                                              bar.config.l2Impl);
+                                              bar.config.l2Impl,
+                                              bar.warmupMode);
             // A restore is valid only against this bar's group: any
-            // other image would measure a different machine.
-            if (warmGroupKey(machine->config()) != bar.groupKey)
+            // other image would measure a different machine. The
+            // image's own recorded warm-up mode goes into the key, so
+            // a mode mismatch fails here too (fromCheckpoint already
+            // rejects it with a clearer message).
+            if (warmGroupKey(machine->config(), machine->warmupMode()) !=
+                bar.groupKey)
                 return {false, "warm image '" + image +
                                    "' does not match the bar's "
                                    "configuration group"};
             break;
         }
 
-        RunResult r = machine->runMeasurement();
+        RunResult r = machine->runMeasurement(plan.execMode);
         // A restored machine reports under the image's (builder's)
         // name; the result belongs to this bar.
         r.name = bar.config.name;
@@ -138,6 +143,10 @@ runLeasedBar(const CampaignPlan &plan, const Lease &lease,
         mb.meta.configDigest = bar.configDigest;
         mb.meta.seed = bar.seed;
         mb.meta.wallMs = static_cast<double>(r.wallTime) / 1e6;
+        if (r.warmupMode != ExecMode::Timing)
+            mb.meta.warmupMode = execModeName(r.warmupMode);
+        if (r.execMode != ExecMode::Timing)
+            mb.meta.execMode = execModeName(r.execMode);
         mb.stats = r.stats;
         m.bars.push_back(std::move(mb));
         writeFileAtomic(barStatsPath(out_dir, bar.key),

@@ -249,6 +249,7 @@ Machine::checkpointBytes() const
 
     s.beginSection(ckpt::tagMeta);
     s.u64(warmEnd_);
+    s.u8(static_cast<std::uint8_t>(warmupMode_));
     s.endSection();
 
     s.beginSection(ckpt::tagSimLoop);
@@ -313,11 +314,29 @@ Machine::stateDigest() const
 }
 
 void
-Machine::restoreFromImage(ckpt::Deserializer &d)
+Machine::restoreFromImage(ckpt::Deserializer &d, ExecMode expected_warmup)
 {
     d.beginSection(ckpt::tagMeta);
     warmEnd_ = d.u64();
+    // Additive field: images from before the ExecMode API carry an
+    // 8-byte META and were, by definition, warmed in timing mode.
+    warmupMode_ =
+        d.sectionRemaining() > 0
+            ? ckpt::readEnum(d, ExecMode::Atomic, "warm-up exec mode")
+            : ExecMode::Timing;
     d.endSection();
+    if (warmupMode_ != expected_warmup) {
+        // An atomic-warmed image and a timing-warmed image define warm
+        // state differently (docs/EXECMODE.md); mixing them silently
+        // would blend two result series. The caller must opt in with
+        // an explicit --warmup-mode.
+        isim_fatal("checkpoint warm-up mode mismatch: image was warmed "
+                   "in %s mode but this run expects %s warm-up "
+                   "(pass --warmup-mode %s to accept the image)",
+                   execModeName(warmupMode_),
+                   execModeName(expected_warmup),
+                   execModeName(warmupMode_));
+    }
 
     d.beginSection(ckpt::tagSimLoop);
     pendingSim_ = std::make_unique<SimState>();
@@ -363,11 +382,13 @@ Machine::restoreFromImage(ckpt::Deserializer &d)
     d.finish();
 
     warmupRan_ = true;
-    restored_ = true;
+    // obsBegun_ stays false: a restored machine opens its
+    // observability window at the warm boundary (runMeasurement).
 }
 
 std::unique_ptr<Machine>
-Machine::fromCheckpointBytes(const std::vector<std::uint8_t> &bytes)
+Machine::fromCheckpointBytes(const std::vector<std::uint8_t> &bytes,
+                             ExecMode expected_warmup)
 {
     ckpt::Deserializer d(bytes);
     d.beginSection(ckpt::tagConfig);
@@ -375,12 +396,12 @@ Machine::fromCheckpointBytes(const std::vector<std::uint8_t> &bytes)
     d.endSection();
 
     auto machine = std::make_unique<Machine>(config);
-    machine->restoreFromImage(d);
+    machine->restoreFromImage(d, expected_warmup);
     return machine;
 }
 
 std::unique_ptr<Machine>
-Machine::fromCheckpoint(const std::string &path)
+Machine::fromCheckpoint(const std::string &path, ExecMode expected_warmup)
 {
     ckpt::Deserializer d = ckpt::Deserializer::fromFile(path);
     d.beginSection(ckpt::tagConfig);
@@ -388,13 +409,13 @@ Machine::fromCheckpoint(const std::string &path)
     d.endSection();
 
     auto machine = std::make_unique<Machine>(config);
-    machine->restoreFromImage(d);
+    machine->restoreFromImage(d, expected_warmup);
     return machine;
 }
 
 std::unique_ptr<Machine>
 Machine::fromCheckpoint(const std::string &path, IntegrationLevel level,
-                        L2Impl l2_impl)
+                        L2Impl l2_impl, ExecMode expected_warmup)
 {
     ckpt::Deserializer d = ckpt::Deserializer::fromFile(path);
     d.beginSection(ckpt::tagConfig);
@@ -407,7 +428,7 @@ Machine::fromCheckpoint(const std::string &path, IntegrationLevel level,
     config.l2Impl = l2_impl;
 
     auto machine = std::make_unique<Machine>(config);
-    machine->restoreFromImage(d);
+    machine->restoreFromImage(d, expected_warmup);
     return machine;
 }
 

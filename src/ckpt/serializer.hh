@@ -38,7 +38,13 @@
 
 namespace isim::ckpt {
 
-/** Bump when the encoding changes incompatibly (docs/CHECKPOINT.md). */
+/**
+ * Bump when the encoding changes incompatibly (docs/CHECKPOINT.md).
+ * Additive, length-checked trailing fields inside a section (e.g.
+ * META's warm-up ExecMode byte) do NOT bump this: readers probe them
+ * with sectionRemaining() and default when absent, so older images
+ * stay loadable and config digests stay stable.
+ */
 inline constexpr std::uint32_t formatVersion = 1;
 
 /** "ISIMCKPT" */
@@ -134,6 +140,12 @@ class Deserializer
     void beginSection(std::uint32_t tag);
     /** Leave the section; verifies it was consumed exactly. */
     void endSection();
+    /**
+     * Bytes left unread in the open section. Lets a reader probe for
+     * additive trailing fields written by newer builds (and default
+     * them when absent) without a format-version bump.
+     */
+    std::size_t sectionRemaining() const { return sectionEnd_ - pos_; }
 
     /** True once every byte has been consumed. */
     bool atEnd() const { return pos_ == buf_.size(); }

@@ -42,6 +42,17 @@ parseUintOrDie(const char *flag, const std::string &text)
     return *v;
 }
 
+/** Like execModeFromName but fatal(): flag values must be valid. */
+ExecMode
+parseExecModeOrDie(const char *flag, const std::string &text)
+{
+    const std::optional<ExecMode> m = execModeFromName(text);
+    if (!m)
+        isim_fatal("%s: expected 'atomic' or 'timing', got '%s'", flag,
+                   text.c_str());
+    return *m;
+}
+
 } // namespace
 
 RunOptions
@@ -76,6 +87,14 @@ RunOptions::fromEnv()
         opts.saveCkptDir = dir;
     if (const char *dir = std::getenv("ISIM_FROM_CKPT"))
         opts.fromCkptDir = dir;
+    if (const char *mode = std::getenv("ISIM_WARMUP_MODE")) {
+        if (const auto m = execModeFromName(mode))
+            opts.warmupMode = *m;
+    }
+    if (const char *mode = std::getenv("ISIM_EXEC_MODE")) {
+        if (const auto m = execModeFromName(mode))
+            opts.execMode = *m;
+    }
     return opts;
 }
 
@@ -143,6 +162,10 @@ RunOptions::fromCommandLine(int &argc, char **argv)
             opts.saveCkptDir = value;
         } else if (matches(i, "--from-ckpt")) {
             opts.fromCkptDir = value;
+        } else if (matches(i, "--warmup-mode")) {
+            opts.warmupMode = parseExecModeOrDie("--warmup-mode", value);
+        } else if (matches(i, "--exec-mode")) {
+            opts.execMode = parseExecModeOrDie("--exec-mode", value);
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             opts.verbose = false;
         } else {
@@ -205,6 +228,10 @@ runOptionsHelp()
            "into DIR after warm-up\n"
            "  --from-ckpt=DIR      restore warm checkpoints from DIR "
            "(skips warm-up)\n"
+           "  --warmup-mode=MODE   warm-up execution mode: atomic or "
+           "timing (default: the figure's)\n"
+           "  --exec-mode=MODE     measurement execution mode "
+           "(default timing; atomic has no event timing)\n"
            "  --quiet              suppress per-run progress lines\n";
 }
 

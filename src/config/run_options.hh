@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "src/core/exec_mode.hh"
 #include "src/obs/observability.hh"
 #include "src/oltp/workload_params.hh"
 
@@ -72,12 +73,34 @@ struct RunOptions
      * embedded configuration must match the bar's exactly.
      */
     std::string fromCkptDir;
+    /**
+     * Warm-up execution-mode override (docs/EXECMODE.md). Unset: the
+     * figure spec's default (effectiveWarmupMode). With --from-ckpt,
+     * this is also the mode the restored image must have been warmed
+     * in — restoring an atomic image into a timing-warm-up run is
+     * fatal unless --warmup-mode atomic is given.
+     */
+    std::optional<ExecMode> warmupMode;
+    /** Measurement execution-mode override. Unset: Timing. */
+    std::optional<ExecMode> execMode;
+
+    /** The warm-up mode a bar actually runs (override, else spec). */
+    ExecMode effectiveWarmupMode(ExecMode spec_default) const
+    {
+        return warmupMode.value_or(spec_default);
+    }
+    /** The measurement mode (override, else the paper's Timing). */
+    ExecMode effectiveExecMode() const
+    {
+        return execMode.value_or(ExecMode::Timing);
+    }
 
     /**
      * Resolve the environment: ISIM_TXNS, ISIM_WARMUP, ISIM_SEED,
      * ISIM_JSON_DIR, ISIM_JOBS, ISIM_PROCS, ISIM_AUDIT_PERIOD,
      * ISIM_STATS_OUT,
-     * ISIM_STATS_EPOCH, ISIM_SAVE_CKPT, ISIM_FROM_CKPT. Malformed
+     * ISIM_STATS_EPOCH, ISIM_SAVE_CKPT, ISIM_FROM_CKPT,
+     * ISIM_WARMUP_MODE, ISIM_EXEC_MODE. Malformed
      * values are ignored (the variables are convenience overrides,
      * often set globally in CI). This is the only getenv() site in
      * the tree.
@@ -100,6 +123,8 @@ struct RunOptions
      *   --stats-epoch TICKS      embed per-epoch rows on this grid
      *   --save-ckpt DIR          save a warm checkpoint per bar
      *   --from-ckpt DIR          restore warm checkpoints (skip warm-up)
+     *   --warmup-mode atomic|timing  warm-up execution mode
+     *   --exec-mode atomic|timing    measurement execution mode
      *   --quiet                  suppress per-run progress lines
      *
      * plus the observability flags (obsFromCommandLine). Flags

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ExecMode: which per-reference execution path a simulation phase
+ * uses. The split mirrors gem5's AtomicSimpleCPU/TimingSimpleCPU
+ * pair: `Timing` is the full model (per-model CPU timing, MC queue
+ * contention, NoC leg accounting, event tracing); `Atomic` is the
+ * fast-functional path — every cache-array, victim-buffer, RAC and
+ * directory state transition is applied immediately with correct
+ * miss classification, but with table latencies charged in-order,
+ * zero timing events, no contention model and no NoC leg timing.
+ * docs/EXECMODE.md documents the semantics and the exact equivalence
+ * guarantees between the two modes.
+ */
+
+#ifndef ISIM_CORE_EXEC_MODE_HH
+#define ISIM_CORE_EXEC_MODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace isim {
+
+/** Per-phase execution path. */
+enum class ExecMode : std::uint8_t {
+    Timing = 0, //!< full timing model (the default everywhere)
+    Atomic = 1, //!< fast-functional: state + classification only
+};
+
+inline const char *
+execModeName(ExecMode mode)
+{
+    return mode == ExecMode::Atomic ? "atomic" : "timing";
+}
+
+/** Parse "timing" / "atomic"; nullopt on anything else. */
+inline std::optional<ExecMode>
+execModeFromName(const std::string &name)
+{
+    if (name == "timing")
+        return ExecMode::Timing;
+    if (name == "atomic")
+        return ExecMode::Atomic;
+    return std::nullopt;
+}
+
+} // namespace isim
+
+#endif // ISIM_CORE_EXEC_MODE_HH

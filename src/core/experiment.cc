@@ -66,13 +66,17 @@ ExperimentRunner::applyEnvOverrides(WorkloadParams &params)
 
 RunResult
 ExperimentRunner::runMachine(const MachineConfig &cfg,
-                             obs::Observability *o) const
+                             obs::Observability *o,
+                             ExecMode spec_warmup) const
 {
+    const ExecMode warmup_mode =
+        options_.effectiveWarmupMode(spec_warmup);
+    const ExecMode exec_mode = options_.effectiveExecMode();
     std::unique_ptr<Machine> machine;
     if (!options_.fromCkptDir.empty()) {
         const std::string path =
             checkpointPath(options_.fromCkptDir, cfg.name);
-        machine = Machine::fromCheckpoint(path);
+        machine = Machine::fromCheckpoint(path, warmup_mode);
         // Measuring a warm image under different knobs would silently
         // compare incomparable runs; insist on an exact config match.
         if (ckpt::configBytes(machine->config()) !=
@@ -87,15 +91,15 @@ ExperimentRunner::runMachine(const MachineConfig &cfg,
     }
     if (o != nullptr)
         machine->attachObservability(o);
-    if (!machine->warm()) {
-        machine->runWarmup();
+    if (!machine->isWarm()) {
+        machine->runWarmup(warmup_mode);
         if (!options_.saveCkptDir.empty()) {
             std::filesystem::create_directories(options_.saveCkptDir);
             machine->saveCheckpoint(
                 checkpointPath(options_.saveCkptDir, cfg.name));
         }
     }
-    RunResult r = machine->runMeasurement();
+    RunResult r = machine->runMeasurement(exec_mode);
     // Stamp the cell's content-address identity (META block of the
     // stats manifest; the cache key isim-campaign stores results
     // under). Computed from the *requested* config, which runMachine's
@@ -108,7 +112,8 @@ ExperimentRunner::runMachine(const MachineConfig &cfg,
 }
 
 RunResult
-ExperimentRunner::runOne(const MachineConfig &config) const
+ExperimentRunner::runOne(const MachineConfig &config,
+                         ExecMode spec_warmup) const
 {
     MachineConfig cfg = config;
     options_.applyTo(cfg.workload);
@@ -116,7 +121,7 @@ ExperimentRunner::runOne(const MachineConfig &config) const
         const std::lock_guard<std::mutex> lock(logMutex);
         isim_inform("running %s ...", cfg.name.c_str());
     }
-    RunResult r = runMachine(cfg, nullptr);
+    RunResult r = runMachine(cfg, nullptr, spec_warmup);
     if (!r.dbConsistent) {
         const std::lock_guard<std::mutex> lock(logMutex);
         isim_warn("%s: TPC-B consistency check FAILED", cfg.name.c_str());
@@ -126,7 +131,8 @@ ExperimentRunner::runOne(const MachineConfig &config) const
 
 RunResult
 ExperimentRunner::runObserved(const MachineConfig &config,
-                              obs::Observability &o) const
+                              obs::Observability &o,
+                              ExecMode spec_warmup) const
 {
     MachineConfig cfg = config;
     options_.applyTo(cfg.workload);
@@ -134,7 +140,7 @@ ExperimentRunner::runObserved(const MachineConfig &config,
         const std::lock_guard<std::mutex> lock(logMutex);
         isim_inform("running %s (observed) ...", cfg.name.c_str());
     }
-    RunResult r = runMachine(cfg, &o);
+    RunResult r = runMachine(cfg, &o, spec_warmup);
     if (!r.dbConsistent) {
         const std::lock_guard<std::mutex> lock(logMutex);
         isim_warn("%s: TPC-B consistency check FAILED", cfg.name.c_str());
@@ -161,7 +167,7 @@ ExperimentRunner::runBar(const FigureSpec &spec, std::size_t index,
                 cfg.epochTicks = options_.statsEpochTicks;
         }
         obs::Observability o(cfg);
-        return runObserved(spec.bars[index].config, o);
+        return runObserved(spec.bars[index].config, o, spec.warmupMode);
     }
     if (options_.statsEpochTicks > 0) {
         // Sampler-only bundle: no event tracing, no output files —
@@ -171,9 +177,9 @@ ExperimentRunner::runBar(const FigureSpec &spec, std::size_t index,
         cfg.epochTicks = options_.statsEpochTicks;
         cfg.sampleEpochs = true;
         obs::Observability o(cfg);
-        return runObserved(spec.bars[index].config, o);
+        return runObserved(spec.bars[index].config, o, spec.warmupMode);
     }
-    return runOne(spec.bars[index].config);
+    return runOne(spec.bars[index].config, spec.warmupMode);
 }
 
 FigureResult

@@ -324,6 +324,7 @@ Machine::ensureSim(TraceWriter *trace)
         return;
     SimOptions opts;
     opts.quantum = config_.workload.quantum;
+    opts.model = config_.cpuModel;
     opts.trace = trace;
     opts.maxSteps = maxSteps_;
     opts.obs = obs_;
@@ -336,35 +337,44 @@ Machine::ensureSim(TraceWriter *trace)
 }
 
 void
-Machine::runWarmup(TraceWriter *trace)
+Machine::runWarmup(ExecMode mode, TraceWriter *trace)
 {
     isim_assert(!warmupRan_, "warm-up already ran (or was restored)");
     ensureSim(trace);
-    if (obs_ != nullptr)
-        obs_->beginRun(0);
-    sim_->runUntilWarmupDone();
+    if (mode == ExecMode::Timing) {
+        // The observability window opens at time 0 only for a timing
+        // warm-up; the atomic path drives no timeline, so its window
+        // opens at the warm boundary instead (runMeasurement).
+        if (obs_ != nullptr)
+            obs_->beginRun(0);
+        obsBegun_ = true;
+    }
+    sim_->runUntilWarmupDone(mode);
     warmEnd_ = sim_->wallTime();
     resetStats(); // rebases oltp.txn.committed via the registry hook
     warmupRan_ = true;
+    warmupMode_ = mode;
 }
 
 RunResult
-Machine::runMeasurement(TraceWriter *trace)
+Machine::runMeasurement(ExecMode mode, TraceWriter *trace)
 {
     isim_assert(warmupRan_, "runMeasurement before warm-up");
     ensureSim(trace);
-    if (restored_) {
-        // The cold path announced the run at warm-up start; a restored
-        // machine begins at the warm boundary instead.
+    if (!obsBegun_) {
+        // Atomic warm-up or checkpoint restore: the run is announced
+        // at the warm boundary.
         if (obs_ != nullptr)
             obs_->beginRun(warmEnd_);
-        restored_ = false;
+        obsBegun_ = true;
     }
-    sim_->runUntilMeasurementDone();
+    sim_->runUntilMeasurementDone(mode);
     if (obs_ != nullptr)
         obs_->endRun(sim_->wallTime());
 
     RunResult r = snapshot();
+    r.warmupMode = warmupMode_;
+    r.execMode = mode;
     r.wallTime = sim_->wallTime() - warmEnd_;
     if (obs_ != nullptr && obs_->sampler() != nullptr)
         r.epochs = obs_->sampler()->rows();
@@ -372,11 +382,30 @@ Machine::runMeasurement(TraceWriter *trace)
 }
 
 RunResult
-Machine::run(TraceWriter *trace)
+Machine::run(ExecMode warmup_mode, ExecMode exec_mode, TraceWriter *trace)
 {
     if (!warmupRan_)
-        runWarmup(trace);
-    return runMeasurement(trace);
+        runWarmup(warmup_mode, trace);
+    return runMeasurement(exec_mode, trace);
+}
+
+std::uint64_t
+Machine::timingEvents() const
+{
+    return sim_ != nullptr ? sim_->timingEvents() : 0;
+}
+
+// Deprecated pre-ExecMode entry points (see machine.hh).
+RunResult
+Machine::run(TraceWriter *trace)
+{
+    return run(ExecMode::Timing, ExecMode::Timing, trace);
+}
+
+void
+Machine::runWarmup(TraceWriter *trace)
+{
+    runWarmup(ExecMode::Timing, trace);
 }
 
 } // namespace isim

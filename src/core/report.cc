@@ -228,6 +228,10 @@ figureStatsJson(const FigureResult &result)
             bar.meta.seed = r.seed;
             bar.meta.wallMs =
                 static_cast<double>(r.wallTime) / 1e6; // sim ns -> ms
+            if (r.warmupMode != ExecMode::Timing)
+                bar.meta.warmupMode = execModeName(r.warmupMode);
+            if (r.execMode != ExecMode::Timing)
+                bar.meta.execMode = execModeName(r.execMode);
         }
         bar.stats = r.stats;
         bar.epochs = r.epochs;

@@ -8,6 +8,8 @@
 #include "src/base/logging.hh"
 #include "src/ckpt/serializer.hh"
 #include "src/coherence/protocol.hh"
+#include "src/cpu/inorder.hh"
+#include "src/cpu/ooo.hh"
 #include "src/obs/observability.hh"
 #include "src/trace/trace_io.hh"
 
@@ -31,6 +33,24 @@ Simulation::wallTime() const
     for (const auto &cs : state_)
         t = std::max(t, cs.now);
     return t;
+}
+
+Tick
+Simulation::consumeOn(CpuCore &core, const MemRef &ref, Tick now)
+{
+    // Both models are `final`: the casts turn the hottest call in the
+    // simulator into a direct, inlinable one.
+    if (options_.model == CpuModel::InOrder)
+        return static_cast<InOrderCpu &>(core).consume(ref, now);
+    return static_cast<OooCpu &>(core).consume(ref, now);
+}
+
+Tick
+Simulation::drainOn(CpuCore &core, Tick now)
+{
+    if (options_.model == CpuModel::InOrder)
+        return static_cast<InOrderCpu &>(core).drain(now);
+    return static_cast<OooCpu &>(core).drain(now);
 }
 
 bool
@@ -73,7 +93,7 @@ Simulation::stepCpu(NodeId cpu)
         cs.injected.pop_front();
         if (options_.trace != nullptr)
             options_.trace->write(cpu, ref);
-        cs.now = core.consume(ref, cs.now);
+        cs.now = consumeOn(core, ref, cs.now);
         return;
     }
 
@@ -104,7 +124,7 @@ Simulation::stepCpu(NodeId cpu)
     if (options_.quantum > 0 &&
         cs.now - cs.quantumStart >= options_.quantum &&
         sched_.hasReady(cpu)) {
-        cs.now = core.drain(cs.now);
+        cs.now = drainOn(core, cs.now);
         sched_.yieldCurrent(cpu);
         return;
     }
@@ -114,22 +134,22 @@ Simulation::stepCpu(NodeId cpu)
       case StepKind::Ref:
         if (options_.trace != nullptr)
             options_.trace->write(cpu, s.ref);
-        cs.now = core.consume(s.ref, cs.now);
+        cs.now = consumeOn(core, s.ref, cs.now);
         return;
       case StepKind::BlockTimed:
-        cs.now = core.drain(cs.now);
+        cs.now = drainOn(core, cs.now);
         sched_.blockCurrent(cpu, cs.now + s.delay);
         return;
       case StepKind::BlockEvent:
-        cs.now = core.drain(cs.now);
+        cs.now = drainOn(core, cs.now);
         sched_.blockCurrent(cpu, maxTick);
         return;
       case StepKind::Yield:
-        cs.now = core.drain(cs.now);
+        cs.now = drainOn(core, cs.now);
         sched_.yieldCurrent(cpu);
         return;
       case StepKind::Done:
-        cs.now = core.drain(cs.now);
+        cs.now = drainOn(core, cs.now);
         sched_.finishCurrent(cpu);
         return;
     }
@@ -163,21 +183,180 @@ Simulation::runUntil(bool (OltpEngine::*done)() const)
             options_.obs->advance(best_time);
         stepCpu(best);
         ++steps_;
+        ++timingEvents_;
         if (options_.maxSteps != 0 && steps_ > options_.maxSteps)
             isim_fatal("step limit exceeded (runaway simulation?)");
     }
 }
 
 void
-Simulation::runUntilWarmupDone()
+Simulation::stepCpuAtomic(NodeId cpu, Tick horizon, NodeId horizon_cpu,
+                          bool (OltpEngine::*done)() const)
 {
-    runUntil(&OltpEngine::warmupDone);
+    CpuState &cs = state_[cpu];
+    CpuCore &core = *cpus_[cpu];
+
+    // True while this CPU would still win the timing loop's min-scan
+    // (strict <, lowest index wins ties) against the cached runner-up.
+    const auto still_min = [&]() -> bool {
+        const Tick t = nextEventTime(cpu);
+        return t < horizon ||
+               (t == horizon && horizon != maxTick && cpu < horizon_cpu);
+    };
+    // Whether the burst may take another unit of work without a rescan.
+    const auto burst_on = [&]() -> bool {
+        if (options_.maxSteps != 0 && steps_ > options_.maxSteps)
+            isim_fatal("step limit exceeded (runaway simulation?)");
+        return !(engine_.*done)() && still_min();
+    };
+
+    for (;;) {
+        // Pending kernel path (context switch) runs before anything
+        // else, exactly as in timing mode.
+        if (!cs.injected.empty()) {
+            const MemRef ref = cs.injected.front();
+            cs.injected.pop_front();
+            if (options_.trace != nullptr)
+                options_.trace->write(cpu, ref);
+            cs.now = core.consumeAtomic(ref, cs.now);
+            ++steps_;
+            if (burst_on())
+                continue;
+            return;
+        }
+
+        Process *running = sched_.running(cpu);
+        if (running == nullptr) {
+            Process *next = sched_.pickNext(cpu, cs.now);
+            if (next != nullptr) {
+                kernel_.contextSwitch(cpu, cs.injected);
+                cs.quantumStart = cs.now;
+            } else {
+                // Idle until the next timed wake.
+                const Tick wake = sched_.nextWake(cpu);
+                isim_assert(wake != maxTick, "stepCpu on a stalled CPU");
+                if (wake > cs.now) {
+                    core.stats().idle += wake - cs.now;
+                    cs.now = wake;
+                }
+            }
+            ++steps_;
+            if (burst_on())
+                continue;
+            return;
+        }
+
+        // Quantum preemption. Timing mode drains the core first; the
+        // atomic charge keeps no in-flight core state, so the drain is
+        // an identity here and is skipped.
+        if (options_.quantum > 0 &&
+            cs.now - cs.quantumStart >= options_.quantum &&
+            sched_.hasReady(cpu)) {
+            sched_.yieldCurrent(cpu);
+            ++steps_;
+            if (burst_on())
+                continue;
+            return;
+        }
+
+        // Batched reference drain: while generated references are
+        // queued, Process::step() is contractually a pop of the queue
+        // front with no other effect, so consume them directly and
+        // skip the per-reference virtual step dispatch.
+        if (running->hasPending()) {
+            const MemRef ref = running->popPendingRef();
+            if (options_.trace != nullptr)
+                options_.trace->write(cpu, ref);
+            cs.now = core.consumeAtomic(ref, cs.now);
+            ++steps_;
+            if (burst_on())
+                continue;
+            return;
+        }
+
+        // Refill / process state-machine advance. This may wake
+        // processes on OTHER CPUs (log group commits, lock releases),
+        // which stales the cached horizon — always return to the
+        // caller's rescan after it runs.
+        const ProcessStep s = running->step(cs.now);
+        ++steps_;
+        switch (s.kind) {
+          case StepKind::Ref:
+            if (options_.trace != nullptr)
+                options_.trace->write(cpu, s.ref);
+            cs.now = core.consumeAtomic(s.ref, cs.now);
+            return;
+          case StepKind::BlockTimed:
+            sched_.blockCurrent(cpu, cs.now + s.delay);
+            return;
+          case StepKind::BlockEvent:
+            sched_.blockCurrent(cpu, maxTick);
+            return;
+          case StepKind::Yield:
+            sched_.yieldCurrent(cpu);
+            return;
+          case StepKind::Done:
+            sched_.finishCurrent(cpu);
+            return;
+        }
+        isim_panic("unknown step kind");
+    }
 }
 
 void
-Simulation::runUntilMeasurementDone()
+Simulation::runUntilAtomic(bool (OltpEngine::*done)() const)
 {
-    runUntil(&OltpEngine::measurementDone);
+    while (!(engine_.*done)()) {
+        // The timing scan, plus the runner-up: the burst below only
+        // needs to rescan once the chosen CPU falls behind it.
+        NodeId best = invalidNode;
+        Tick best_time = maxTick;
+        NodeId second = invalidNode;
+        Tick second_time = maxTick;
+        for (NodeId cpu = 0; cpu < state_.size(); ++cpu) {
+            const Tick t = nextEventTime(cpu);
+            if (t < best_time) {
+                second_time = best_time;
+                second = best;
+                best_time = t;
+                best = cpu;
+            } else if (t < second_time) {
+                second_time = t;
+                second = cpu;
+            }
+        }
+        if (best == invalidNode) {
+            // Nothing can run anywhere: either all processes exited or
+            // every CPU is event-stalled (a workload deadlock).
+            bool any_live = false;
+            for (NodeId cpu = 0; cpu < state_.size(); ++cpu)
+                any_live = any_live || sched_.hasWork(cpu);
+            if (any_live)
+                isim_panic("simulation deadlock: all CPUs event-stalled");
+            break;
+        }
+        if (options_.maxSteps != 0 && steps_ > options_.maxSteps)
+            isim_fatal("step limit exceeded (runaway simulation?)");
+        stepCpuAtomic(best, second_time, second, done);
+    }
+}
+
+void
+Simulation::runUntilWarmupDone(ExecMode mode)
+{
+    if (mode == ExecMode::Atomic)
+        runUntilAtomic(&OltpEngine::warmupDone);
+    else
+        runUntil(&OltpEngine::warmupDone);
+}
+
+void
+Simulation::runUntilMeasurementDone(ExecMode mode)
+{
+    if (mode == ExecMode::Atomic)
+        runUntilAtomic(&OltpEngine::measurementDone);
+    else
+        runUntil(&OltpEngine::measurementDone);
 }
 
 void

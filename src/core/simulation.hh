@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/ckpt/fwd.hh"
+#include "src/core/exec_mode.hh"
 #include "src/cpu/core.hh"
 #include "src/oltp/workload.hh"
 #include "src/os/kernel.hh"
@@ -33,6 +34,14 @@ class Observability;
 struct SimOptions
 {
     Tick quantum = 2000000; //!< preemption quantum (0 = none)
+    /**
+     * Which core model populates the CPU vector. The loop uses this to
+     * dispatch the per-reference consume/drain calls through the final
+     * concrete type instead of the virtual interface — both models are
+     * `final`, so the compiler emits direct (inlinable) calls on the
+     * hottest path in the simulator.
+     */
+    CpuModel model = CpuModel::InOrder;
     /** Optional trace capture of every consumed reference. */
     TraceWriter *trace = nullptr;
     /** Hard step limit as a runaway backstop (0 = none). */
@@ -70,11 +79,18 @@ class Simulation
                std::vector<std::unique_ptr<CpuCore>> &cpus,
                const SimOptions &options);
 
-    /** Run until the engine's measured transaction count completes. */
-    void runUntilMeasurementDone();
+    /**
+     * Run until the engine's measured transaction count completes.
+     * ExecMode::Atomic takes the fast-functional path: cache, victim
+     * buffer, RAC and directory state advance reference by reference
+     * with correct miss classification, but no timing events are
+     * scheduled (no MC queue contention, no NoC leg accounting, no
+     * observability timeline).
+     */
+    void runUntilMeasurementDone(ExecMode mode = ExecMode::Timing);
 
     /** Run until the warm-up transaction count completes. */
-    void runUntilWarmupDone();
+    void runUntilWarmupDone(ExecMode mode = ExecMode::Timing);
 
     /** Local time of a CPU. */
     Tick cpuNow(NodeId cpu) const { return state_[cpu].now; }
@@ -83,6 +99,13 @@ class Simulation
     Tick wallTime() const;
 
     std::uint64_t steps() const { return steps_; }
+
+    /**
+     * Loop iterations taken by the timing-mode event loop. Stays zero
+     * across a pure-atomic phase — the hard "atomic schedules nothing"
+     * guarantee the exec-mode tests pin down.
+     */
+    std::uint64_t timingEvents() const { return timingEvents_; }
 
     /** Snapshot the loop state for a checkpoint. */
     SimState captureState() const;
@@ -106,6 +129,28 @@ class Simulation
     void stepCpu(NodeId cpu);
     void runUntil(bool (OltpEngine::*done)() const);
 
+    /** Devirtualized per-reference dispatch (see SimOptions::model). */
+    Tick consumeOn(CpuCore &core, const MemRef &ref, Tick now);
+    Tick drainOn(CpuCore &core, Tick now);
+
+    /**
+     * Atomic-mode loop: the same conservative min-clock schedule, but
+     * each pick bursts the chosen CPU until it stops being the global
+     * minimum (tracked against the runner-up's event time) instead of
+     * re-scanning every CPU per reference. References are consumed
+     * through CpuCore::consumeAtomic.
+     */
+    void runUntilAtomic(bool (OltpEngine::*done)() const);
+    /**
+     * Burst units of work on `cpu` while it stays ahead of the
+     * runner-up (`horizon`, with `horizon_cpu` breaking ties by the
+     * scan's lowest-index-wins rule) and `done` stays false. Returns
+     * to the caller's rescan whenever Process::step() runs, since a
+     * refill may wake processes on other CPUs and stale the horizon.
+     */
+    void stepCpuAtomic(NodeId cpu, Tick horizon, NodeId horizon_cpu,
+                       bool (OltpEngine::*done)() const);
+
     Scheduler &sched_;
     KernelModel &kernel_;
     OltpEngine &engine_;
@@ -114,6 +159,7 @@ class Simulation
     obs::Tracer *tracer_ = nullptr; //!< from options_.obs, may be null
     std::vector<CpuState> state_;
     std::uint64_t steps_ = 0;
+    std::uint64_t timingEvents_ = 0;
 };
 
 } // namespace isim

@@ -50,8 +50,8 @@ struct OooParams
     double mispredictEveryInstrs = 50.0;
 };
 
-/** The out-of-order core. */
-class OooCpu : public CpuCore
+/** The out-of-order core. `final` lets the hot loop devirtualize. */
+class OooCpu final : public CpuCore
 {
   public:
     OooCpu(NodeId node, MemorySystem &mem,

@@ -13,6 +13,9 @@
  *                   non-static, non-reference data member
  *   stats-coverage  *Stats / *Counters members must be registered
  *   logging         bare stdio outside src/base/logging and the CLIs
+ *   atomic-path     timing/event machinery inside *Atomic function
+ *                   bodies (the fast-functional path must stay
+ *                   event-free; docs/EXECMODE.md)
  *   suppression     malformed or reason-less annotations (meta rule;
  *                   not itself suppressible)
  */
@@ -40,6 +43,7 @@ namespace checks {
 
 void determinism(const SourceFile &file, std::vector<Finding> &out);
 void logging(const SourceFile &file, std::vector<Finding> &out);
+void atomicPath(const SourceFile &file, std::vector<Finding> &out);
 void suppressions(const SourceFile &file, std::vector<Finding> &out);
 void orderedOutput(const std::vector<SourceFile> &files,
                    std::vector<Finding> &out);

@@ -14,6 +14,7 @@ Linter::run() const
     for (const SourceFile &file : files_) {
         checks::determinism(file, findings);
         checks::logging(file, findings);
+        checks::atomicPath(file, findings);
         checks::suppressions(file, findings);
     }
     checks::orderedOutput(files_, findings);
@@ -97,6 +98,16 @@ Linter::rules()
          "src/base/logging.* and outside src/ (CLI mains, examples, "
          "bench, tests). Library diagnostics go through isim_inform/"
          "isim_warn so --quiet and test harnesses stay authoritative."},
+        {"atomic-path",
+         "no timing/event machinery inside *Atomic function bodies",
+         "Functions whose name ends in Atomic implement the "
+         "fast-functional execution mode (docs/EXECMODE.md): zero "
+         "event scheduling, no timing-only state. Calling runUntil, "
+         "stepCpu, consumeOn/drainOn, mcQueueDelay, obs advance or "
+         "timing-path trace emission from such a body either "
+         "schedules timing work (voiding the zero-event guarantee "
+         "tests/test_exec_mode.cc pins) or mutates state the timing "
+         "mode owns, breaking bit-identical warm-up."},
         {"suppression",
          "every allow() carries a rule id and a reason",
          "`// isim-lint: allow(<rule>): <reason>` suppresses that "

@@ -31,6 +31,10 @@ writeBarMeta(JsonWriter &w, const BarMeta &meta)
         w.kv("wall_ms", meta.wallMs, 4);
     if (!meta.status.empty())
         w.kv("status", meta.status);
+    if (!meta.warmupMode.empty())
+        w.kv("warmup_mode", meta.warmupMode);
+    if (!meta.execMode.empty())
+        w.kv("exec_mode", meta.execMode);
     w.endObject();
 }
 
@@ -231,6 +235,14 @@ manifestMeta(const JsonValue &doc)
         if (const JsonValue *v = meta->get("status");
             v != nullptr && v->isString()) {
             view.meta.status = v->text;
+        }
+        if (const JsonValue *v = meta->get("warmup_mode");
+            v != nullptr && v->isString()) {
+            view.meta.warmupMode = v->text;
+        }
+        if (const JsonValue *v = meta->get("exec_mode");
+            v != nullptr && v->isString()) {
+            view.meta.execMode = v->text;
         }
         out.push_back(std::move(view));
     }

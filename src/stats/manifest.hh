@@ -29,7 +29,9 @@
  * identity the campaign orchestrator caches results under
  * (docs/CAMPAIGN.md) — and "wall_ms" is the *simulated* wall-clock
  * of the measurement window in milliseconds (deterministic, so
- * manifests stay byte-comparable). "epochs" is present only when
+ * manifests stay byte-comparable). "warmup_mode" / "exec_mode" appear
+ * in META only when a phase ran in a non-default (non-timing)
+ * execution mode (docs/EXECMODE.md). "epochs" is present only when
  * per-epoch sampling was requested (--stats-epoch). Distribution
  * values are nested objects; undefined quantiles (NaN) serialize as
  * JSON null.
@@ -90,6 +92,15 @@ struct BarMeta
     double wallMs = -1.0;
     /** Campaign merge only ("ok" / "failed"); "" = omit. */
     std::string status;
+    /**
+     * Execution modes of the run ("atomic"); "" = omit. Producers set
+     * these only for non-default (non-timing) modes, so the manifest
+     * of a pure-timing run is byte-identical to one from a build that
+     * predates ExecMode — and a mode echo in the META block flags any
+     * bar whose numbers an atomic phase could have influenced.
+     */
+    std::string warmupMode;
+    std::string execMode;
 };
 
 /** One bar's worth of manifest content. */

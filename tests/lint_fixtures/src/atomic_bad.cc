@@ -1,0 +1,31 @@
+// Fixture: an atomic-path function that reaches for the timing
+// machinery; the atomic-path rule must flag every banned reference.
+
+namespace fix {
+
+struct Sim
+{
+    void runUntil(int cpu);
+    void stepCpu(int cpu);
+    long mcQueueDelay(long now);
+    long timingEvents_ = 0;
+};
+
+void
+stepCpuAtomic(Sim &sim, int cpu, long now)
+{
+    // Three violations: the timing step, the MC contention queue,
+    // and the timing event counter.
+    sim.stepCpu(cpu);
+    now += sim.mcQueueDelay(now);
+    ++sim.timingEvents_;
+}
+
+void
+runUntilAtomic(Sim &sim, int cpu)
+{
+    // Falling back to the timing loop defeats the mode entirely.
+    sim.runUntil(cpu);
+}
+
+} // namespace fix

@@ -1,0 +1,39 @@
+// Fixture: clean atomic-path code. The functional access path, plain
+// arithmetic charging, and calls to other *Atomic functions are all
+// fine; so is a file-write helper that merely ends a name in Atomic.
+// Timing machinery OUTSIDE an *Atomic body is the timing mode's own
+// business and must not be flagged either.
+
+namespace fix {
+
+struct Sim
+{
+    long consumeAtomic(int ref, long now);
+    long accessAtomic(int core, int type, long paddr);
+    void runUntil(int cpu);
+    long timingEvents_ = 0;
+};
+
+long
+stepCpuAtomic(Sim &sim, int ref, long now)
+{
+    return sim.consumeAtomic(ref, now) + sim.accessAtomic(0, 0, 64);
+}
+
+void
+runTiming(Sim &sim, int cpu)
+{
+    sim.runUntil(cpu);
+    ++sim.timingEvents_;
+}
+
+void
+writeFileAtomic(const char *path, const char *bytes)
+{
+    // A different "atomic" (rename-into-place file write): scanned,
+    // nothing banned inside.
+    (void)path;
+    (void)bytes;
+}
+
+} // namespace fix

@@ -90,7 +90,7 @@ TEST(Checkpoint, RoundTripDigestIdentical)
          {CpuModel::InOrder, CpuModel::OutOfOrder}) {
         for (const std::uint64_t seed : {7ull, 1234ull, 0xdeadbeefull}) {
             Machine m(smallConfig(seed, model));
-            m.runWarmup();
+            m.runWarmup(ExecMode::Timing);
             const std::vector<std::uint8_t> image = m.checkpointBytes();
             const std::unique_ptr<Machine> restored =
                 Machine::fromCheckpointBytes(image);
@@ -107,7 +107,7 @@ TEST(Checkpoint, ContinuedExecutionBitIdentical)
     // The core contract: measuring from a restored image must produce
     // exactly the run the cold machine produces after its warm-up.
     Machine cold(smallConfig(42));
-    cold.runWarmup();
+    cold.runWarmup(ExecMode::Timing);
     const std::vector<std::uint8_t> image = cold.checkpointBytes();
     const RunResult a = cold.runMeasurement();
 
@@ -133,12 +133,12 @@ TEST(Checkpoint, SaveFileRestoreAndDigest)
     setQuiet(true);
     const std::string path = ::testing::TempDir() + "/isim_ckpt_rt.ckpt";
     Machine m(smallConfig(99, CpuModel::OutOfOrder, 1));
-    m.runWarmup();
+    m.runWarmup(ExecMode::Timing);
     m.saveCheckpoint(path);
     const std::unique_ptr<Machine> restored =
         Machine::fromCheckpoint(path);
     EXPECT_EQ(m.stateDigest(), restored->stateDigest());
-    EXPECT_TRUE(restored->warm());
+    EXPECT_TRUE(restored->isWarm());
     EXPECT_EQ(restored->warmupEndTime(), m.warmupEndTime());
     std::filesystem::remove(path);
 }
@@ -156,7 +156,7 @@ TEST(Checkpoint, LatencyOverrideRestoreMeasuresFaster)
     cfg.level = IntegrationLevel::Base;
     cfg.l2Impl = L2Impl::OffchipDirect;
     Machine m(cfg);
-    m.runWarmup();
+    m.runWarmup(ExecMode::Timing);
     m.saveCheckpoint(path);
     const RunResult base = m.runMeasurement();
 
@@ -214,7 +214,7 @@ TEST(Checkpoint, RunnerRejectsMismatchedConfig)
     const MachineConfig cfg = smallConfig(7, CpuModel::InOrder, 1);
     {
         Machine m(cfg);
-        m.runWarmup();
+        m.runWarmup(ExecMode::Timing);
         m.saveCheckpoint(checkpointPath(dir, cfg.name));
     }
     RunOptions opts;
@@ -233,7 +233,7 @@ class CheckpointCorruption : public ::testing::Test
     {
         setQuiet(true);
         Machine m(smallConfig(3, CpuModel::InOrder, 1));
-        m.runWarmup();
+        m.runWarmup(ExecMode::Timing);
         image_ = m.checkpointBytes();
         ASSERT_GT(image_.size(), 64u);
     }

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * ExecMode tests: the atomic (fast-functional) warm-up contract.
+ *
+ * The load-bearing guarantee (docs/EXECMODE.md): for in-order cores
+ * with no memory-controller contention (mcOccupancy == 0, every
+ * shipped figure's default), an atomic warm-up reaches *bit-identical*
+ * warm state to a timing warm-up — same caches, same directory, same
+ * RNG streams, same clocks — so the measurement that follows is the
+ * same run. The checkpoint images may then differ only in the META
+ * record of the producing mode (and its CRC). Out-of-order cores
+ * diverge by design (the functional charge replaces the scoreboard);
+ * that divergence is bounded here with a tolerance check.
+ *
+ * Also pinned down: the zero-timing-events guard (an atomic phase
+ * must never touch the event scheduler) and the restore-time mode
+ * handshake (an atomic image is rejected by a timing-expecting run).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/base/logging.hh"
+#include "src/core/exec_mode.hh"
+#include "src/core/machine.hh"
+
+namespace isim {
+namespace {
+
+/** Two CPUs so coherence, daemons and scheduling are all live. */
+MachineConfig
+testConfig(std::uint64_t seed, CpuModel model = CpuModel::InOrder,
+           unsigned cpus = 2)
+{
+    MachineConfig cfg;
+    cfg.name = "exec-mode-test";
+    cfg.numCpus = cpus;
+    cfg.cpuModel = model;
+    cfg.l2 = CacheGeometry{512 * kib, 2, 64};
+    cfg.l2Impl = L2Impl::OffchipAssoc;
+    cfg.workload.branches = 8;
+    cfg.workload.accountsPerBranch = 10000;
+    cfg.workload.blockBufferBytes = 64 * mib;
+    cfg.workload.transactions = 30;
+    cfg.workload.warmupTransactions = 12;
+    cfg.workload.seed = seed;
+    return cfg;
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/** Bit-exact snapshot equality (NaN quantiles compare by pattern). */
+void
+expectSameSnapshot(const stats::Snapshot &a, const stats::Snapshot &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].u, b[i].u) << a[i].name;
+        EXPECT_EQ(doubleBits(a[i].d), doubleBits(b[i].d)) << a[i].name;
+        EXPECT_EQ(a[i].dist.count, b[i].dist.count) << a[i].name;
+    }
+}
+
+TEST(ExecMode, NamesRoundTrip)
+{
+    EXPECT_STREQ(execModeName(ExecMode::Timing), "timing");
+    EXPECT_STREQ(execModeName(ExecMode::Atomic), "atomic");
+    EXPECT_EQ(execModeFromName("timing"), ExecMode::Timing);
+    EXPECT_EQ(execModeFromName("atomic"), ExecMode::Atomic);
+    EXPECT_EQ(execModeFromName("fast"), std::nullopt);
+    EXPECT_EQ(execModeFromName(""), std::nullopt);
+}
+
+TEST(ExecMode, AtomicWarmupImageDiffersOnlyInModeByte)
+{
+    setQuiet(true);
+    // The heart of the redesign: for in-order cores the atomic
+    // warm-up must build the *same machine* the timing warm-up
+    // builds. The images then disagree in exactly one byte — the
+    // META byte recording the producing mode — and nowhere else.
+    for (const std::uint64_t seed : {7ull, 1234ull, 0xdeadbeefull}) {
+        Machine timing(testConfig(seed));
+        timing.runWarmup(ExecMode::Timing);
+        Machine atomic(testConfig(seed));
+        atomic.runWarmup(ExecMode::Atomic);
+
+        EXPECT_EQ(timing.warmupEndTime(), atomic.warmupEndTime())
+            << "seed=" << seed;
+
+        const std::vector<std::uint8_t> ti = timing.checkpointBytes();
+        const std::vector<std::uint8_t> ai = atomic.checkpointBytes();
+        ASSERT_EQ(ti.size(), ai.size()) << "seed=" << seed;
+        std::vector<std::size_t> diffs;
+        for (std::size_t i = 0; i < ti.size(); ++i) {
+            if (ti[i] != ai[i])
+                diffs.push_back(i);
+        }
+        // META's payload is warmEnd (8 bytes) + the mode byte, and
+        // every section carries a CRC of its payload 12 bytes before
+        // it starts. So the images may disagree only in the mode byte
+        // itself (the highest differing offset) and within the
+        // enclosing section's 4-byte CRC word.
+        ASSERT_GE(diffs.size(), 2u) << "seed=" << seed;
+        ASSERT_LE(diffs.size(), 5u) << "seed=" << seed;
+        const std::size_t mode_at = diffs.back();
+        EXPECT_EQ(ti[mode_at],
+                  static_cast<std::uint8_t>(ExecMode::Timing));
+        EXPECT_EQ(ai[mode_at],
+                  static_cast<std::uint8_t>(ExecMode::Atomic));
+        for (std::size_t k = 0; k + 1 < diffs.size(); ++k) {
+            EXPECT_GE(diffs[k], mode_at - 12) << "seed=" << seed;
+            EXPECT_LT(diffs[k], mode_at - 8) << "seed=" << seed;
+        }
+    }
+}
+
+TEST(ExecMode, AtomicWarmupMeasurementIdenticalInOrder)
+{
+    setQuiet(true);
+    // Same warm state => same measured run, down to every counter
+    // and every distribution bit.
+    Machine timing(testConfig(42));
+    timing.runWarmup(ExecMode::Timing);
+    const RunResult a = timing.runMeasurement();
+
+    Machine atomic(testConfig(42));
+    atomic.runWarmup(ExecMode::Atomic);
+    const RunResult b = atomic.runMeasurement();
+
+    EXPECT_EQ(a.transactions, b.transactions);
+    EXPECT_EQ(a.wallTime, b.wallTime);
+    EXPECT_EQ(a.cpu.busy, b.cpu.busy);
+    EXPECT_EQ(a.cpu.idle, b.cpu.idle);
+    EXPECT_EQ(a.cpu.instructions, b.cpu.instructions);
+    EXPECT_EQ(a.misses.totalL2Misses(), b.misses.totalL2Misses());
+    EXPECT_EQ(a.dbConsistent, b.dbConsistent);
+    expectSameSnapshot(a.stats, b.stats);
+    // Provenance: the result remembers how each phase ran.
+    EXPECT_EQ(a.warmupMode, ExecMode::Timing);
+    EXPECT_EQ(b.warmupMode, ExecMode::Atomic);
+    EXPECT_EQ(a.execMode, ExecMode::Timing);
+    EXPECT_EQ(b.execMode, ExecMode::Timing);
+}
+
+TEST(ExecMode, AtomicMeasurementIdenticalInOrder)
+{
+    setQuiet(true);
+    // --exec-mode atomic: with in-order cores the measured counters
+    // are the timing run's counters too (the charging rules are the
+    // same arithmetic) — only the event scheduler disappears.
+    Machine timing(testConfig(11));
+    const RunResult a = timing.run(ExecMode::Timing, ExecMode::Timing);
+    Machine atomic(testConfig(11));
+    const RunResult b = atomic.run(ExecMode::Atomic, ExecMode::Atomic);
+
+    EXPECT_EQ(a.transactions, b.transactions);
+    EXPECT_EQ(a.wallTime, b.wallTime);
+    expectSameSnapshot(a.stats, b.stats);
+    EXPECT_GT(timing.timingEvents(), 0u);
+    EXPECT_EQ(atomic.timingEvents(), 0u);
+}
+
+TEST(ExecMode, AtomicPhasesScheduleZeroTimingEvents)
+{
+    setQuiet(true);
+    // The performance guard behind the speedup claims: an atomic
+    // phase must never reach the timing event loop. timingEvents()
+    // counts scheduler iterations, so it stays zero through an atomic
+    // warm-up and only starts moving in the timing measurement.
+    Machine m(testConfig(7));
+    m.runWarmup(ExecMode::Atomic);
+    EXPECT_EQ(m.timingEvents(), 0u);
+    const RunResult r = m.runMeasurement();
+    EXPECT_GT(m.timingEvents(), 0u);
+    EXPECT_TRUE(r.dbConsistent);
+}
+
+TEST(ExecMode, TimingRestoreRejectsAtomicImage)
+{
+    setQuiet(true);
+    ScopedPanicThrow guard;
+    Machine m(testConfig(7));
+    m.runWarmup(ExecMode::Atomic);
+    const std::vector<std::uint8_t> image = m.checkpointBytes();
+    // A run that expects a timing-warmed image must refuse an atomic
+    // one (and vice versa) instead of silently measuring from it...
+    EXPECT_THROW(Machine::fromCheckpointBytes(image), PanicError);
+    // ...while an explicit --warmup-mode atomic accepts it.
+    const std::unique_ptr<Machine> restored =
+        Machine::fromCheckpointBytes(image, ExecMode::Atomic);
+    EXPECT_TRUE(restored->isWarm());
+    EXPECT_EQ(restored->warmupMode(), ExecMode::Atomic);
+    const RunResult r = restored->runMeasurement();
+    EXPECT_TRUE(r.dbConsistent);
+    EXPECT_EQ(r.warmupMode, ExecMode::Atomic);
+
+    Machine t(testConfig(7));
+    t.runWarmup(ExecMode::Timing);
+    EXPECT_THROW(
+        Machine::fromCheckpointBytes(t.checkpointBytes(),
+                                     ExecMode::Atomic),
+        PanicError);
+}
+
+TEST(ExecMode, OooAtomicWarmupDivergesWithinTolerance)
+{
+    setQuiet(true);
+    // Out-of-order cores are the documented divergence: the atomic
+    // functional charge stands in for the scoreboard, so the warm
+    // state is *not* bit-identical. The run must still complete,
+    // stay consistent, commit the same transaction count, and land
+    // near the timing-warmed measurement (the warm-up is a prefix of
+    // the run; only cache/predictor state carries over).
+    Machine timing(testConfig(7, CpuModel::OutOfOrder));
+    timing.runWarmup(ExecMode::Timing);
+    const RunResult a = timing.runMeasurement();
+
+    Machine atomic(testConfig(7, CpuModel::OutOfOrder));
+    atomic.runWarmup(ExecMode::Atomic);
+    const RunResult b = atomic.runMeasurement();
+
+    EXPECT_TRUE(b.dbConsistent);
+    EXPECT_EQ(a.transactions, b.transactions);
+    const double ea = static_cast<double>(a.execTime());
+    const double eb = static_cast<double>(b.execTime());
+    ASSERT_GT(ea, 0.0);
+    EXPECT_LT(std::abs(eb - ea) / ea, 0.25)
+        << "OOO atomic warm-up drifted: " << eb << " vs " << ea;
+}
+
+} // namespace
+} // namespace isim

@@ -368,12 +368,12 @@ TEST(ObservedMachine, TracingDoesNotPerturbResults)
 {
     setQuiet(true);
     Machine plain(mpConfig());
-    const RunResult a = plain.run();
+    const RunResult a = plain.run(ExecMode::Timing);
 
     Machine observed(mpConfig());
     obs::Observability o(observeEverything());
     observed.attachObservability(&o);
-    const RunResult b = observed.run();
+    const RunResult b = observed.run(ExecMode::Timing);
 
     EXPECT_EQ(a.transactions, b.transactions);
     EXPECT_EQ(a.wallTime, b.wallTime);
@@ -403,7 +403,7 @@ TEST(ObservedMachine, RecordsAllEventFamilies)
     Machine m(mpConfig());
     obs::Observability o(observeEverything());
     m.attachObservability(&o);
-    const RunResult r = m.run();
+    const RunResult r = m.run(ExecMode::Timing);
     EXPECT_TRUE(r.dbConsistent);
 
     // The timeline covers the whole run in contiguous epochs.
@@ -455,7 +455,7 @@ TEST(ObservedMachine, UniprocessorHasNoNocTraffic)
     Machine m(cfg);
     obs::Observability o(observeEverything());
     m.attachObservability(&o);
-    const RunResult r = m.run();
+    const RunResult r = m.run(ExecMode::Timing);
     EXPECT_TRUE(r.dbConsistent);
 #ifdef ISIM_OBS
     EXPECT_EQ(o.tracer().count(EventKind::NocEnqueue), 0u);

@@ -54,12 +54,12 @@ TEST(Simulation, IdleAccountedWhenCpuStarves)
     MachineConfig cfg = config(1);
     cfg.workload.serversPerCpu = 1;
     Machine m(cfg);
-    const RunResult r = m.run();
+    const RunResult r = m.run(ExecMode::Timing);
     EXPECT_GT(r.cpu.idle, 0u);
     // With 8 servers the same CPU should be busier (less idle per txn).
     MachineConfig cfg8 = config(1);
     Machine m8(cfg8);
-    const RunResult r8 = m8.run();
+    const RunResult r8 = m8.run(ExecMode::Timing);
     const double idle1 = static_cast<double>(r.cpu.idle) /
                          static_cast<double>(r.transactions);
     const double idle8 = static_cast<double>(r8.cpu.idle) /
@@ -71,7 +71,7 @@ TEST(Simulation, ContextSwitchesHappen)
 {
     setQuiet(true);
     Machine m(config(2));
-    m.run();
+    m.run(ExecMode::Timing);
     // At least one dispatch per committed transaction (commit blocks).
     EXPECT_GT(m.sched().contextSwitches(),
               m.engine().committedTransactions());
@@ -83,8 +83,8 @@ TEST(Simulation, MoreServersGiveMoreThroughput)
     MachineConfig one = config(1, 80);
     one.workload.serversPerCpu = 1;
     MachineConfig eight = config(1, 80);
-    const RunResult r1 = Machine(one).run();
-    const RunResult r8 = Machine(eight).run();
+    const RunResult r1 = Machine(one).run(ExecMode::Timing);
+    const RunResult r8 = Machine(eight).run(ExecMode::Timing);
     // The paper runs 8 servers per CPU to hide I/O latency.
     EXPECT_GT(r8.tps(), r1.tps() * 2);
 }
@@ -104,7 +104,7 @@ TEST(Simulation, TraceCaptureAndExactReplay)
     {
         Machine m(cfg);
         TraceWriter writer(path);
-        live = m.run(&writer);
+        live = m.run(ExecMode::Timing, ExecMode::Timing, &writer);
         EXPECT_GT(writer.records(), 1000u);
     }
 
@@ -141,7 +141,7 @@ TEST(Simulation, WallTimeIsMaxOfCpuClocks)
 {
     setQuiet(true);
     Machine m(config(4, 50));
-    const RunResult r = m.run();
+    const RunResult r = m.run(ExecMode::Timing);
     EXPECT_GT(r.wallTime, 0u);
     // Wall time of the window cannot exceed summed non-idle + idle.
     EXPECT_LE(r.wallTime, r.cpu.nonIdle() + r.cpu.idle + 1);
@@ -212,7 +212,7 @@ TEST(Simulation, MaxStepsBackstopFires)
     Machine m(config(1, 30));
     m.setMaxSteps(500);
     const ScopedPanicThrow guard;
-    EXPECT_THROW(m.run(), PanicError);
+    EXPECT_THROW(m.run(ExecMode::Timing), PanicError);
 }
 
 } // namespace
