@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Allocation-counting operator new/delete replacement (ISIM_PROF
+ * builds only; see alloc_hook.hh).
+ */
+
+#include "src/base/alloc_hook.hh"
+
+#ifdef ISIM_PROF
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+thread_local std::uint64_t tl_alloc_count = 0;
+
+// The hook must not allocate (it IS the allocator) and must not
+// throw from the nothrow/delete paths.
+void *
+countedAlloc(std::size_t size)
+{
+    ++tl_alloc_count;
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+} // namespace
+
+namespace isim {
+namespace base {
+
+std::uint64_t
+threadAllocCount()
+{
+    return tl_alloc_count;
+}
+
+} // namespace base
+} // namespace isim
+
+void *
+operator new(std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+#else // !ISIM_PROF
+
+namespace isim {
+namespace base {
+
+std::uint64_t
+threadAllocCount()
+{
+    return 0;
+}
+
+} // namespace base
+} // namespace isim
+
+#endif // ISIM_PROF

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Thread-local heap-allocation counter for the self-profiler.
+ *
+ * In an ISIM_PROF build, alloc_hook.cc replaces the global operator
+ * new/delete family with forwarding versions that bump a thread-local
+ * counter, so ProfScope can attribute allocation counts to profiler
+ * nodes ("this phase allocated N times"). Without ISIM_PROF nothing
+ * is replaced and threadAllocCount() is a constant zero — sanitizer
+ * builds keep their own allocator interposition untouched.
+ */
+
+#ifndef ISIM_BASE_ALLOC_HOOK_HH
+#define ISIM_BASE_ALLOC_HOOK_HH
+
+#include <cstdint>
+
+namespace isim {
+namespace base {
+
+/**
+ * Number of heap allocations made by the calling thread since it
+ * started (monotonic; ISIM_PROF builds only, otherwise always 0).
+ */
+std::uint64_t threadAllocCount();
+
+} // namespace base
+} // namespace isim
+
+#endif // ISIM_BASE_ALLOC_HOOK_HH

@@ -33,10 +33,14 @@ makeNumber(double number)
     return v;
 }
 
-/** The bar's "meta" object for the merged document. */
+/**
+ * The bar's "meta" object for the merged document. Only sim_wall_ms
+ * (simulated time) ever appears here: host_wall_ms is nondeterministic
+ * and would break campaign.json byte-stability across resumes.
+ */
 JsonValue
 makeMeta(const CampaignBar &bar, const BarStatus &status,
-         double wall_ms)
+         double sim_wall_ms)
 {
     JsonValue meta;
     meta.kind = JsonValue::Kind::Object;
@@ -47,8 +51,9 @@ makeMeta(const CampaignBar &bar, const BarStatus &status,
                               makeNumber(static_cast<double>(bar.seed)));
     meta.members.emplace_back("schema_version",
                               makeNumber(stats::kManifestVersion));
-    if (wall_ms >= 0.0)
-        meta.members.emplace_back("wall_ms", makeNumber(wall_ms));
+    if (sim_wall_ms >= 0.0)
+        meta.members.emplace_back("sim_wall_ms",
+                                  makeNumber(sim_wall_ms));
     meta.members.emplace_back(
         "status", makeString(status.ok ? "ok" : "failed"));
     if (!status.ok && !status.reason.empty())
@@ -78,7 +83,7 @@ mergeCampaignJson(const CampaignPlan &plan, const std::string &out_dir,
 
     for (const CampaignBar &bar : plan.bars) {
         const BarStatus &st = status[bar.index];
-        double wallMs = -1.0;
+        double simWallMs = -1.0;
         JsonValue statsObj;
         statsObj.kind = JsonValue::Kind::Object;
         if (st.ok) {
@@ -94,7 +99,7 @@ mergeCampaignJson(const CampaignPlan &plan, const std::string &out_dir,
             if (meta.empty() || meta.front().meta.key != bar.key)
                 isim_fatal("campaign merge: %s does not hold key %s",
                            path.c_str(), bar.key.c_str());
-            wallMs = meta.front().meta.wallMs;
+            simWallMs = meta.front().meta.simWallMs;
             const JsonValue &bars = doc.at("bars");
             isim_assert(bars.isArray() && !bars.array.empty());
             statsObj = bars.array.front().at("stats");
@@ -104,7 +109,7 @@ mergeCampaignJson(const CampaignPlan &plan, const std::string &out_dir,
         barObj.kind = JsonValue::Kind::Object;
         barObj.members.emplace_back("name", makeString(bar.name));
         barObj.members.emplace_back("meta",
-                                    makeMeta(bar, st, wallMs));
+                                    makeMeta(bar, st, simWallMs));
         barObj.members.emplace_back("stats", std::move(statsObj));
 
         out += "    ";

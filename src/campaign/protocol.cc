@@ -63,6 +63,13 @@ encodeMessage(const WireMessage &m)
       case WireMessage::Kind::Quit:
         os << "QUIT";
         break;
+      case WireMessage::Kind::Prog:
+        os << "PROG " << m.done << ' ' << m.running << ' ';
+        if (m.hasCurrent)
+            os << m.current;
+        else
+            os << '-';
+        break;
     }
     os << '\n';
     return os.str();
@@ -112,6 +119,27 @@ decodeMessage(const std::string &line, WireMessage &out,
             // Strip the single separating space.
             if (!out.reason.empty() && out.reason.front() == ' ')
                 out.reason.erase(0, 1);
+        }
+    } else if (verb == "PROG") {
+        out.kind = WireMessage::Kind::Prog;
+        std::string doneTok;
+        std::string runningTok;
+        std::string currentTok;
+        if (!(is >> doneTok >> runningTok >> currentTok))
+            return fail(err, "PROG: missing fields");
+        if (!parseUintToken(doneTok, v))
+            return fail(err, "PROG: bad done count");
+        out.done = v;
+        if (!parseUintToken(runningTok, v))
+            return fail(err, "PROG: bad running count");
+        out.running = v;
+        if (currentTok == "-") {
+            out.hasCurrent = false;
+        } else {
+            if (!parseUintToken(currentTok, v))
+                return fail(err, "PROG: bad current index");
+            out.hasCurrent = true;
+            out.current = static_cast<std::size_t>(v);
         }
     } else if (verb == "QUIT") {
         out.kind = WireMessage::Kind::Quit;

@@ -10,6 +10,16 @@
  *     DONE <index> <mode> <key> lease finished; result on disk
  *     FAIL <index> <mode> <reason...>  lease failed (reason is the
  *                               rest of the line, spaces included)
+ *     PROG <done> <running> <current>  telemetry heartbeat: leases
+ *                               this worker has finished, leases in
+ *                               flight, and the most recently started
+ *                               bar index ('-' when idle). Emitted on
+ *                               every lease start and on a periodic
+ *                               timer, so the supervisor can render
+ *                               live progress/ETA and detect a hung
+ *                               worker. Pure telemetry: a supervisor
+ *                               may ignore every PROG line without
+ *                               changing campaign results.
  *
  *   supervisor -> worker
  *     BAR <index> <mode>        lease: run bar <index> as <mode>
@@ -33,11 +43,12 @@
 namespace isim {
 namespace campaign {
 
-constexpr int kProtocolVersion = 1;
+// Version 2 added the PROG telemetry heartbeat.
+constexpr int kProtocolVersion = 2;
 
 struct WireMessage
 {
-    enum class Kind : std::uint8_t { Hello, Bar, Done, Fail, Quit };
+    enum class Kind : std::uint8_t { Hello, Bar, Done, Fail, Quit, Prog };
 
     Kind kind = Kind::Quit;
     int version = 0;            //!< Hello
@@ -46,6 +57,10 @@ struct WireMessage
     LeaseMode mode = LeaseMode::Cold; //!< Bar / Done / Fail
     std::string key;            //!< Done
     std::string reason;         //!< Fail
+    std::uint64_t done = 0;     //!< Prog: leases finished by this worker
+    std::uint64_t running = 0;  //!< Prog: leases in flight
+    bool hasCurrent = false;    //!< Prog: `current` is meaningful
+    std::size_t current = 0;    //!< Prog: last-started bar index
 };
 
 /** One newline-terminated line for the message. */

@@ -12,6 +12,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -51,23 +53,20 @@ selfExePath(const std::string &fallback)
 void
 checkSpecCopy(const CampaignRunConfig &config)
 {
-    const std::string specBytes = readFileOrDie(config.specPath);
-    const std::string copyPath =
-        config.outDir + "/campaign.spec.json";
-    std::ifstream existing(copyPath, std::ios::binary);
-    if (existing) {
-        std::ostringstream buffer;
-        buffer << existing.rdbuf();
-        if (buffer.str() != specBytes) {
-            isim_fatal("'%s' was created for a different spec than "
-                       "'%s'; use a fresh --out directory (or restore "
-                       "the original spec) instead of mixing studies",
-                       config.outDir.c_str(),
-                       config.specPath.c_str());
-        }
+    switch (specDrift(config.specPath, config.outDir)) {
+      case SpecDrift::Match:
+        return;
+      case SpecDrift::Drifted:
+        isim_fatal("'%s' was created for a different spec than "
+                   "'%s'; use a fresh --out directory (or restore "
+                   "the original spec) instead of mixing studies",
+                   config.outDir.c_str(), config.specPath.c_str());
+        return;
+      case SpecDrift::Missing:
+        writeFileAtomic(config.outDir + "/campaign.spec.json",
+                        readFileOrDie(config.specPath));
         return;
     }
-    writeFileAtomic(copyPath, specBytes);
 }
 
 /** Worker threads per process (must match the worker's own math). */
@@ -165,6 +164,8 @@ struct WorkerProc
     std::string buf;
     std::vector<Lease> outstanding;
     bool helloSeen = false;
+    std::uint64_t progDone = 0;    //!< last PROG: leases finished
+    std::uint64_t progRunning = 0; //!< last PROG: leases in flight
 };
 
 /** Fork/exec one worker with explicit flags mirroring our options. */
@@ -208,6 +209,13 @@ spawnWorker(const CampaignRunConfig &config, const std::string &exe,
     if (config.options.execMode) {
         args.push_back("--exec-mode");
         args.push_back(execModeName(*config.options.execMode));
+    }
+    // Profiling is per-process opt-in: forwarding the flag turns on
+    // the self-profiler in each worker, which then writes per-bar
+    // prof.json sidecars (the path itself is unused in worker mode).
+    if (!config.options.profOut.empty()) {
+        args.push_back("--prof-out");
+        args.push_back(config.options.profOut);
     }
 
     int toWorker[2];
@@ -290,6 +298,45 @@ runPool(const CampaignRunConfig &config, const CampaignPlan &plan)
     long completions = 0;
     bool stopIssuing = false;
 
+    // Live telemetry (PROG heartbeats). steady_clock only paces the
+    // console rendering and the ETA estimate; results never see it.
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point poolStart = Clock::now();
+    Clock::time_point lastRender = poolStart - std::chrono::hours(1);
+
+    const auto renderProgress = [&](const WorkerProc &w,
+                                    const WireMessage &msg) {
+        const Clock::time_point now = Clock::now();
+        if (now - lastRender < std::chrono::seconds(1))
+            return;
+        lastRender = now;
+        const CampaignTally t = queue.tally();
+        const std::size_t settled = t.cached + t.ran + t.failed;
+        std::uint64_t running = 0;
+        for (const WorkerProc &p : workers)
+            if (p.pid >= 0)
+                running += p.progRunning;
+        std::string eta;
+        if (completions > 0 && settled < t.total) {
+            const double elapsed =
+                std::chrono::duration<double>(now - poolStart).count();
+            const double perLease =
+                elapsed / static_cast<double>(completions);
+            const long remain = std::lround(
+                perLease * static_cast<double>(t.total - settled));
+            eta = ", ~" + std::to_string(remain) + "s left";
+        }
+        const char *cell =
+            msg.hasCurrent && msg.current < plan.bars.size()
+                ? plan.bars[msg.current].name.c_str()
+                : "(idle)";
+        isim_inform("campaign: %zu/%zu bars settled (%zu cached, %zu "
+                    "failed), %llu running, worker %d on %s%s",
+                    settled, t.total, t.cached, t.failed,
+                    static_cast<unsigned long long>(running),
+                    static_cast<int>(w.pid), cell, eta.c_str());
+    };
+
     const auto handleLine = [&](WorkerProc &w,
                                 const std::string &line) {
         WireMessage msg;
@@ -307,6 +354,13 @@ runPool(const CampaignRunConfig &config, const CampaignPlan &plan)
                            plan.bars.size());
             }
             w.helloSeen = true;
+            return;
+        }
+        if (msg.kind == WireMessage::Kind::Prog) {
+            // Pure telemetry: record the worker's view, maybe render.
+            w.progDone = msg.done;
+            w.progRunning = msg.running;
+            renderProgress(w, msg);
             return;
         }
         if (msg.kind != WireMessage::Kind::Done &&
@@ -447,6 +501,20 @@ runPool(const CampaignRunConfig &config, const CampaignPlan &plan)
 }
 
 } // namespace
+
+SpecDrift
+specDrift(const std::string &spec_path, const std::string &out_dir)
+{
+    std::ifstream existing(out_dir + "/campaign.spec.json",
+                           std::ios::binary);
+    if (!existing)
+        return SpecDrift::Missing;
+    std::ostringstream buffer;
+    buffer << existing.rdbuf();
+    return buffer.str() == readFileOrDie(spec_path)
+               ? SpecDrift::Match
+               : SpecDrift::Drifted;
+}
 
 int
 runCampaign(const CampaignRunConfig &config)

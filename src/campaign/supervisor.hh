@@ -39,6 +39,21 @@ struct CampaignRunConfig
     long stopAfter = -1;
 };
 
+/**
+ * How a spec file relates to the copy an output directory was
+ * created with. `Missing` means the directory has no recorded copy
+ * yet (fresh out dir); `Drifted` means resuming would mix studies.
+ */
+enum class SpecDrift { Match, Missing, Drifted };
+
+/**
+ * Read-only comparison of the spec bytes at `spec_path` against
+ * `<out_dir>/campaign.spec.json`. Never writes; usable from status
+ * tooling as well as the run path.
+ */
+SpecDrift specDrift(const std::string &spec_path,
+                    const std::string &out_dir);
+
 /** Run (or resume) the campaign; returns the process exit code. */
 int runCampaign(const CampaignRunConfig &config);
 

@@ -9,7 +9,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <filesystem>
@@ -20,6 +22,7 @@
 #include "src/base/logging.hh"
 #include "src/campaign/cache.hh"
 #include "src/campaign/protocol.hh"
+#include "src/prof/profiler.hh"
 #include "src/stats/manifest.hh"
 
 namespace isim {
@@ -93,6 +96,13 @@ runLeasedBar(const CampaignPlan &plan, const Lease &lease,
     isim_assert(lease.index < plan.bars.size(), "lease out of range");
     const CampaignBar &bar = plan.bars[lease.index];
     const std::string image = imagePath(out_dir, bar.groupKey);
+    // A lease runs entirely on this thread, so the thread-local
+    // accumulator window IS the bar's profile. The prof.json sidecar
+    // never participates in the cache-hit test or the merge, so
+    // campaign.json stays byte-identical with or without profiling.
+    const bool prof_on = prof::enabled();
+    if (prof_on)
+        prof::threadReset();
     try {
         std::unique_ptr<Machine> machine;
         switch (lease.mode) {
@@ -142,7 +152,9 @@ runLeasedBar(const CampaignPlan &plan, const Lease &lease,
         mb.meta.key = bar.key;
         mb.meta.configDigest = bar.configDigest;
         mb.meta.seed = bar.seed;
-        mb.meta.wallMs = static_cast<double>(r.wallTime) / 1e6;
+        mb.meta.simWallMs = static_cast<double>(r.wallTime) / 1e6;
+        // hostWallMs stays unset: the cached bar file must be
+        // byte-stable across resumes (docs/CAMPAIGN.md).
         if (r.warmupMode != ExecMode::Timing)
             mb.meta.warmupMode = execModeName(r.warmupMode);
         if (r.execMode != ExecMode::Timing)
@@ -151,6 +163,10 @@ runLeasedBar(const CampaignPlan &plan, const Lease &lease,
         m.bars.push_back(std::move(mb));
         writeFileAtomic(barStatsPath(out_dir, bar.key),
                         stats::manifestToJson(m));
+        if (prof_on) {
+            writeFileAtomic(barProfPath(out_dir, bar.key),
+                            prof::profJson(prof::threadSnapshot()));
+        }
         return {true, ""};
     } catch (const PanicError &e) {
         return {false, e.what()};
@@ -183,7 +199,25 @@ workerMain(const std::string &spec_path, const std::string &out_dir,
     std::condition_variable cv;
     std::deque<Lease> queue;
     bool quit = false;
-    std::mutex outMu; // serializes DONE/FAIL lines
+    std::mutex outMu; // serializes DONE/FAIL/PROG lines
+
+    // Telemetry for PROG heartbeats (docs/CAMPAIGN.md). Pure
+    // host-side progress reporting: none of it feeds results.
+    std::atomic<std::uint64_t> doneCount{0};
+    std::atomic<std::uint64_t> runningCount{0};
+    std::atomic<long long> lastStarted{-1};
+
+    const auto emitProg = [&] {
+        WireMessage p;
+        p.kind = WireMessage::Kind::Prog;
+        p.done = doneCount.load(std::memory_order_relaxed);
+        p.running = runningCount.load(std::memory_order_relaxed);
+        const long long cur = lastStarted.load(std::memory_order_relaxed);
+        p.hasCurrent = cur >= 0;
+        p.current = cur >= 0 ? static_cast<std::size_t>(cur) : 0;
+        const std::lock_guard<std::mutex> lock(outMu);
+        writeMessage(STDOUT_FILENO, p);
+    };
 
     const auto serve = [&] {
         for (;;) {
@@ -197,8 +231,14 @@ workerMain(const std::string &spec_path, const std::string &out_dir,
                 lease = queue.front();
                 queue.pop_front();
             }
+            runningCount.fetch_add(1, std::memory_order_relaxed);
+            lastStarted.store(static_cast<long long>(lease.index),
+                              std::memory_order_relaxed);
+            emitProg(); // "current cell" telemetry on lease start
             const BarOutcome outcome =
                 runLeasedBar(plan, lease, out_dir);
+            runningCount.fetch_sub(1, std::memory_order_relaxed);
+            doneCount.fetch_add(1, std::memory_order_relaxed);
             WireMessage msg;
             msg.index = lease.index;
             msg.mode = lease.mode;
@@ -214,11 +254,29 @@ workerMain(const std::string &spec_path, const std::string &out_dir,
         }
     };
 
+    // Liveness heartbeat: even with no lease activity the supervisor
+    // hears from us every couple of seconds. Waits on its own
+    // condition variable so a lease notify_one can never be consumed
+    // by the ticker instead of a serve thread.
+    std::condition_variable hbCv;
+    const auto heartbeat = [&] {
+        std::unique_lock<std::mutex> lock(mu);
+        while (!quit) {
+            hbCv.wait_for(lock, std::chrono::seconds(2));
+            if (quit)
+                break;
+            lock.unlock();
+            emitProg();
+            lock.lock();
+        }
+    };
+
     const unsigned threads = std::max(1u, options.jobs);
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         pool.emplace_back(serve);
+    std::thread ticker(heartbeat);
 
     int rc = 0;
     FdLineReader in(STDIN_FILENO);
@@ -253,8 +311,10 @@ workerMain(const std::string &spec_path, const std::string &out_dir,
         quit = true;
     }
     cv.notify_all();
+    hbCv.notify_all();
     for (std::thread &t : pool)
         t.join();
+    ticker.join();
     return rc;
 }
 

@@ -11,6 +11,7 @@
 #include "src/base/logging.hh"
 #include "src/core/machine.hh"
 #include "src/core/simulation.hh"
+#include "src/prof/profiler.hh"
 
 namespace isim {
 
@@ -294,6 +295,7 @@ Machine::checkpointBytes() const
 void
 Machine::saveCheckpoint(const std::string &path) const
 {
+    ISIM_PROF_SCOPE("ckpt/save");
     const std::vector<std::uint8_t> image = checkpointBytes();
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -316,6 +318,7 @@ Machine::stateDigest() const
 void
 Machine::restoreFromImage(ckpt::Deserializer &d, ExecMode expected_warmup)
 {
+    ISIM_PROF_SCOPE("ckpt/restore");
     d.beginSection(ckpt::tagMeta);
     warmEnd_ = d.u64();
     // Additive field: images from before the ExecMode API carry an

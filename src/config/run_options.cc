@@ -12,6 +12,7 @@
 
 #include "src/base/logging.hh"
 #include "src/config/options.hh"
+#include "src/prof/profiler.hh"
 #include "src/verify/invariants.hh"
 
 namespace isim {
@@ -95,6 +96,8 @@ RunOptions::fromEnv()
         if (const auto m = execModeFromName(mode))
             opts.execMode = *m;
     }
+    if (const char *path = std::getenv("ISIM_PROF_OUT"))
+        opts.profOut = path;
     return opts;
 }
 
@@ -166,6 +169,8 @@ RunOptions::fromCommandLine(int &argc, char **argv)
             opts.warmupMode = parseExecModeOrDie("--warmup-mode", value);
         } else if (matches(i, "--exec-mode")) {
             opts.execMode = parseExecModeOrDie("--exec-mode", value);
+        } else if (matches(i, "--prof-out")) {
+            opts.profOut = value;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             opts.verbose = false;
         } else {
@@ -194,6 +199,10 @@ RunOptions::applyGlobal() const
     // --quiet silences inform/warn status lines as well as the
     // runner's per-experiment progress output.
     setQuiet(!verbose);
+    // Asking for a profile output is the runtime enable: without it
+    // (or without -DISIM_PROF=ON) every scope stays a single branch.
+    if (!profOut.empty() && prof::compiledIn() && !prof::enabled())
+        prof::setEnabled(true);
 }
 
 unsigned
@@ -232,6 +241,8 @@ runOptionsHelp()
            "timing (default: the figure's)\n"
            "  --exec-mode=MODE     measurement execution mode "
            "(default timing; atomic has no event timing)\n"
+           "  --prof-out=FILE      write the host self-profile "
+           "(prof.json) to FILE\n"
            "  --quiet              suppress per-run progress lines\n";
 }
 

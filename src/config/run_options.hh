@@ -83,6 +83,14 @@ struct RunOptions
     std::optional<ExecMode> warmupMode;
     /** Measurement execution-mode override. Unset: Timing. */
     std::optional<ExecMode> execMode;
+    /**
+     * Host-profile output path ("" = off). Setting it runtime-enables
+     * the self-profiler and writes a schema-versioned prof.json there
+     * (docs/PROFILING.md). In a build without -DISIM_PROF=ON the file
+     * is still written, as a valid `"enabled": false` stub. Host
+     * profile data never enters stats.json or figure JSON.
+     */
+    std::string profOut;
 
     /** The warm-up mode a bar actually runs (override, else spec). */
     ExecMode effectiveWarmupMode(ExecMode spec_default) const
@@ -100,7 +108,7 @@ struct RunOptions
      * ISIM_JSON_DIR, ISIM_JOBS, ISIM_PROCS, ISIM_AUDIT_PERIOD,
      * ISIM_STATS_OUT,
      * ISIM_STATS_EPOCH, ISIM_SAVE_CKPT, ISIM_FROM_CKPT,
-     * ISIM_WARMUP_MODE, ISIM_EXEC_MODE. Malformed
+     * ISIM_WARMUP_MODE, ISIM_EXEC_MODE, ISIM_PROF_OUT. Malformed
      * values are ignored (the variables are convenience overrides,
      * often set globally in CI). This is the only getenv() site in
      * the tree.
@@ -125,6 +133,7 @@ struct RunOptions
      *   --from-ckpt DIR          restore warm checkpoints (skip warm-up)
      *   --warmup-mode atomic|timing  warm-up execution mode
      *   --exec-mode atomic|timing    measurement execution mode
+     *   --prof-out FILE          write the host self-profile to FILE
      *   --quiet                  suppress per-run progress lines
      *
      * plus the observability flags (obsFromCommandLine). Flags
@@ -137,8 +146,9 @@ struct RunOptions
     void applyTo(WorkloadParams &params) const;
 
     /**
-     * Install the process-wide knobs (currently the invariant-audit
-     * period). Call once from main(), before machines run.
+     * Install the process-wide knobs (the invariant-audit period,
+     * quiet mode, and the self-profiler enable). Call once from
+     * main(), before machines run.
      */
     void applyGlobal() const;
 

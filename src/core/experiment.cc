@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <exception>
 #include <filesystem>
 #include <mutex>
@@ -28,6 +29,7 @@
 #include "src/base/logging.hh"
 #include "src/ckpt/checkpoint.hh"
 #include "src/core/sweep.hh"
+#include "src/prof/profiler.hh"
 #include "src/stats/manifest.hh"
 
 namespace isim {
@@ -72,6 +74,12 @@ ExperimentRunner::runMachine(const MachineConfig &cfg,
     const ExecMode warmup_mode =
         options_.effectiveWarmupMode(spec_warmup);
     const ExecMode exec_mode = options_.effectiveExecMode();
+    // Host wall time is only taken in self-profiling runs, so default
+    // runs carry no nondeterministic bytes anywhere downstream.
+    const bool prof_on = prof::enabled();
+    const auto host_start = prof_on
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
     std::unique_ptr<Machine> machine;
     if (!options_.fromCkptDir.empty()) {
         const std::string path =
@@ -108,6 +116,12 @@ ExperimentRunner::runMachine(const MachineConfig &cfg,
     r.resultKey = stats::resultKey(cb, cfg.workload.seed);
     r.configDigest = stats::configDigest(cb);
     r.seed = cfg.workload.seed;
+    if (prof_on) {
+        r.hostWallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - host_start)
+                .count();
+    }
     return r;
 }
 

@@ -9,6 +9,7 @@
 #include "src/core/simulation.hh"
 #include "src/cpu/inorder.hh"
 #include "src/obs/observability.hh"
+#include "src/prof/profiler.hh"
 
 namespace isim {
 
@@ -340,6 +341,8 @@ void
 Machine::runWarmup(ExecMode mode, TraceWriter *trace)
 {
     isim_assert(!warmupRan_, "warm-up already ran (or was restored)");
+    ISIM_PROF_PHASE(prof::Phase::Warmup);
+    ISIM_PROF_SCOPE("warmup");
     ensureSim(trace);
     if (mode == ExecMode::Timing) {
         // The observability window opens at time 0 only for a timing
@@ -360,6 +363,8 @@ RunResult
 Machine::runMeasurement(ExecMode mode, TraceWriter *trace)
 {
     isim_assert(warmupRan_, "runMeasurement before warm-up");
+    ISIM_PROF_PHASE(prof::Phase::Measure);
+    ISIM_PROF_SCOPE("measure");
     ensureSim(trace);
     if (!obsBegun_) {
         // Atomic warm-up or checkpoint restore: the run is announced

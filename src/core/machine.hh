@@ -122,6 +122,12 @@ struct RunResult
     std::string configDigest;
     std::uint64_t seed = 0;
 
+    // Host wall-clock the bar took, in ms (< 0 = not measured).
+    // Filled by ExperimentRunner::runMachine only when the
+    // self-profiler is enabled: host time is nondeterministic, so it
+    // must never leak into default manifests (docs/PROFILING.md).
+    double hostWallMs = -1.0;
+
     /** The figures' y-axis: total non-idle execution time. */
     Tick execTime() const { return cpu.nonIdle(); }
     double tps() const

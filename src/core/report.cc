@@ -226,8 +226,11 @@ figureStatsJson(const FigureResult &result)
             bar.meta.key = r.resultKey;
             bar.meta.configDigest = r.configDigest;
             bar.meta.seed = r.seed;
-            bar.meta.wallMs =
+            bar.meta.simWallMs =
                 static_cast<double>(r.wallTime) / 1e6; // sim ns -> ms
+            // Host time is nondeterministic; only self-profiling runs
+            // echo it (keeps default manifests byte-comparable).
+            bar.meta.hostWallMs = r.hostWallMs;
             if (r.warmupMode != ExecMode::Timing)
                 bar.meta.warmupMode = execModeName(r.warmupMode);
             if (r.execMode != ExecMode::Timing)

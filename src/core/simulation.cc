@@ -11,6 +11,7 @@
 #include "src/cpu/inorder.hh"
 #include "src/cpu/ooo.hh"
 #include "src/obs/observability.hh"
+#include "src/prof/profiler.hh"
 #include "src/trace/trace_io.hh"
 
 namespace isim {
@@ -162,11 +163,14 @@ Simulation::runUntil(bool (OltpEngine::*done)() const)
     while (!(engine_.*done)()) {
         NodeId best = invalidNode;
         Tick best_time = maxTick;
-        for (NodeId cpu = 0; cpu < state_.size(); ++cpu) {
-            const Tick t = nextEventTime(cpu);
-            if (t < best_time) {
-                best_time = t;
-                best = cpu;
+        {
+            ISIM_PROF_SCOPE_PHASED("sched_scan");
+            for (NodeId cpu = 0; cpu < state_.size(); ++cpu) {
+                const Tick t = nextEventTime(cpu);
+                if (t < best_time) {
+                    best_time = t;
+                    best = cpu;
+                }
             }
         }
         if (best == invalidNode) {
@@ -313,16 +317,19 @@ Simulation::runUntilAtomic(bool (OltpEngine::*done)() const)
         Tick best_time = maxTick;
         NodeId second = invalidNode;
         Tick second_time = maxTick;
-        for (NodeId cpu = 0; cpu < state_.size(); ++cpu) {
-            const Tick t = nextEventTime(cpu);
-            if (t < best_time) {
-                second_time = best_time;
-                second = best;
-                best_time = t;
-                best = cpu;
-            } else if (t < second_time) {
-                second_time = t;
-                second = cpu;
+        {
+            ISIM_PROF_SCOPE_PHASED("sched_scan");
+            for (NodeId cpu = 0; cpu < state_.size(); ++cpu) {
+                const Tick t = nextEventTime(cpu);
+                if (t < best_time) {
+                    second_time = best_time;
+                    second = best;
+                    best_time = t;
+                    best = cpu;
+                } else if (t < second_time) {
+                    second_time = t;
+                    second = cpu;
+                }
             }
         }
         if (best == invalidNode) {

@@ -16,6 +16,9 @@
  *   atomic-path     timing/event machinery inside *Atomic function
  *                   bodies (the fast-functional path must stay
  *                   event-free; docs/EXECMODE.md)
+ *   prof-guard      raw self-profiler primitives outside src/prof/
+ *                   (library code must use the ISIM_PROF_SCOPE*
+ *                   macros, which compile away; docs/PROFILING.md)
  *   suppression     malformed or reason-less annotations (meta rule;
  *                   not itself suppressible)
  */
@@ -44,6 +47,7 @@ namespace checks {
 void determinism(const SourceFile &file, std::vector<Finding> &out);
 void logging(const SourceFile &file, std::vector<Finding> &out);
 void atomicPath(const SourceFile &file, std::vector<Finding> &out);
+void profGuard(const SourceFile &file, std::vector<Finding> &out);
 void suppressions(const SourceFile &file, std::vector<Finding> &out);
 void orderedOutput(const std::vector<SourceFile> &files,
                    std::vector<Finding> &out);

@@ -15,6 +15,7 @@ Linter::run() const
         checks::determinism(file, findings);
         checks::logging(file, findings);
         checks::atomicPath(file, findings);
+        checks::profGuard(file, findings);
         checks::suppressions(file, findings);
     }
     checks::orderedOutput(files_, findings);
@@ -108,6 +109,17 @@ Linter::rules()
          "schedules timing work (voiding the zero-event guarantee "
          "tests/test_exec_mode.cc pins) or mutates state the timing "
          "mode owns, breaking bit-identical warm-up."},
+        {"prof-guard",
+         "no raw self-profiler primitives outside src/prof/",
+         "Library code must reach the host-side self-profiler only "
+         "through the ISIM_PROF_SCOPE / ISIM_PROF_SCOPE_PHASED / "
+         "ISIM_PROF_PHASE macros: they compile to nothing without "
+         "-DISIM_PROF=ON, which is the whole zero-cost-when-off "
+         "contract (docs/PROFILING.md). A raw ProfScope or "
+         "registerNode call site puts instrumentation bytes on the "
+         "hot path of every build. The emission API (profJson, "
+         "collectGlobal, threadSnapshot, setEnabled...) is cold and "
+         "unrestricted."},
         {"suppression",
          "every allow() carries a rule id and a reason",
          "`// isim-lint: allow(<rule>): <reason>` suppresses that "

@@ -221,9 +221,19 @@ writeSummary(std::ostream &os, const std::vector<TraceEvent> &events,
     os << "events: " << events.size() << " (dropped " << dropped
        << ", ring capacity " << capacity << ")\n";
     if (dropped > 0) {
-        os << "warning: the ring overflowed and " << dropped
-           << " events were lost; raise --trace-ring to capture "
-              "them\n";
+        // Through isim_warn, not the summary stream: with -o the
+        // summary lands in a file, and a human piping it elsewhere
+        // must still see the overflow (and --quiet can silence it).
+        // The ring was full, so capacity + dropped is exactly how
+        // many events were pushed; suggest the next power of two.
+        std::size_t suggested = 1;
+        while (suggested < capacity + dropped)
+            suggested *= 2;
+        isim_warn("trace ring overflowed: %llu events were lost "
+                  "(ring capacity %zu); rerun with --trace-ring=%zu "
+                  "to capture them all",
+                  static_cast<unsigned long long>(dropped), capacity,
+                  suggested);
     }
     if (!events.empty()) {
         os << "time range: [" << first << ", " << last << "] ns ("

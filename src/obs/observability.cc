@@ -94,6 +94,21 @@ Observability::writeOutputs() const
         writeCapture(config_.traceBinPath, tracer_);
         note(config_.traceBinPath);
     }
+    if ((!config_.traceOutPath.empty() ||
+         !config_.traceBinPath.empty()) &&
+        tracer_.ring().dropped() > 0) {
+        // The ring was full, so pushed() is known exactly; suggest
+        // the next power of two that would have held everything.
+        std::size_t suggested = 1;
+        while (suggested < tracer_.ring().pushed())
+            suggested *= 2;
+        isim_warn("trace ring overflowed: %llu events were lost "
+                  "(ring capacity %zu); rerun with --trace-ring=%zu "
+                  "to capture them all",
+                  static_cast<unsigned long long>(
+                      tracer_.ring().dropped()),
+                  tracer_.ring().capacity(), suggested);
+    }
     if (!config_.timelineOutPath.empty() && sampler_ != nullptr) {
         writeFileOrDie(config_.timelineOutPath, "timeline",
                        [&](std::ostream &os) {

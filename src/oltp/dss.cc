@@ -8,6 +8,7 @@
 #include "src/base/logging.hh"
 #include "src/ckpt/serializer.hh"
 #include "src/os/layout.hh"
+#include "src/prof/profiler.hh"
 
 namespace isim {
 
@@ -101,6 +102,8 @@ DssScanProcess::step(Tick now)
         return s;
     }
 
+    // Batch refill: query-plan reference generation.
+    ISIM_PROF_SCOPE_PHASED("refgen");
     switch (phase_) {
       case Phase::Plan:
         queryStart_ = now;

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Self-profiler registry, thread-local accumulators, and prof.json
+ * emission (docs/PROFILING.md).
+ */
+
+#include "src/prof/profiler.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "src/base/json.hh"
+
+namespace isim {
+namespace prof {
+
+namespace detail {
+
+std::atomic<bool> runtimeEnabled{false};
+
+namespace {
+
+/**
+ * One thread's accumulator buffer. Ownership lives in the global
+ * registry (shared_ptr) so a thread's counts survive its exit and are
+ * still folded into collectGlobal() — experiment pool threads are
+ * joined before the driver emits the profile.
+ */
+struct ThreadBuf
+{
+    std::vector<Cell> cells;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::string> paths;   //!< index -> path
+    std::map<std::string, Node> nodes; //!< node storage (stable refs)
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+thread_local std::shared_ptr<ThreadBuf> tlBuf;
+
+ThreadBuf &
+threadBuf()
+{
+    if (!tlBuf) {
+        tlBuf = std::make_shared<ThreadBuf>();
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.bufs.push_back(tlBuf);
+    }
+    return *tlBuf;
+}
+
+std::vector<Cell> &
+threadCells()
+{
+    return threadBuf().cells;
+}
+
+} // namespace
+
+Cell &
+threadCell(std::uint32_t index)
+{
+    ThreadBuf &buf = threadBuf();
+    if (buf.cells.size() <= index)
+        buf.cells.resize(index + 1);
+    return buf.cells[index];
+}
+
+} // namespace detail
+
+bool
+compiledIn()
+{
+#ifdef ISIM_PROF
+    return true;
+#else
+    return false;
+#endif
+}
+
+void
+setEnabled(bool on)
+{
+    detail::runtimeEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return detail::runtimeEnabled.load(std::memory_order_relaxed);
+}
+
+const Node &
+registerNode(const std::string &path)
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.nodes.find(path);
+    if (it != r.nodes.end())
+        return it->second;
+    const auto index = static_cast<std::uint32_t>(r.paths.size());
+    r.paths.push_back(path);
+    return r.nodes.emplace(path, Node{path, index}).first->second;
+}
+
+namespace {
+
+thread_local prof::Phase tlPhase = Phase::Measure;
+
+/** Fold one thread buffer into a path -> totals map. */
+void
+foldBuf(const std::vector<detail::Cell> &cells,
+        const std::vector<std::string> &paths,
+        std::map<std::string, ProfEntry> &out)
+{
+    for (std::size_t i = 0; i < cells.size() && i < paths.size(); ++i) {
+        const detail::Cell &c = cells[i];
+        if (c.enters == 0 && c.ns == 0)
+            continue;
+        ProfEntry &e = out[paths[i]];
+        e.path = paths[i];
+        e.ns += c.ns;
+        e.enters += c.enters;
+        e.allocs += c.allocs;
+    }
+}
+
+ProfSnapshot
+snapshotFromMap(std::map<std::string, ProfEntry> &merged)
+{
+    ProfSnapshot snap;
+    snap.entries.reserve(merged.size());
+    for (auto &kv : merged)
+        snap.entries.push_back(std::move(kv.second));
+    return snap; // std::map iterates sorted: deterministic order.
+}
+
+} // namespace
+
+void
+setPhase(Phase p)
+{
+    tlPhase = p;
+}
+
+Phase
+phase()
+{
+    return tlPhase;
+}
+
+ProfSnapshot
+collectGlobal()
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::map<std::string, ProfEntry> merged;
+    for (const auto &buf : r.bufs)
+        foldBuf(buf->cells, r.paths, merged);
+    return snapshotFromMap(merged);
+}
+
+void
+threadReset()
+{
+    for (detail::Cell &c : detail::threadCells())
+        c = detail::Cell{};
+}
+
+ProfSnapshot
+threadSnapshot()
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::map<std::string, ProfEntry> merged;
+    foldBuf(detail::threadCells(), r.paths, merged);
+    return snapshotFromMap(merged);
+}
+
+std::string
+profJson(const ProfSnapshot &snapshot)
+{
+    // Self time: inclusive minus the sum of direct children (clamped
+    // at zero; clock jitter can make children sum past the parent).
+    std::map<std::string, std::uint64_t> child_ns;
+    for (const ProfEntry &e : snapshot.entries) {
+        const auto slash = e.path.rfind('/');
+        if (slash != std::string::npos)
+            child_ns[e.path.substr(0, slash)] += e.ns;
+    }
+
+    std::ostringstream os;
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.kv("schema", std::string("isim-prof"));
+    w.kv("version", std::uint64_t{kProfSchemaVersion});
+    w.kv("enabled", compiledIn() && enabled());
+    std::uint64_t total = 0;
+    for (const ProfEntry &e : snapshot.entries) {
+        if (e.path.find('/') == std::string::npos)
+            total += e.ns; // top-level nodes only: no double counting
+    }
+    w.kv("total_ns", total);
+    w.key("nodes");
+    w.beginArray();
+    for (const ProfEntry &e : snapshot.entries) {
+        const auto it = child_ns.find(e.path);
+        const std::uint64_t kids = it == child_ns.end() ? 0 : it->second;
+        w.beginObject();
+        w.kv("path", e.path);
+        w.kv("ns", e.ns);
+        w.kv("self_ns", e.ns >= kids ? e.ns - kids : 0);
+        w.kv("enters", e.enters);
+        w.kv("alloc", e.allocs);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    return os.str();
+}
+
+std::string
+globalProfJson()
+{
+    return profJson(collectGlobal());
+}
+
+} // namespace prof
+} // namespace isim

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Host-side hierarchical self-profiler (docs/PROFILING.md).
+ *
+ * A small, deterministic-merge profiler the simulator uses to measure
+ * ITSELF: where host wall time goes inside a run (reference
+ * generation, functional memory apply, scheduler min-scan, checkpoint
+ * I/O, report emission...). It follows the ISIM_OBS one-branch-when-off
+ * discipline twice over:
+ *
+ *  - compile-time: the ISIM_PROF_SCOPE* macros expand to nothing
+ *    unless the tree is built with -DISIM_PROF=ON, so the default
+ *    build carries zero instrumentation bytes on the hot paths;
+ *  - run-time: even in a profiling build, an un-enabled run pays one
+ *    relaxed atomic load + branch per scope (bench/micro_prof.cpp
+ *    pins the bound).
+ *
+ * Scopes are named by slash paths over a static node tree
+ * ("measure/refgen", "warmup/image_build", "ckpt/save", "report").
+ * Hot sites shared by the warm-up and measurement phases use the
+ * _PHASED macro, which routes to a warmup/ or measure/ node from a
+ * thread-local phase set by Machine::runWarmup/runMeasurement.
+ *
+ * Accumulation is thread-local (plain uint64 cells, no atomics on the
+ * hot path); merging happens only at well-defined quiescent points —
+ * collectGlobal() after the runner pool has drained, or
+ * threadSnapshot() on the one thread that ran a campaign bar — and
+ * sums integers over paths sorted lexicographically, so the merged
+ * profile is independent of thread count and scheduling.
+ *
+ * Host-profile data NEVER enters stats.json / campaign.json: it is
+ * emitted as a separate schema-versioned prof.json (profJson()), which
+ * is valid even when profiling is compiled out or disabled (an
+ * "enabled": false stub), so tools/isim-prof always has something to
+ * parse.
+ *
+ * The profiler deliberately uses std::chrono::steady_clock: it
+ * measures the HOST, not the simulation, and never feeds results back
+ * into simulated state, so determinism of figure outputs is untouched
+ * (isim-lint's determinism rule bans the wall-clock family but not
+ * steady_clock for exactly this kind of use).
+ */
+
+#ifndef ISIM_PROF_PROFILER_HH
+#define ISIM_PROF_PROFILER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/alloc_hook.hh"
+
+namespace isim {
+namespace prof {
+
+/** prof.json schema version ("isim-prof-<N>"). */
+constexpr std::uint32_t kProfSchemaVersion = 1;
+
+/** True when the tree was built with -DISIM_PROF=ON. */
+bool compiledIn();
+
+/** Runtime enable flag (relaxed; set once before a run, read in scopes). */
+void setEnabled(bool on);
+bool enabled();
+
+/**
+ * A registered scope node. Registration happens once per call site
+ * (function-local static in the macros below); the index addresses
+ * this node's cell in every thread's accumulator buffer.
+ */
+struct Node
+{
+    std::string path;
+    std::uint32_t index;
+};
+
+/**
+ * Intern `path` in the global node table (idempotent; mutex-guarded,
+ * cold — runs once per call site per process).
+ */
+const Node &registerNode(const std::string &path);
+
+/** Thread-local phase used by the _PHASED macros. */
+enum class Phase : std::uint8_t { Warmup, Measure };
+
+void setPhase(Phase p);
+Phase phase();
+
+/** RAII phase setter (Machine::runWarmup / runMeasurement). */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase p) : prev_(phase()) { setPhase(p); }
+    ~ScopedPhase() { setPhase(prev_); }
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    Phase prev_;
+};
+
+namespace detail {
+
+/** This thread's accumulator cell for one node. */
+struct Cell
+{
+    std::uint64_t ns = 0;
+    std::uint64_t enters = 0;
+    std::uint64_t allocs = 0;
+};
+
+extern std::atomic<bool> runtimeEnabled;
+
+/** Grow-on-demand access to this thread's cell for `index`. */
+Cell &threadCell(std::uint32_t index);
+
+inline std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace detail
+
+/**
+ * RAII timing scope. Construction when profiling is disabled is a
+ * single relaxed load + branch; when enabled it stamps steady_clock
+ * and the thread's allocation counter, and the destructor folds the
+ * deltas into this thread's cell for the node.
+ *
+ * Use through the ISIM_PROF_SCOPE* macros, never directly (the
+ * isim-lint `prof-guard` rule enforces this outside src/prof/): the
+ * macros are what vanish in non-profiling builds.
+ */
+class ProfScope
+{
+  public:
+    explicit ProfScope(const Node &node)
+    {
+        if (!detail::runtimeEnabled.load(std::memory_order_relaxed))
+            return;
+        index_ = node.index;
+        active_ = true;
+        allocStart_ = base::threadAllocCount();
+        startNs_ = detail::nowNs();
+    }
+
+    /** Phased form: picks the warmup/ or measure/ node variant. */
+    ProfScope(const Node &warm, const Node &meas)
+    {
+        if (!detail::runtimeEnabled.load(std::memory_order_relaxed))
+            return;
+        const Node &node = phase() == Phase::Warmup ? warm : meas;
+        index_ = node.index;
+        active_ = true;
+        allocStart_ = base::threadAllocCount();
+        startNs_ = detail::nowNs();
+    }
+
+    ~ProfScope()
+    {
+        if (!active_)
+            return;
+        const std::uint64_t end = detail::nowNs();
+        detail::Cell &cell = detail::threadCell(index_);
+        cell.ns += end >= startNs_ ? end - startNs_ : 0;
+        cell.enters += 1;
+        cell.allocs += base::threadAllocCount() - allocStart_;
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    std::uint64_t startNs_ = 0;
+    std::uint64_t allocStart_ = 0;
+    std::uint32_t index_ = 0;
+    bool active_ = false;
+};
+
+/** One merged node in a snapshot (sorted by path). */
+struct ProfEntry
+{
+    std::string path;
+    std::uint64_t ns = 0;
+    std::uint64_t enters = 0;
+    std::uint64_t allocs = 0;
+};
+
+/** A merged profile; entries sorted lexicographically by path. */
+struct ProfSnapshot
+{
+    std::vector<ProfEntry> entries;
+};
+
+/**
+ * Merge every thread's accumulators (including exited threads').
+ * Only call at a quiescent point — after the experiment pool joined —
+ * or concurrent scope exits may be torn.
+ */
+ProfSnapshot collectGlobal();
+
+/** Zero the calling thread's accumulators (campaign per-bar window). */
+void threadReset();
+
+/** Snapshot only the calling thread's accumulators. */
+ProfSnapshot threadSnapshot();
+
+/**
+ * Render a snapshot as schema-versioned prof.json text. `self_ns` is
+ * computed here (inclusive minus the sum of direct children, clamped
+ * at zero). Always emits a valid document; when profiling is compiled
+ * out or was not enabled the result is an `"enabled": false` stub.
+ */
+std::string profJson(const ProfSnapshot &snapshot);
+
+/** profJson(collectGlobal()) — the figure-run emission path. */
+std::string globalProfJson();
+
+} // namespace prof
+} // namespace isim
+
+#define ISIM_PROF_CONCAT2(a, b) a##b
+#define ISIM_PROF_CONCAT(a, b) ISIM_PROF_CONCAT2(a, b)
+
+#ifdef ISIM_PROF
+
+/**
+ * Time the rest of the enclosing block under node `path_literal`.
+ * Registration is a once-per-site function-local static; the scope
+ * itself is one branch when profiling is not runtime-enabled.
+ */
+#define ISIM_PROF_SCOPE(path_literal)                                       \
+    static const ::isim::prof::Node &ISIM_PROF_CONCAT(isim_prof_node_,      \
+                                                      __LINE__) =           \
+        ::isim::prof::registerNode(path_literal);                           \
+    ::isim::prof::ProfScope ISIM_PROF_CONCAT(isim_prof_scope_, __LINE__)(   \
+        ISIM_PROF_CONCAT(isim_prof_node_, __LINE__))
+
+/**
+ * Phased scope: accounts under "warmup/<name>" or "measure/<name>"
+ * depending on the thread-local phase (see ScopedPhase).
+ */
+#define ISIM_PROF_SCOPE_PHASED(name_literal)                                \
+    static const ::isim::prof::Node &ISIM_PROF_CONCAT(isim_prof_nw_,        \
+                                                      __LINE__) =           \
+        ::isim::prof::registerNode("warmup/" name_literal);                 \
+    static const ::isim::prof::Node &ISIM_PROF_CONCAT(isim_prof_nm_,        \
+                                                      __LINE__) =           \
+        ::isim::prof::registerNode("measure/" name_literal);                \
+    ::isim::prof::ProfScope ISIM_PROF_CONCAT(isim_prof_scope_, __LINE__)(   \
+        ISIM_PROF_CONCAT(isim_prof_nw_, __LINE__),                          \
+        ISIM_PROF_CONCAT(isim_prof_nm_, __LINE__))
+
+/** RAII phase marker; no-op without ISIM_PROF. */
+#define ISIM_PROF_PHASE(phase_enum)                                         \
+    ::isim::prof::ScopedPhase ISIM_PROF_CONCAT(isim_prof_phase_,            \
+                                               __LINE__)(phase_enum)
+
+#else // !ISIM_PROF
+
+#define ISIM_PROF_SCOPE(path_literal)                                       \
+    do {                                                                    \
+    } while (0)
+#define ISIM_PROF_SCOPE_PHASED(name_literal)                                \
+    do {                                                                    \
+    } while (0)
+#define ISIM_PROF_PHASE(phase_enum)                                         \
+    do {                                                                    \
+    } while (0)
+
+#endif // ISIM_PROF
+
+#endif // ISIM_PROF_PROFILER_HH

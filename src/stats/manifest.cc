@@ -27,8 +27,10 @@ writeBarMeta(JsonWriter &w, const BarMeta &meta)
     w.kv("config_digest", meta.configDigest);
     w.kv("seed", meta.seed);
     w.kv("schema_version", meta.schemaVersion);
-    if (meta.wallMs >= 0.0)
-        w.kv("wall_ms", meta.wallMs, 4);
+    if (meta.simWallMs >= 0.0)
+        w.kv("sim_wall_ms", meta.simWallMs, 4);
+    if (meta.hostWallMs >= 0.0)
+        w.kv("host_wall_ms", meta.hostWallMs, 4);
     if (!meta.status.empty())
         w.kv("status", meta.status);
     if (!meta.warmupMode.empty())
@@ -228,9 +230,17 @@ manifestMeta(const JsonValue &doc)
             v != nullptr && v->isNumber()) {
             view.meta.schemaVersion = static_cast<int>(v->number);
         }
-        if (const JsonValue *v = meta->get("wall_ms");
+        if (const JsonValue *v = meta->get("sim_wall_ms");
             v != nullptr && v->isNumber()) {
-            view.meta.wallMs = v->number;
+            view.meta.simWallMs = v->number;
+        } else if (const JsonValue *w = meta->get("wall_ms");
+                   w != nullptr && w->isNumber()) {
+            // Version-1 manifests: "wall_ms" carried simulated ms.
+            view.meta.simWallMs = w->number;
+        }
+        if (const JsonValue *v = meta->get("host_wall_ms");
+            v != nullptr && v->isNumber()) {
+            view.meta.hostWallMs = v->number;
         }
         if (const JsonValue *v = meta->get("status");
             v != nullptr && v->isString()) {

@@ -5,17 +5,18 @@
  * machinery `tools/isim-stat` and the regression tests use to compare
  * two manifests stat-by-stat.
  *
- * Manifest layout (schema "isim-stats", version 1):
+ * Manifest layout (schema "isim-stats", version 2):
  *
  *   {
  *     "schema": "isim-stats",
- *     "version": 1,
+ *     "version": 2,
  *     "figure": "fig05",
  *     "title": "...",
  *     "bars": [
  *       {"name": "1x8-1MB",
  *        "meta": {"key": "<16 hex>", "config_digest": "<16 hex>",
- *                 "seed": 7, "schema_version": 1, "wall_ms": 12.5},
+ *                 "seed": 7, "schema_version": 2,
+ *                 "sim_wall_ms": 12.5},
  *        "stats": {"cpu.busy": {"kind": "counter", "unit": "ticks",
  *                               "desc": "...", "value": 12345}, ...},
  *        "epochs": [{"epoch": 0, "start": 0, "end": 1000000,
@@ -27,14 +28,20 @@
  * digest of the bar's canonical configuration encoding
  * (ckpt::configBytes) + workload seed + this schema version — the
  * identity the campaign orchestrator caches results under
- * (docs/CAMPAIGN.md) — and "wall_ms" is the *simulated* wall-clock
- * of the measurement window in milliseconds (deterministic, so
- * manifests stay byte-comparable). "warmup_mode" / "exec_mode" appear
- * in META only when a phase ran in a non-default (non-timing)
- * execution mode (docs/EXECMODE.md). "epochs" is present only when
- * per-epoch sampling was requested (--stats-epoch). Distribution
- * values are nested objects; undefined quantiles (NaN) serialize as
- * JSON null.
+ * (docs/CAMPAIGN.md) — and "sim_wall_ms" is the *simulated*
+ * wall-clock of the measurement window in milliseconds
+ * (deterministic, so manifests stay byte-comparable; version-1
+ * manifests called it "wall_ms" and still parse). "host_wall_ms", by
+ * contrast, is real host time the bar took, and therefore
+ * nondeterministic: producers emit it only in self-profiling runs
+ * (--prof-out in an ISIM_PROF build) and the campaign merge never
+ * copies it into campaign.json, so every bit-identity guarantee
+ * (--jobs, --procs, resume) is unaffected. "warmup_mode" /
+ * "exec_mode" appear in META only when a phase ran in a non-default
+ * (non-timing) execution mode (docs/EXECMODE.md). "epochs" is present
+ * only when per-epoch sampling was requested (--stats-epoch).
+ * Distribution values are nested objects; undefined quantiles (NaN)
+ * serialize as JSON null.
  */
 
 #ifndef ISIM_STATS_MANIFEST_HH
@@ -57,7 +64,11 @@ struct EpochRow;
 namespace stats {
 
 constexpr const char *kManifestSchema = "isim-stats";
-constexpr int kManifestVersion = 1;
+// Version 2: "wall_ms" (simulated ms, despite the name) became
+// "sim_wall_ms", and an optional "host_wall_ms" was added. The
+// version participates in resultKey(), so the bump deliberately
+// invalidates campaign caches built by older schemas.
+constexpr int kManifestVersion = 2;
 
 /** Lower-case 16-digit hex rendering of a 64-bit digest. */
 std::string hex64(std::uint64_t v);
@@ -88,8 +99,18 @@ struct BarMeta
     std::string configDigest; //!< configDigest() of the bar's config
     std::uint64_t seed = 0;   //!< workload seed the bar ran with
     int schemaVersion = kManifestVersion;
-    /** Simulated wall-clock of the measurement window (ms); < 0 = omit. */
-    double wallMs = -1.0;
+    /**
+     * Simulated wall-clock of the measurement window (ms); < 0 =
+     * omit. Deterministic. Written as "sim_wall_ms"; the version-1
+     * name "wall_ms" is accepted on parse.
+     */
+    double simWallMs = -1.0;
+    /**
+     * Host wall-clock the bar took (ms); < 0 = omit. Nondeterministic
+     * by nature — emitted only by self-profiling runs and never merged
+     * into campaign.json (see the file comment).
+     */
+    double hostWallMs = -1.0;
     /** Campaign merge only ("ok" / "failed"); "" = omit. */
     std::string status;
     /**

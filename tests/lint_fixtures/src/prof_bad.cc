@@ -1,0 +1,16 @@
+// Fixture: library code touching the self-profiler's raw primitives
+// instead of the ISIM_PROF_SCOPE* macros; the prof-guard rule must
+// flag each of the three tokens below (every occurrence counts —
+// declaring these names in library code is as wrong as calling them).
+
+namespace fix {
+
+void
+hotLoopBody()
+{
+    static const auto &node = prof::registerNode("measure/hot");
+    prof::ProfScope scope(node);
+    ProfScope another(node);
+}
+
+} // namespace fix

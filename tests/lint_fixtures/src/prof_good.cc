@@ -1,0 +1,32 @@
+// Fixture: clean profiler usage in library code. Macro call sites
+// contain neither banned token in pre-preprocessor source, and the
+// cold emission API (enable flag, snapshot, JSON) is unrestricted.
+
+namespace fix {
+
+namespace prof {
+bool enabled();
+void setEnabled(bool on);
+const char *globalProfJson();
+void threadReset();
+} // namespace prof
+
+#define ISIM_PROF_SCOPE(path_literal) \
+    do {                              \
+    } while (0)
+
+void
+hotLoopBody()
+{
+    ISIM_PROF_SCOPE("measure/hot");
+}
+
+void
+emitProfile()
+{
+    if (prof::enabled())
+        (void)prof::globalProfJson();
+    prof::threadReset();
+}
+
+} // namespace fix

@@ -540,7 +540,8 @@ TEST(ManifestMeta, RoundTripsThroughTheManifestJson)
     bar.meta.key = "00112233aabbccdd";
     bar.meta.configDigest = "deadbeefcafef00d";
     bar.meta.seed = 9;
-    bar.meta.wallMs = 12.5;
+    bar.meta.simWallMs = 12.5;
+    bar.meta.hostWallMs = 3.25;
     bar.meta.status = "ok";
     m.bars.push_back(bar);
 
@@ -555,10 +556,34 @@ TEST(ManifestMeta, RoundTripsThroughTheManifestJson)
     EXPECT_EQ(meta[0].meta.configDigest, bar.meta.configDigest);
     EXPECT_EQ(meta[0].meta.seed, 9u);
     EXPECT_EQ(meta[0].meta.status, "ok");
-    EXPECT_DOUBLE_EQ(meta[0].meta.wallMs, 12.5);
+    EXPECT_DOUBLE_EQ(meta[0].meta.simWallMs, 12.5);
+    EXPECT_DOUBLE_EQ(meta[0].meta.hostWallMs, 3.25);
     // META is identity, not measurement: it must never leak into the
     // flattened stat rows a diff compares.
     EXPECT_TRUE(stats::flattenManifest(doc).empty());
+}
+
+TEST(ManifestMeta, ParsesLegacyVersion1WallMsKey)
+{
+    // Version-1 manifests spelled the simulated wall time "wall_ms";
+    // old bar files on disk must keep parsing into simWallMs.
+    const std::string legacy =
+        "{\"schema\": \"isim-stats\", \"version\": 1,\n"
+        " \"figure\": \"f\", \"title\": \"t\", \"bars\": [\n"
+        "  {\"name\": \"cell\", \"meta\": {\"key\": \"k1\",\n"
+        "    \"config_digest\": \"d1\", \"seed\": 7,\n"
+        "    \"schema_version\": 1, \"wall_ms\": 42.5,\n"
+        "    \"status\": \"ok\"}, \"stats\": {}}\n"
+        "]}\n";
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(jsonParse(legacy, doc, &err)) << err;
+    const std::vector<stats::BarMetaView> meta =
+        stats::manifestMeta(doc);
+    ASSERT_EQ(meta.size(), 1u);
+    EXPECT_DOUBLE_EQ(meta[0].meta.simWallMs, 42.5);
+    // No host time in a legacy manifest: stays "absent".
+    EXPECT_LT(meta[0].meta.hostWallMs, 0.0);
 }
 
 TEST(RunnerMeta, RunMachineStampsTheContentAddress)

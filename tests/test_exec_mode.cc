@@ -21,12 +21,17 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
 #include "src/base/logging.hh"
 #include "src/core/exec_mode.hh"
+#include "src/core/experiment.hh"
 #include "src/core/machine.hh"
+#include "src/core/report.hh"
+#include "src/obs/observability.hh"
+#include "src/prof/profiler.hh"
 
 namespace isim {
 namespace {
@@ -212,6 +217,131 @@ TEST(ExecMode, TimingRestoreRejectsAtomicImage)
         Machine::fromCheckpointBytes(t.checkpointBytes(),
                                      ExecMode::Atomic),
         PanicError);
+}
+
+// ---- ObsConfig x ExecMode ----
+
+obs::ObsConfig
+observeForTest()
+{
+    obs::ObsConfig cfg;
+    // Non-empty paths make the bundle build its sampler; the tests
+    // below never call writeOutputs(), so nothing touches disk.
+    cfg.traceOutPath = "unused.json";
+    cfg.timelineOutPath = "unused.csv";
+    cfg.epochTicks = 200000; // 0.2 ms: several epochs per test run
+    cfg.ringCapacity = 1u << 16;
+    return cfg;
+}
+
+TEST(ExecModeObs, AtomicWarmupOpensTimelineAtWarmBoundary)
+{
+    setQuiet(true);
+    // An atomic warm-up drives no timeline (there is no event loop to
+    // observe), so the observability window opens at the warm boundary
+    // instead of time 0: the first epoch row starts exactly at
+    // warmupEndTime() and — since the boundary generally falls mid-grid
+    // — is a PARTIAL epoch closing on the next grid line. Coverage from
+    // there to the end of the run is contiguous.
+    Machine m(testConfig(42));
+    obs::Observability o(observeForTest());
+    m.attachObservability(&o);
+    m.runWarmup(ExecMode::Atomic);
+#ifdef ISIM_OBS
+    // No trace events either: the functional warm-up never reaches
+    // the instrumented timing paths.
+    EXPECT_EQ(o.tracer().ring().pushed(), 0u);
+#endif
+    const std::uint64_t warmEnd = m.warmupEndTime();
+    const RunResult r = m.runMeasurement();
+
+    ASSERT_NE(o.sampler(), nullptr);
+    const auto &rows = o.sampler()->rows();
+    ASSERT_FALSE(rows.empty());
+    const std::uint64_t epoch = o.config().epochTicks;
+    EXPECT_EQ(rows.front().start, warmEnd);
+    if (rows.size() > 1) {
+        // First epoch closes on the grid, not one full epoch later.
+        EXPECT_EQ(rows.front().end % epoch, 0u);
+        EXPECT_LE(rows.front().end - rows.front().start, epoch);
+    }
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        EXPECT_EQ(rows[i].start, rows[i - 1].end) << i;
+    EXPECT_EQ(rows.back().end, warmEnd + r.wallTime);
+    // The measured result embeds the same epoch rows.
+    EXPECT_EQ(r.epochs.size(), rows.size());
+
+    std::uint64_t timeline_txns = 0;
+    for (const auto &row : rows)
+        timeline_txns += row.delta.committedTxns;
+    EXPECT_EQ(timeline_txns, r.transactions);
+#ifdef ISIM_OBS
+    // Trace emission resumes with the timing measurement.
+    EXPECT_GT(o.tracer().count(obs::EventKind::TxnCommit), 0u);
+#endif
+}
+
+TEST(ExecModeObs, ObservingAtomicWarmupDoesNotPerturbResults)
+{
+    setQuiet(true);
+    // The test_obs bit-identity check, crossed with ExecMode: an
+    // observed atomic-warm-up run measures the same numbers as an
+    // unobserved one.
+    Machine plain(testConfig(42));
+    plain.runWarmup(ExecMode::Atomic);
+    const RunResult a = plain.runMeasurement();
+
+    Machine observed(testConfig(42));
+    obs::Observability o(observeForTest());
+    observed.attachObservability(&o);
+    observed.runWarmup(ExecMode::Atomic);
+    const RunResult b = observed.runMeasurement();
+
+    EXPECT_EQ(a.transactions, b.transactions);
+    EXPECT_EQ(a.wallTime, b.wallTime);
+    expectSameSnapshot(a.stats, b.stats);
+}
+
+TEST(ExecModeObs, HostInstrumentationKeepsFigureJsonBitIdentical)
+{
+    setQuiet(true);
+    // The contract the whole profiling PR leans on: host-side
+    // observability — runtime-enabled self-profiling AND an attached
+    // trace/timeline bundle — must leave the figure JSON BYTE-identical
+    // to a bare run, under an atomic warm-up. Host data goes to
+    // prof.json and the trace files, never into figure outputs.
+    FigureSpec spec;
+    spec.id = "TestFig";
+    spec.title = "obs x exec bit-identity";
+    spec.warmupMode = ExecMode::Atomic;
+    for (const char *name : {"bar-a", "bar-b"}) {
+        FigureBar bar;
+        bar.config = testConfig(7);
+        bar.config.name = name;
+        spec.bars.push_back(bar);
+    }
+
+    RunOptions options;
+    options.verbose = false;
+    options.jobs = 2;
+    const FigureResult bare = ExperimentRunner(options).run(spec);
+    const std::string bareJson = figureToJson(bare);
+
+    const bool wasEnabled = prof::enabled();
+    prof::setEnabled(true);
+    RunOptions instrumented = options;
+    instrumented.obs.traceOutPath =
+        testing::TempDir() + "/exec_obs_trace.json";
+    instrumented.obs.timelineOutPath =
+        testing::TempDir() + "/exec_obs_timeline.csv";
+    instrumented.obs.epochTicks = 200000;
+    const FigureResult observed =
+        ExperimentRunner(instrumented).run(spec);
+    prof::setEnabled(wasEnabled);
+    std::remove(instrumented.obs.traceOutPath.c_str());
+    std::remove(instrumented.obs.timelineOutPath.c_str());
+
+    EXPECT_EQ(bareJson, figureToJson(observed));
 }
 
 TEST(ExecMode, OooAtomicWarmupDivergesWithinTolerance)

@@ -287,6 +287,38 @@ TEST(LintAtomicPath, IgnoresDeclarationsAndCallSites)
 }
 
 // ---------------------------------------------------------------- //
+// prof-guard
+
+TEST(LintProfGuard, FlagsRawProfilerPrimitivesInLibraryCode)
+{
+    const auto findings = lintFixtures({"src/prof_bad.cc"});
+    EXPECT_EQ(countRule(findings, "prof-guard"), 3u);
+    EXPECT_EQ(findings.size(), 3u);
+    EXPECT_TRUE(anyMessageContains(findings, "registerNode"));
+    EXPECT_TRUE(anyMessageContains(findings, "ProfScope"));
+    EXPECT_TRUE(anyMessageContains(findings, "ISIM_PROF_SCOPE"));
+}
+
+TEST(LintProfGuard, AcceptsMacrosAndTheColdEmissionApi)
+{
+    EXPECT_TRUE(lintFixtures({"src/prof_good.cc"}).empty());
+}
+
+TEST(LintProfGuard, DoesNotConstrainTheProfilerItselfOrTests)
+{
+    // src/prof/ is the implementation; tests construct scopes
+    // directly on purpose.
+    const auto findings = lintText({
+        {"src/prof/profiler.cc",
+         "const Node &registerNode(const std::string &p);\n"},
+        {"tests/test_prof.cc",
+         "void f() { prof::ProfScope s(prof::registerNode(\"x\")); "
+         "}\n"},
+    });
+    EXPECT_EQ(countRule(findings, "prof-guard"), 0u);
+}
+
+// ---------------------------------------------------------------- //
 // suppression (meta rule)
 
 TEST(LintSuppression, PolicesBrokenAnnotations)
@@ -338,7 +370,7 @@ TEST(LintSuppression, ReasonlessAllowStillSuppressesNothing)
 TEST(LintDriver, CatalogueListsEveryRule)
 {
     const auto &rules = Linter::rules();
-    ASSERT_EQ(rules.size(), 7u);
+    ASSERT_EQ(rules.size(), 8u);
     std::vector<std::string> ids;
     for (const RuleInfo &rule : rules) {
         ids.emplace_back(rule.id);
@@ -348,7 +380,7 @@ TEST(LintDriver, CatalogueListsEveryRule)
     const std::vector<std::string> expected = {
         "determinism",    "ordered-output", "ckpt-coverage",
         "stats-coverage", "logging",        "atomic-path",
-        "suppression",
+        "prof-guard",     "suppression",
     };
     for (const std::string &id : expected)
         EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end())

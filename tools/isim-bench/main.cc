@@ -27,12 +27,18 @@
  *   warm_speedup     baseline wall / restore_ms — the pipeline payoff
  *                    that dominates warm-up-heavy figures (>= 5x)
  *
+ * In an ISIM_PROF build each figure row also embeds "prof": the
+ * self-profiler's per-phase breakdown of the cold run (node path,
+ * inclusive ns, enters — see docs/PROFILING.md), so a bench record
+ * answers not just "how slow" but "where".
+ *
  * The shared run flags (--txns, --warmup, --seed, --jobs, --quiet,
  * --warmup-mode, ...) apply; --quick is shorthand for a small fixed
  * workload (explicit --txns/--warmup still win). Reports are
  * suppressed — the product is the timing JSON.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +46,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,6 +55,7 @@
 #include "src/base/logging.hh"
 #include "src/core/driver.hh"
 #include "src/core/registry.hh"
+#include "src/prof/profiler.hh"
 
 namespace {
 
@@ -110,6 +118,8 @@ struct BenchRow
     double imageBuildMs = -1.0;
     /** Restored rerun of --warm-restore; < 0 = not measured. */
     double restoreMs = -1.0;
+    /** Self-profiler breakdown of the cold run (ISIM_PROF builds). */
+    std::vector<prof::ProfEntry> prof;
 
     /** Cold-timing baseline every speedup is quoted against. */
     double baselineMs() const
@@ -127,7 +137,8 @@ benchToJson(const std::string &date, const RunOptions &options,
     JsonWriter json(os, 2);
     json.beginObject()
         .kv("schema", "isim-bench")
-        .kv("version", std::uint64_t{2})
+        // Version 3 added the per-figure "prof" breakdown.
+        .kv("version", std::uint64_t{3})
         .kv("date", date)
         .kv("quick", quick)
         .kv("warm_restore", warm_restore)
@@ -175,6 +186,19 @@ benchToJson(const std::string &date, const RunOptions &options,
                         : 0.0,
                     2);
         }
+        if (!row.prof.empty()) {
+            // Where the cold run's host time went (inclusive ns per
+            // self-profiler node; docs/PROFILING.md).
+            json.key("prof").beginArray();
+            for (const prof::ProfEntry &e : row.prof) {
+                json.beginObject()
+                    .kv("path", e.path)
+                    .kv("ns", e.ns)
+                    .kv("enters", e.enters)
+                    .endObject();
+            }
+            json.endArray();
+        }
         json.endObject();
     }
     json.endArray();
@@ -182,6 +206,29 @@ benchToJson(const std::string &date, const RunOptions &options,
     json.endObject();
     os << "\n";
     return os.str();
+}
+
+/** after - before, per node path (entries with no activity dropped). */
+std::vector<prof::ProfEntry>
+profDelta(const prof::ProfSnapshot &before,
+          const prof::ProfSnapshot &after)
+{
+    std::map<std::string, prof::ProfEntry> base;
+    for (const prof::ProfEntry &e : before.entries)
+        base[e.path] = e;
+    std::vector<prof::ProfEntry> delta;
+    for (const prof::ProfEntry &e : after.entries) {
+        prof::ProfEntry d = e;
+        const auto it = base.find(e.path);
+        if (it != base.end()) {
+            d.ns -= std::min(d.ns, it->second.ns);
+            d.enters -= std::min(d.enters, it->second.enters);
+            d.allocs -= std::min(d.allocs, it->second.allocs);
+        }
+        if (d.enters > 0 || d.ns > 0)
+            delta.push_back(std::move(d));
+    }
+    return delta;
 }
 
 /** Wall-clock one figure run under the given options. */
@@ -242,6 +289,10 @@ main(int argc, char **argv)
             opts.warmup = kQuickWarmup;
     }
     opts.applyGlobal();
+    // A bench in a profiling build always wants the breakdown — that
+    // is the build's whole point; the default build stays untouched.
+    if (prof::compiledIn())
+        prof::setEnabled(true);
 
     // Resolve every id before burning simulation time on any of them.
     const FigureRegistry &registry = FigureRegistry::instance();
@@ -269,9 +320,15 @@ main(int argc, char **argv)
         row.bars = spec.bars.size();
         row.warmupMode = opts.effectiveWarmupMode(spec.warmupMode);
 
-        // Cold run under the figure's effective warm-up mode.
+        // Cold run under the figure's effective warm-up mode. In a
+        // profiling build, bracket it with global snapshots so the
+        // row's "prof" breakdown covers exactly this run (the pool is
+        // joined inside run(), so both snapshots are quiescent).
+        const prof::ProfSnapshot before = prof::collectGlobal();
         FigureResult result;
         row.wallMs = timedRun(spec, opts, &result);
+        if (prof::enabled())
+            row.prof = profDelta(before, prof::collectGlobal());
         for (const RunResult &r : result.runs) {
             row.committedTxns += r.transactions;
             row.simulatedNs += r.wallTime;

@@ -21,16 +21,23 @@
  * serves leases over stdin/stdout.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/base/json.hh"
 #include "src/campaign/cache.hh"
 #include "src/campaign/queue.hh"
 #include "src/campaign/supervisor.hh"
 #include "src/campaign/worker.hh"
+#include "src/stats/manifest.hh"
 
 namespace {
 
@@ -55,6 +62,8 @@ usage(std::FILE *to, const char *argv0)
         "(required)\n"
         "  --stop-after=K       stop after K lease completions, exit "
         "3 (resume\n                       testing)\n"
+        "  --watch              (status) poll every 2s until no cell "
+        "is pending\n"
         "\nRun options (shared with isim-fig):\n%s",
         argv0, argv0, argv0, runOptionsHelp());
     return to == stdout ? 0 : 2;
@@ -116,28 +125,106 @@ cmdExpand(const std::string &spec_path, const RunOptions &opts)
     return 0;
 }
 
+/**
+ * Bars campaign.json recorded as failed, keyed by content address.
+ * A failed bar has no cached result file, so without this a crashed
+ * cell is indistinguishable from one that simply has not run yet.
+ */
+std::map<std::string, std::string>
+failedBars(const std::string &out_dir)
+{
+    std::map<std::string, std::string> failed;
+    std::ifstream in(out_dir + "/campaign.json", std::ios::binary);
+    if (!in)
+        return failed;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue doc;
+    if (!jsonParse(buffer.str(), doc, nullptr))
+        return failed;
+    for (const stats::BarMetaView &view : stats::manifestMeta(doc)) {
+        if (view.meta.status == "failed")
+            failed.emplace(view.meta.key, view.bar);
+    }
+    return failed;
+}
+
 int
 cmdStatus(const std::string &spec_path, const std::string &out_dir,
-          const RunOptions &opts)
+          const RunOptions &opts, bool watch)
 {
+    // The same read-only drift test `run` refuses resume on: a status
+    // check against the wrong study must fail loudly, not report a
+    // plausible-looking cache fill.
+    if (campaign::specDrift(spec_path, out_dir) ==
+        campaign::SpecDrift::Drifted) {
+        std::fprintf(stderr,
+                     "isim-campaign: '%s' was created for a different "
+                     "spec than '%s' (spec drift); `run` would refuse "
+                     "to resume here\n",
+                     out_dir.c_str(), spec_path.c_str());
+        return 2;
+    }
+
     const campaign::CampaignSpec spec =
         campaign::loadCampaignSpec(spec_path);
     const campaign::CampaignPlan plan =
         campaign::expandCampaign(spec, opts);
-    std::size_t cached = 0;
-    std::size_t pending = 0;
-    for (const campaign::CampaignBar &bar : plan.bars) {
-        if (bar.aliasOf != campaign::kNoAlias)
-            continue;
-        const bool hit = campaign::barResultCached(
-            campaign::barStatsPath(out_dir, bar.key), bar.key);
-        ++(hit ? cached : pending);
-        std::printf("%-8s %s\n", hit ? "cached" : "pending",
-                    bar.name.c_str());
+
+    struct Counts
+    {
+        std::size_t cached = 0;
+        std::size_t pending = 0;
+        std::size_t failed = 0;
+    };
+
+    for (;;) {
+        const std::map<std::string, std::string> failed =
+            failedBars(out_dir);
+        std::vector<std::string> figureOrder;
+        std::map<std::string, Counts> byFigure;
+        Counts total;
+        for (const campaign::CampaignBar &bar : plan.bars) {
+            if (bar.aliasOf != campaign::kNoAlias)
+                continue; // aliases share their primary's fate
+            if (byFigure.find(bar.figureId) == byFigure.end())
+                figureOrder.push_back(bar.figureId);
+            Counts &fig = byFigure[bar.figureId];
+            const char *state = "pending";
+            if (campaign::barResultCached(
+                    campaign::barStatsPath(out_dir, bar.key),
+                    bar.key)) {
+                state = "cached";
+                ++fig.cached;
+                ++total.cached;
+            } else if (failed.count(bar.key) != 0) {
+                state = "failed";
+                ++fig.failed;
+                ++total.failed;
+            } else {
+                ++fig.pending;
+                ++total.pending;
+            }
+            if (!watch)
+                std::printf("%-8s %s\n", state, bar.name.c_str());
+        }
+        for (const std::string &figure : figureOrder) {
+            const Counts &c = byFigure[figure];
+            std::printf("  %-24s %zu cached, %zu pending, %zu "
+                        "failed\n",
+                        figure.c_str(), c.cached, c.pending,
+                        c.failed);
+        }
+        std::printf("campaign '%s': %zu cached, %zu pending, %zu "
+                    "failed\n",
+                    spec.name.c_str(), total.cached, total.pending,
+                    total.failed);
+        if (!watch || total.pending == 0) {
+            return total.pending == 0 && total.failed == 0 ? 0 : 1;
+        }
+        std::fflush(stdout);
+        std::this_thread::sleep_for(std::chrono::seconds(2));
     }
-    std::printf("campaign '%s': %zu cached, %zu pending\n",
-                spec.name.c_str(), cached, pending);
-    return pending == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -158,10 +245,16 @@ main(int argc, char **argv)
     std::string outDir;
     std::string stopAfterText;
     bool worker = false;
+    bool watch = false;
     std::string specFlag;
     for (std::size_t i = 0; i < args.size();) {
         if (args[i] == "--worker") {
             worker = true;
+            args.erase(args.begin() + static_cast<long>(i));
+            continue;
+        }
+        if (args[i] == "--watch") {
+            watch = true;
             args.erase(args.begin() + static_cast<long>(i));
             continue;
         }
@@ -202,7 +295,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "status needs --out\n");
             return 2;
         }
-        return cmdStatus(specPath, outDir, opts);
+        return cmdStatus(specPath, outDir, opts, watch);
     }
     if (command == "run") {
         if (outDir.empty()) {

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * isim-prof: inspect and compare prof.json self-profiles.
+ *
+ * A profiling run (--prof-out=FILE, ISIM_PROF build) writes the
+ * schema-versioned host-side profile this tool consumes:
+ *
+ *   isim-prof dump   prof.json            every node, one per line
+ *   isim-prof top    prof.json [-n N]     hottest N nodes by self time
+ *   isim-prof diff   A B [--tolerance=R]  compare two profiles
+ *   isim-prof stacks prof.json            collapsed-stack export
+ *
+ * `diff` treats the two kinds of columns differently: enter and
+ * allocation counts are deterministic, so they must match exactly;
+ * self times are host wall time and never reproduce bit-for-bit, so
+ * they compare under a relative tolerance (default 0.25). Exit 1 on
+ * drift, 2 when either profile is disabled or empty.
+ *
+ * `stacks` emits the folded format flamegraph tooling eats: one line
+ * per node, `a;b;c <self_ns>`, zero-self-time nodes skipped.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/json.hh"
+#include "src/prof/profiler.hh"
+
+namespace {
+
+using namespace isim;
+
+struct ProfNode
+{
+    std::string path;
+    std::uint64_t ns = 0;
+    std::uint64_t selfNs = 0;
+    std::uint64_t enters = 0;
+    std::uint64_t alloc = 0;
+};
+
+struct Profile
+{
+    bool enabled = false;
+    std::uint64_t totalNs = 0;
+    std::vector<ProfNode> nodes;
+};
+
+int
+usage(std::ostream &os, int rc)
+{
+    os << "usage: isim-prof <command> ...\n\n"
+          "commands:\n"
+          "  dump FILE                  every node as `path ns self_ns "
+          "enters alloc`\n"
+          "  top FILE [-n N]            hottest N nodes by self time "
+          "(default 10)\n"
+          "  diff A B [--tolerance=R]   compare profiles; counts must "
+          "match exactly,\n"
+          "                             self times within R (default "
+          "0.25); exit 1 on\n"
+          "                             drift, 2 when either side is "
+          "disabled/empty\n"
+          "  stacks FILE                collapsed stacks "
+          "(`a;b;c self_ns`) for\n"
+          "                             flamegraph tooling\n";
+    return rc;
+}
+
+std::uint64_t
+asUint(const JsonValue &v)
+{
+    return v.isNumber() && v.number >= 0.0
+               ? static_cast<std::uint64_t>(v.number)
+               : 0;
+}
+
+/** Read and validate a prof.json document. */
+Profile
+loadProfile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "isim-prof: cannot open '" << path << "'\n";
+        std::exit(1);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue doc;
+    std::string err;
+    if (!jsonParse(buffer.str(), doc, &err)) {
+        std::cerr << "isim-prof: " << path << ": " << err << "\n";
+        std::exit(1);
+    }
+    const JsonValue *schema = doc.get("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->text != "isim-prof") {
+        std::cerr << "isim-prof: '" << path
+                  << "' is not an isim-prof profile\n";
+        std::exit(1);
+    }
+    const JsonValue *version = doc.get("version");
+    if (version == nullptr || !version->isNumber() ||
+        static_cast<int>(version->number) > prof::kProfSchemaVersion) {
+        std::cerr << "isim-prof: '" << path
+                  << "' has an unsupported schema version\n";
+        std::exit(1);
+    }
+
+    Profile p;
+    const JsonValue *enabled = doc.get("enabled");
+    p.enabled = enabled != nullptr && enabled->kind ==
+                                          JsonValue::Kind::Bool &&
+                enabled->boolean;
+    const JsonValue *total = doc.get("total_ns");
+    if (total != nullptr)
+        p.totalNs = asUint(*total);
+    const JsonValue *nodes = doc.get("nodes");
+    if (nodes != nullptr && nodes->isArray()) {
+        for (const JsonValue &n : nodes->array) {
+            if (!n.isObject())
+                continue;
+            ProfNode node;
+            const JsonValue *nodePath = n.get("path");
+            if (nodePath == nullptr || !nodePath->isString())
+                continue;
+            node.path = nodePath->text;
+            node.ns = asUint(n.at("ns"));
+            node.selfNs = asUint(n.at("self_ns"));
+            node.enters = asUint(n.at("enters"));
+            node.alloc = asUint(n.at("alloc"));
+            p.nodes.push_back(std::move(node));
+        }
+    }
+    return p;
+}
+
+double
+parseTolerance(const std::string &text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v < 0.0) {
+        std::cerr << "isim-prof: --tolerance: expected a non-negative "
+                     "number, got '"
+                  << text << "'\n";
+        std::exit(2);
+    }
+    return v;
+}
+
+void
+printNode(const ProfNode &n)
+{
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "%-32s %12llu %12llu %10llu %10llu\n",
+                  n.path.c_str(),
+                  static_cast<unsigned long long>(n.ns),
+                  static_cast<unsigned long long>(n.selfNs),
+                  static_cast<unsigned long long>(n.enters),
+                  static_cast<unsigned long long>(n.alloc));
+    std::fputs(line, stdout);
+}
+
+int
+cmdDump(const std::string &path)
+{
+    const Profile p = loadProfile(path);
+    std::printf("# enabled=%s total_ns=%llu nodes=%zu\n",
+                p.enabled ? "true" : "false",
+                static_cast<unsigned long long>(p.totalNs),
+                p.nodes.size());
+    std::printf("%-32s %12s %12s %10s %10s\n", "path", "ns", "self_ns",
+                "enters", "alloc");
+    for (const ProfNode &n : p.nodes)
+        printNode(n);
+    return 0;
+}
+
+int
+cmdTop(const std::string &path, std::size_t count)
+{
+    const Profile p = loadProfile(path);
+    if (!p.enabled || p.nodes.empty()) {
+        std::cerr << "isim-prof: '" << path
+                  << "' holds no profile data (run with --prof-out "
+                     "in an ISIM_PROF build)\n";
+        return 2;
+    }
+    std::uint64_t totalSelf = 0;
+    for (const ProfNode &n : p.nodes)
+        totalSelf += n.selfNs;
+    std::vector<ProfNode> sorted = p.nodes;
+    // Path is the tiebreak so equal-self-time rows print stably.
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const ProfNode &a, const ProfNode &b) {
+                         if (a.selfNs != b.selfNs)
+                             return a.selfNs > b.selfNs;
+                         return a.path < b.path;
+                     });
+    if (sorted.size() > count)
+        sorted.resize(count);
+    for (const ProfNode &n : sorted) {
+        const double share =
+            totalSelf > 0 ? 100.0 * static_cast<double>(n.selfNs) /
+                                static_cast<double>(totalSelf)
+                          : 0.0;
+        char line[320];
+        std::snprintf(line, sizeof(line),
+                      "%-32s %12llu ns  %5.1f%%  %10llu enters\n",
+                      n.path.c_str(),
+                      static_cast<unsigned long long>(n.selfNs), share,
+                      static_cast<unsigned long long>(n.enters));
+        std::fputs(line, stdout);
+    }
+    return 0;
+}
+
+int
+cmdDiff(const std::string &pathA, const std::string &pathB,
+        double tolerance)
+{
+    const Profile a = loadProfile(pathA);
+    const Profile b = loadProfile(pathB);
+    if (!a.enabled || a.nodes.empty() || !b.enabled ||
+        b.nodes.empty()) {
+        std::cerr << "isim-prof: '"
+                  << (!a.enabled || a.nodes.empty() ? pathA : pathB)
+                  << "' holds no profile data; refusing to compare\n";
+        return 2;
+    }
+
+    std::map<std::string, ProfNode> byPath;
+    for (const ProfNode &n : a.nodes)
+        byPath[n.path] = n;
+
+    std::size_t problems = 0;
+    const auto report = [&](const std::string &what) {
+        std::cout << what << "\n";
+        ++problems;
+    };
+
+    for (const ProfNode &nb : b.nodes) {
+        const auto it = byPath.find(nb.path);
+        if (it == byPath.end()) {
+            report(nb.path + " only in " + pathB);
+            continue;
+        }
+        const ProfNode na = it->second;
+        byPath.erase(it);
+        if (na.enters != nb.enters) {
+            report(nb.path + " enters " + std::to_string(na.enters) +
+                   " -> " + std::to_string(nb.enters));
+        }
+        if (na.alloc != nb.alloc) {
+            report(nb.path + " alloc " + std::to_string(na.alloc) +
+                   " -> " + std::to_string(nb.alloc));
+        }
+        const double hi = static_cast<double>(
+            std::max(na.selfNs, nb.selfNs));
+        const double delta = static_cast<double>(
+            na.selfNs > nb.selfNs ? na.selfNs - nb.selfNs
+                                  : nb.selfNs - na.selfNs);
+        if (hi > 0.0 && delta / hi > tolerance) {
+            char line[320];
+            std::snprintf(line, sizeof(line),
+                          "%s self_ns %llu -> %llu (rel %.3g > %.3g)",
+                          nb.path.c_str(),
+                          static_cast<unsigned long long>(na.selfNs),
+                          static_cast<unsigned long long>(nb.selfNs),
+                          delta / hi, tolerance);
+            report(line);
+        }
+    }
+    for (const auto &left : byPath)
+        report(left.first + " only in " + pathA);
+
+    if (problems == 0) {
+        std::cout << a.nodes.size() << " nodes match (tolerance "
+                  << tolerance << ")\n";
+        return 0;
+    }
+    std::cout << problems << " differences\n";
+    return 1;
+}
+
+int
+cmdStacks(const std::string &path)
+{
+    const Profile p = loadProfile(path);
+    if (!p.enabled || p.nodes.empty()) {
+        std::cerr << "isim-prof: '" << path
+                  << "' holds no profile data\n";
+        return 2;
+    }
+    for (const ProfNode &n : p.nodes) {
+        if (n.selfNs == 0)
+            continue;
+        std::string folded = n.path;
+        std::replace(folded.begin(), folded.end(), '/', ';');
+        std::cout << folded << " "
+                  << static_cast<unsigned long long>(n.selfNs) << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0)) {
+        return usage(std::cout, 0);
+    }
+    if (argc < 3)
+        return usage(std::cerr, 2);
+
+    const std::string command = argv[1];
+    if (command == "dump") {
+        if (argc != 3)
+            return usage(std::cerr, 2);
+        return cmdDump(argv[2]);
+    }
+    if (command == "top") {
+        std::size_t count = 10;
+        if (argc == 5 && std::strcmp(argv[3], "-n") == 0) {
+            char *end = nullptr;
+            const unsigned long v = std::strtoul(argv[4], &end, 10);
+            if (end == argv[4] || *end != '\0' || v == 0) {
+                std::cerr << "isim-prof: -n: expected a positive "
+                             "integer, got '"
+                          << argv[4] << "'\n";
+                return 2;
+            }
+            count = v;
+        } else if (argc != 3) {
+            return usage(std::cerr, 2);
+        }
+        return cmdTop(argv[2], count);
+    }
+    if (command == "diff") {
+        if (argc < 4)
+            return usage(std::cerr, 2);
+        double tolerance = 0.25;
+        for (int i = 4; i < argc; ++i) {
+            const char *arg = argv[i];
+            const char *prefix = "--tolerance=";
+            if (std::strncmp(arg, prefix, std::strlen(prefix)) == 0) {
+                tolerance = parseTolerance(arg + std::strlen(prefix));
+            } else {
+                std::cerr << "isim-prof: unknown option '" << arg
+                          << "'\n\n";
+                return usage(std::cerr, 2);
+            }
+        }
+        return cmdDiff(argv[2], argv[3], tolerance);
+    }
+    if (command == "stacks") {
+        if (argc != 3)
+            return usage(std::cerr, 2);
+        return cmdStacks(argv[2]);
+    }
+    std::cerr << "isim-prof: unknown command '" << command << "'\n\n";
+    return usage(std::cerr, 2);
+}

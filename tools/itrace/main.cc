@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/logging.hh"
 #include "src/obs/event.hh"
 #include "src/obs/export.hh"
 
@@ -47,6 +48,7 @@ usage(std::ostream &os, int rc)
           "  --to=TICK     keep events at tick < TICK (ns)\n"
           "  --limit=N     keep at most the first N events (after "
           "filters)\n"
+          "  --quiet       suppress warnings (e.g. dropped-events)\n"
           "  -o FILE       write output to FILE instead of stdout\n";
     return rc;
 }
@@ -152,6 +154,8 @@ main(int argc, char **argv)
             to = parseUint(v, "--to");
         } else if (flagValue(argv[i], "--limit", v)) {
             limit = parseUint(v, "--limit");
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            setQuiet(true);
         } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
             outPath = argv[++i];
         } else {
