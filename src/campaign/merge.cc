@@ -40,7 +40,7 @@ makeNumber(double number)
  */
 JsonValue
 makeMeta(const CampaignBar &bar, const BarStatus &status,
-         double sim_wall_ms)
+         double sim_wall_ms, const stats::BarMeta *file_meta)
 {
     JsonValue meta;
     meta.kind = JsonValue::Kind::Object;
@@ -54,6 +54,24 @@ makeMeta(const CampaignBar &bar, const BarStatus &status,
     if (sim_wall_ms >= 0.0)
         meta.members.emplace_back("sim_wall_ms",
                                   makeNumber(sim_wall_ms));
+    // The sampling-schedule echo rides along from the cached bar
+    // file (deterministic, so byte-stability is preserved).
+    if (file_meta != nullptr && !file_meta->sampleMode.empty()) {
+        meta.members.emplace_back("sample_mode",
+                                  makeString(file_meta->sampleMode));
+        meta.members.emplace_back(
+            "sample_ff",
+            makeNumber(static_cast<double>(file_meta->sampleFf)));
+        meta.members.emplace_back(
+            "sample_measure",
+            makeNumber(static_cast<double>(file_meta->sampleMeasure)));
+        meta.members.emplace_back(
+            "sample_warm",
+            makeNumber(static_cast<double>(file_meta->sampleWarm)));
+        meta.members.emplace_back(
+            "sample_windows",
+            makeNumber(static_cast<double>(file_meta->sampleWindows)));
+    }
     meta.members.emplace_back(
         "status", makeString(status.ok ? "ok" : "failed"));
     if (!status.ok && !status.reason.empty())
@@ -84,8 +102,12 @@ mergeCampaignJson(const CampaignPlan &plan, const std::string &out_dir,
     for (const CampaignBar &bar : plan.bars) {
         const BarStatus &st = status[bar.index];
         double simWallMs = -1.0;
+        stats::BarMeta fileMeta;
+        bool haveMeta = false;
         JsonValue statsObj;
         statsObj.kind = JsonValue::Kind::Object;
+        JsonValue samplingObj;
+        bool haveSampling = false;
         if (st.ok) {
             // Aliases read the same key file as their primary.
             const std::string path = barStatsPath(out_dir, bar.key);
@@ -100,17 +122,28 @@ mergeCampaignJson(const CampaignPlan &plan, const std::string &out_dir,
                 isim_fatal("campaign merge: %s does not hold key %s",
                            path.c_str(), bar.key.c_str());
             simWallMs = meta.front().meta.simWallMs;
+            fileMeta = meta.front().meta;
+            haveMeta = true;
             const JsonValue &bars = doc.at("bars");
             isim_assert(bars.isArray() && !bars.array.empty());
             statsObj = bars.array.front().at("stats");
+            if (const JsonValue *s =
+                    bars.array.front().get("sampling")) {
+                samplingObj = *s;
+                haveSampling = true;
+            }
         }
 
         JsonValue barObj;
         barObj.kind = JsonValue::Kind::Object;
         barObj.members.emplace_back("name", makeString(bar.name));
-        barObj.members.emplace_back("meta",
-                                    makeMeta(bar, st, simWallMs));
+        barObj.members.emplace_back(
+            "meta", makeMeta(bar, st, simWallMs,
+                             haveMeta ? &fileMeta : nullptr));
         barObj.members.emplace_back("stats", std::move(statsObj));
+        if (haveSampling)
+            barObj.members.emplace_back("sampling",
+                                        std::move(samplingObj));
 
         out += "    ";
         out += jsonToText(barObj);

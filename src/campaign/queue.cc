@@ -74,6 +74,7 @@ expandCampaign(const CampaignSpec &spec, const RunOptions &options)
     CampaignPlan plan;
     plan.spec = spec;
     plan.execMode = options.effectiveExecMode();
+    plan.sample = options.sample;
 
     // Resolve figure ids like `isim-fig run` does (exact id first,
     // then prefix expansion), deduplicated in resolution order.
@@ -130,7 +131,8 @@ expandCampaign(const CampaignSpec &spec, const RunOptions &options)
                 bar.config = cfg;
                 const std::vector<std::uint8_t> bytes =
                     ckpt::configBytes(cfg);
-                bar.key = stats::resultKey(bytes, cfg.workload.seed);
+                bar.key = stats::resultKey(bytes, cfg.workload.seed,
+                                           options.sample);
                 bar.configDigest = stats::configDigest(bytes);
                 bar.seed = cfg.workload.seed;
                 bar.warmupMode = warmupMode;

@@ -85,6 +85,13 @@ struct CampaignPlan
     /** Measurement execution mode (--exec-mode; Timing by default). */
     ExecMode execMode = ExecMode::Timing;
     /**
+     * Sampled-measurement schedule (--sample-*; disabled by default).
+     * Folded into every bar key, so sampled and exact cells never
+     * alias in the cache; warm images are shared either way, since
+     * sampling only shapes the measurement phase.
+     */
+    sample::SampleSpec sample;
+    /**
      * Checkpoint groups: groupKey -> member indices (ascending,
      * aliases excluded), only for groups with >= 2 members. The
      * first member is the group's builder.

@@ -210,6 +210,26 @@ spawnWorker(const CampaignRunConfig &config, const std::string &exe,
         args.push_back("--exec-mode");
         args.push_back(execModeName(*config.options.execMode));
     }
+    // The sampling schedule is part of every bar's identity
+    // (resultKey folds it in), so workers must expand under the same
+    // --sample-* flags or their keys would diverge from ours.
+    if (config.options.sample.enabled()) {
+        const sample::SampleSpec &s = config.options.sample;
+        args.push_back("--sample-ff");
+        args.push_back(std::to_string(s.ff));
+        args.push_back("--sample-measure");
+        args.push_back(std::to_string(s.measure));
+        if (s.windows) {
+            args.push_back("--sample-windows");
+            args.push_back(std::to_string(s.windows));
+        }
+        if (s.warm != sample::kAutoWarm) {
+            args.push_back("--sample-warm");
+            args.push_back(std::to_string(s.warm));
+        }
+        args.push_back("--sample-mode");
+        args.push_back(sample::sampleModeName(s.mode));
+    }
     // Profiling is per-process opt-in: forwarding the flag turns on
     // the self-profiler in each worker, which then writes per-bar
     // prof.json sidecars (the path itself is unused in worker mode).

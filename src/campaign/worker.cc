@@ -23,6 +23,7 @@
 #include "src/campaign/cache.hh"
 #include "src/campaign/protocol.hh"
 #include "src/prof/profiler.hh"
+#include "src/sample/controller.hh"
 #include "src/stats/manifest.hh"
 
 namespace isim {
@@ -133,7 +134,13 @@ runLeasedBar(const CampaignPlan &plan, const Lease &lease,
             break;
         }
 
-        RunResult r = machine->runMeasurement(plan.execMode);
+        RunResult r;
+        if (plan.sample.enabled()) {
+            sample::SampleController controller(*machine, plan.sample);
+            r = controller.run(plan.execMode);
+        } else {
+            r = machine->runMeasurement(plan.execMode);
+        }
         // A restored machine reports under the image's (builder's)
         // name; the result belongs to this bar.
         r.name = bar.config.name;
@@ -159,7 +166,15 @@ runLeasedBar(const CampaignPlan &plan, const Lease &lease,
             mb.meta.warmupMode = execModeName(r.warmupMode);
         if (r.execMode != ExecMode::Timing)
             mb.meta.execMode = execModeName(r.execMode);
+        if (r.sampling.enabled) {
+            mb.meta.sampleMode = sample::sampleModeName(r.sampling.mode);
+            mb.meta.sampleFf = r.sampling.ff;
+            mb.meta.sampleMeasure = r.sampling.measure;
+            mb.meta.sampleWarm = r.sampling.warm;
+            mb.meta.sampleWindows = r.sampling.windows;
+        }
         mb.stats = r.stats;
+        mb.sampling = r.sampling;
         m.bars.push_back(std::move(mb));
         writeFileAtomic(barStatsPath(out_dir, bar.key),
                         stats::manifestToJson(m));

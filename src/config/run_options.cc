@@ -98,6 +98,18 @@ RunOptions::fromEnv()
     }
     if (const char *path = std::getenv("ISIM_PROF_OUT"))
         opts.profOut = path;
+    if (const auto v = parseUint(std::getenv("ISIM_SAMPLE_FF")))
+        opts.sample.ff = *v;
+    if (const auto v = parseUint(std::getenv("ISIM_SAMPLE_MEASURE")))
+        opts.sample.measure = *v;
+    if (const auto v = parseUint(std::getenv("ISIM_SAMPLE_WINDOWS")))
+        opts.sample.windows = *v;
+    if (const auto v = parseUint(std::getenv("ISIM_SAMPLE_WARM")))
+        opts.sample.warm = *v;
+    if (const char *mode = std::getenv("ISIM_SAMPLE_MODE")) {
+        if (const auto m = sample::sampleModeFromName(mode))
+            opts.sample.mode = *m;
+    }
     return opts;
 }
 
@@ -171,6 +183,24 @@ RunOptions::fromCommandLine(int &argc, char **argv)
             opts.execMode = parseExecModeOrDie("--exec-mode", value);
         } else if (matches(i, "--prof-out")) {
             opts.profOut = value;
+        } else if (matches(i, "--sample-ff")) {
+            opts.sample.ff = parseUintOrDie("--sample-ff", value);
+        } else if (matches(i, "--sample-measure")) {
+            opts.sample.measure =
+                parseUintOrDie("--sample-measure", value);
+        } else if (matches(i, "--sample-windows")) {
+            opts.sample.windows =
+                parseUintOrDie("--sample-windows", value);
+        } else if (matches(i, "--sample-warm")) {
+            opts.sample.warm = parseUintOrDie("--sample-warm", value);
+        } else if (matches(i, "--sample-mode")) {
+            const auto m = sample::sampleModeFromName(value);
+            if (!m) {
+                isim_fatal("--sample-mode: expected 'fixed' or "
+                           "'random', got '%s'",
+                           value.c_str());
+            }
+            opts.sample.mode = *m;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             opts.verbose = false;
         } else {
@@ -178,6 +208,10 @@ RunOptions::fromCommandLine(int &argc, char **argv)
         }
     }
     argc = out;
+    // Degenerate sampling configurations (measure without ff, a
+    // single window, warm > ff) must fail at the command line, not
+    // deep inside a half-finished run.
+    opts.sample.validate();
     return opts;
 }
 
@@ -243,6 +277,16 @@ runOptionsHelp()
            "(default timing; atomic has no event timing)\n"
            "  --prof-out=FILE      write the host self-profile "
            "(prof.json) to FILE\n"
+           "  --sample-ff=N        sampled run: fast-forward N txns "
+           "per period (docs/SAMPLING.md)\n"
+           "  --sample-measure=N   sampled run: measure N txns per "
+           "window (enables sampling)\n"
+           "  --sample-windows=N   sampled run: window count "
+           "(default: derived from --txns)\n"
+           "  --sample-warm=N      sampled run: atomic-warm txns "
+           "before each window (default: min(ff, measure))\n"
+           "  --sample-mode=MODE   sampled run: window placement, "
+           "fixed or random\n"
            "  --quiet              suppress per-run progress lines\n";
 }
 

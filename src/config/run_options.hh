@@ -19,6 +19,7 @@
 #include "src/core/exec_mode.hh"
 #include "src/obs/observability.hh"
 #include "src/oltp/workload_params.hh"
+#include "src/sample/spec.hh"
 
 namespace isim {
 
@@ -91,6 +92,13 @@ struct RunOptions
      * profile data never enters stats.json or figure JSON.
      */
     std::string profOut;
+    /**
+     * Sampled-simulation axis (docs/SAMPLING.md): off unless
+     * --sample-measure is given. Applies to every bar of the run;
+     * sampled and exact cells never alias in the campaign cache
+     * (the spec participates in the result key).
+     */
+    sample::SampleSpec sample;
 
     /** The warm-up mode a bar actually runs (override, else spec). */
     ExecMode effectiveWarmupMode(ExecMode spec_default) const
@@ -108,7 +116,9 @@ struct RunOptions
      * ISIM_JSON_DIR, ISIM_JOBS, ISIM_PROCS, ISIM_AUDIT_PERIOD,
      * ISIM_STATS_OUT,
      * ISIM_STATS_EPOCH, ISIM_SAVE_CKPT, ISIM_FROM_CKPT,
-     * ISIM_WARMUP_MODE, ISIM_EXEC_MODE, ISIM_PROF_OUT. Malformed
+     * ISIM_WARMUP_MODE, ISIM_EXEC_MODE, ISIM_PROF_OUT,
+     * ISIM_SAMPLE_FF, ISIM_SAMPLE_MEASURE, ISIM_SAMPLE_WINDOWS,
+     * ISIM_SAMPLE_WARM, ISIM_SAMPLE_MODE. Malformed
      * values are ignored (the variables are convenience overrides,
      * often set globally in CI). This is the only getenv() site in
      * the tree.
@@ -134,6 +144,13 @@ struct RunOptions
      *   --warmup-mode atomic|timing  warm-up execution mode
      *   --exec-mode atomic|timing    measurement execution mode
      *   --prof-out FILE          write the host self-profile to FILE
+     *   --sample-ff N            fast-forward N txns per sampling period
+     *   --sample-measure N       measure M txns per window (enables
+     *                            sampling; docs/SAMPLING.md)
+     *   --sample-windows N       window count (default: derived)
+     *   --sample-warm N          atomic-warm txns before each window
+     *                            (default: min(ff, measure))
+     *   --sample-mode fixed|random  window placement within the period
      *   --quiet                  suppress per-run progress lines
      *
      * plus the observability flags (obsFromCommandLine). Flags

@@ -30,6 +30,7 @@
 #include "src/ckpt/checkpoint.hh"
 #include "src/core/sweep.hh"
 #include "src/prof/profiler.hh"
+#include "src/sample/controller.hh"
 #include "src/stats/manifest.hh"
 
 namespace isim {
@@ -107,13 +108,20 @@ ExperimentRunner::runMachine(const MachineConfig &cfg,
                 checkpointPath(options_.saveCkptDir, cfg.name));
         }
     }
-    RunResult r = machine->runMeasurement(exec_mode);
+    RunResult r;
+    if (options_.sample.enabled()) {
+        sample::SampleController controller(*machine, options_.sample);
+        r = controller.run(exec_mode);
+    } else {
+        r = machine->runMeasurement(exec_mode);
+    }
     // Stamp the cell's content-address identity (META block of the
     // stats manifest; the cache key isim-campaign stores results
     // under). Computed from the *requested* config, which runMachine's
     // restore path has already proven byte-equal to the image's.
     const std::vector<std::uint8_t> cb = ckpt::configBytes(cfg);
-    r.resultKey = stats::resultKey(cb, cfg.workload.seed);
+    r.resultKey = stats::resultKey(cb, cfg.workload.seed,
+                                   options_.sample);
     r.configDigest = stats::configDigest(cb);
     r.seed = cfg.workload.seed;
     if (prof_on) {

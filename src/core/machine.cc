@@ -140,7 +140,18 @@ Machine::buildRegistry()
         .formula("cpu.exec_time",
                  "non-idle execution time, all CPUs (figures' y-axis)",
                  "ticks",
-                 [allCpu] { return static_cast<double>(allCpu().nonIdle()); })
+                 [allCpu] { return static_cast<double>(allCpu().nonIdle()); },
+                 /*extensive=*/true)
+        .formula("cpu.cpi",
+                 "cycles per instruction, all CPUs (non-idle / insts)",
+                 "cpi",
+                 [allCpu] {
+                     const CpuStats t = allCpu();
+                     return t.instructions
+                                ? static_cast<double>(t.nonIdle()) /
+                                      static_cast<double>(t.instructions)
+                                : 0.0;
+                 })
         .formula("cpu.kernel_frac", "kernel share of non-idle time",
                  "ratio", [allCpu] { return allCpu().kernelFraction(); })
         .formula("cpu.busy_frac", "busy share of non-idle time", "ratio",

@@ -21,6 +21,7 @@
 #include "src/cpu/ooo.hh"
 #include "src/obs/sampler.hh"
 #include "src/oltp/workload.hh"
+#include "src/sample/report.hh"
 #include "src/os/kernel.hh"
 #include "src/os/scheduler.hh"
 #include "src/os/vm.hh"
@@ -35,6 +36,10 @@ class TraceWriter;
 
 namespace obs {
 class Observability;
+}
+
+namespace sample {
+class SampleController;
 }
 
 /** Full configuration of one simulated machine + workload. */
@@ -103,6 +108,13 @@ struct RunResult
 
     /** Full registry snapshot (every named stat, sorted by name). */
     stats::Snapshot stats;
+    /**
+     * Sampled-measurement record (docs/SAMPLING.md): the resolved
+     * schedule and a sem/ci95 per stat. `sampling.enabled` is false
+     * on exact runs, and manifests only emit the block when set — an
+     * exact run's manifest is byte-identical to pre-sampling ones.
+     */
+    sample::SampleReport sampling;
     /** Per-epoch counter deltas; filled only with --stats-epoch. */
     std::vector<obs::EpochRow> epochs;
 
@@ -275,6 +287,12 @@ class Machine
     void attachObservability(obs::Observability *o);
 
   private:
+    // The sampled-simulation controller drives the loop through
+    // window-grained runUntilCommitted calls and per-window resets;
+    // it needs the sim/engine/registry plumbing but nothing of it
+    // belongs in the public API.
+    friend class sample::SampleController;
+
     /** Register every component's stats (called once, from the ctor). */
     void buildRegistry();
 

@@ -235,9 +235,18 @@ figureStatsJson(const FigureResult &result)
                 bar.meta.warmupMode = execModeName(r.warmupMode);
             if (r.execMode != ExecMode::Timing)
                 bar.meta.execMode = execModeName(r.execMode);
+            if (r.sampling.enabled) {
+                bar.meta.sampleMode =
+                    sample::sampleModeName(r.sampling.mode);
+                bar.meta.sampleFf = r.sampling.ff;
+                bar.meta.sampleMeasure = r.sampling.measure;
+                bar.meta.sampleWarm = r.sampling.warm;
+                bar.meta.sampleWindows = r.sampling.windows;
+            }
         }
         bar.stats = r.stats;
         bar.epochs = r.epochs;
+        bar.sampling = r.sampling;
         m.bars.push_back(std::move(bar));
     }
     return manifestToJson(m);

@@ -158,9 +158,9 @@ Simulation::stepCpu(NodeId cpu)
 }
 
 void
-Simulation::runUntil(bool (OltpEngine::*done)() const)
+Simulation::runUntil(std::uint64_t target)
 {
-    while (!(engine_.*done)()) {
+    while (engine_.committedTransactions() < target) {
         NodeId best = invalidNode;
         Tick best_time = maxTick;
         {
@@ -195,7 +195,7 @@ Simulation::runUntil(bool (OltpEngine::*done)() const)
 
 void
 Simulation::stepCpuAtomic(NodeId cpu, Tick horizon, NodeId horizon_cpu,
-                          bool (OltpEngine::*done)() const)
+                          std::uint64_t target)
 {
     CpuState &cs = state_[cpu];
     CpuCore &core = *cpus_[cpu];
@@ -211,7 +211,7 @@ Simulation::stepCpuAtomic(NodeId cpu, Tick horizon, NodeId horizon_cpu,
     const auto burst_on = [&]() -> bool {
         if (options_.maxSteps != 0 && steps_ > options_.maxSteps)
             isim_fatal("step limit exceeded (runaway simulation?)");
-        return !(engine_.*done)() && still_min();
+        return engine_.committedTransactions() < target && still_min();
     };
 
     for (;;) {
@@ -308,9 +308,9 @@ Simulation::stepCpuAtomic(NodeId cpu, Tick horizon, NodeId horizon_cpu,
 }
 
 void
-Simulation::runUntilAtomic(bool (OltpEngine::*done)() const)
+Simulation::runUntilAtomic(std::uint64_t target)
 {
-    while (!(engine_.*done)()) {
+    while (engine_.committedTransactions() < target) {
         // The timing scan, plus the runner-up: the burst below only
         // needs to rescan once the chosen CPU falls behind it.
         NodeId best = invalidNode;
@@ -344,26 +344,31 @@ Simulation::runUntilAtomic(bool (OltpEngine::*done)() const)
         }
         if (options_.maxSteps != 0 && steps_ > options_.maxSteps)
             isim_fatal("step limit exceeded (runaway simulation?)");
-        stepCpuAtomic(best, second_time, second, done);
+        stepCpuAtomic(best, second_time, second, target);
     }
+}
+
+void
+Simulation::runUntilCommitted(std::uint64_t target, ExecMode mode)
+{
+    if (mode == ExecMode::Atomic)
+        runUntilAtomic(target);
+    else
+        runUntil(target);
 }
 
 void
 Simulation::runUntilWarmupDone(ExecMode mode)
 {
-    if (mode == ExecMode::Atomic)
-        runUntilAtomic(&OltpEngine::warmupDone);
-    else
-        runUntil(&OltpEngine::warmupDone);
+    runUntilCommitted(engine_.params().warmupTransactions, mode);
 }
 
 void
 Simulation::runUntilMeasurementDone(ExecMode mode)
 {
-    if (mode == ExecMode::Atomic)
-        runUntilAtomic(&OltpEngine::measurementDone);
-    else
-        runUntil(&OltpEngine::measurementDone);
+    runUntilCommitted(engine_.params().warmupTransactions +
+                          engine_.params().transactions,
+                      mode);
 }
 
 void

@@ -92,6 +92,16 @@ class Simulation
     /** Run until the warm-up transaction count completes. */
     void runUntilWarmupDone(ExecMode mode = ExecMode::Timing);
 
+    /**
+     * Run until the engine's total committed count reaches `target`
+     * (no-op when already there). The generalized form of the two
+     * entry points above; the sampled-simulation controller uses it to
+     * carve the measurement phase into fast-forward and measurement
+     * windows at arbitrary committed-count boundaries.
+     */
+    void runUntilCommitted(std::uint64_t target,
+                           ExecMode mode = ExecMode::Timing);
+
     /** Local time of a CPU. */
     Tick cpuNow(NodeId cpu) const { return state_[cpu].now; }
 
@@ -127,7 +137,8 @@ class Simulation
     Tick nextEventTime(NodeId cpu) const;
     /** Execute one unit of work on the CPU. */
     void stepCpu(NodeId cpu);
-    void runUntil(bool (OltpEngine::*done)() const);
+    /** Timing-mode loop until the committed count reaches `target`. */
+    void runUntil(std::uint64_t target);
 
     /** Devirtualized per-reference dispatch (see SimOptions::model). */
     Tick consumeOn(CpuCore &core, const MemRef &ref, Tick now);
@@ -140,16 +151,17 @@ class Simulation
      * re-scanning every CPU per reference. References are consumed
      * through CpuCore::consumeAtomic.
      */
-    void runUntilAtomic(bool (OltpEngine::*done)() const);
+    void runUntilAtomic(std::uint64_t target);
     /**
      * Burst units of work on `cpu` while it stays ahead of the
      * runner-up (`horizon`, with `horizon_cpu` breaking ties by the
-     * scan's lowest-index-wins rule) and `done` stays false. Returns
-     * to the caller's rescan whenever Process::step() runs, since a
-     * refill may wake processes on other CPUs and stale the horizon.
+     * scan's lowest-index-wins rule) and the committed count stays
+     * below `target`. Returns to the caller's rescan whenever
+     * Process::step() runs, since a refill may wake processes on
+     * OTHER CPUs and stale the horizon.
      */
     void stepCpuAtomic(NodeId cpu, Tick horizon, NodeId horizon_cpu,
-                       bool (OltpEngine::*done)() const);
+                       std::uint64_t target);
 
     Scheduler &sched_;
     KernelModel &kernel_;

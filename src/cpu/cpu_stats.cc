@@ -78,7 +78,8 @@ CpuStats::registerStats(stats::Registry &r, const std::string &prefix) const
               [s] { return s->stores; });
     r.formula(prefix + ".exec_time",
               "non-idle execution time (the figures' y-axis)", "ticks",
-              [s] { return static_cast<double>(s->nonIdle()); });
+              [s] { return static_cast<double>(s->nonIdle()); },
+              /*extensive=*/true);
 }
 
 void

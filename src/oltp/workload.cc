@@ -144,6 +144,35 @@ OltpEngine::noteCommit(Tick latency)
 }
 
 void
+OltpEngine::skipTransactions(std::uint64_t n)
+{
+    // Seeded from (workload seed, committed count) only: the same skip
+    // request at the same point in the run produces the same database
+    // trajectory regardless of host, jobs or checkpoint resume.
+    Rng rng(mix64(params_.seed ^
+                  mix64(committed_ ^ 0x736b697074786eULL))); // "skiptxn"
+    const WorkloadParams &p = params_;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        // Same operand distribution ServerProcess::emitExecute draws:
+        // uniform teller; its branch; the account is in the teller's
+        // branch 85% of the time.
+        const std::uint64_t teller = rng.below(p.totalTellers());
+        const std::uint64_t branch = teller / p.tellersPerBranch;
+        std::uint64_t account_branch = branch;
+        if (!rng.chance(0.85))
+            account_branch = rng.below(p.branches);
+        const std::uint64_t account =
+            account_branch * p.accountsPerBranch +
+            rng.below(p.accountsPerBranch);
+        const std::int64_t delta =
+            static_cast<std::int64_t>(rng.range(1, 999999)) - 500000;
+        db_.appendHistory();
+        db_.applyTransaction(account, teller, branch, delta);
+        ++committed_;
+    }
+}
+
+void
 OltpEngine::registerStats(stats::Registry &r)
 {
     r.counter("oltp.txn.committed", "committed transactions", "txns",

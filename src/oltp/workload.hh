@@ -53,6 +53,21 @@ class OltpEngine
 
     // ---- Run control ----
     std::uint64_t committedTransactions() const { return committed_; }
+
+    /**
+     * Functionally skip `n` transactions: draw TPC-B parameters from a
+     * stateless seed-derived stream (same account/teller/branch/delta
+     * distribution the servers use), apply each to the functional
+     * database and bump the committed count — but generate no memory
+     * references, advance no simulated time and sample no latency.
+     * This is the sampled-simulation fast-forward tier: the database
+     * trajectory stays TPC-B-consistent while the micro-architecture
+     * is left untouched (re-warmed by the atomic tier that follows).
+     * The parameter stream derives from the workload seed and the
+     * committed count alone, so the skip is bit-reproducible across
+     * jobs and checkpoint resume.
+     */
+    void skipTransactions(std::uint64_t n);
     bool warmupDone() const
     {
         return committed_ >= params_.warmupTransactions;

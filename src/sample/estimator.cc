@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Interval-batch estimator implementation.
+ */
+
+#include "src/sample/estimator.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace isim {
+namespace sample {
+
+double
+tCritical95(std::uint64_t df)
+{
+    // Two-sided 95% (i.e. t_{0.975,df}); standard table values.
+    static const double kTable[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    constexpr std::uint64_t kTableSize =
+        sizeof(kTable) / sizeof(kTable[0]);
+    if (df == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    if (df <= kTableSize)
+        return kTable[df - 1];
+    return 1.960; // normal approximation past df=30
+}
+
+MeanCi
+meanCi(const std::vector<double> &xs)
+{
+    MeanCi out;
+    double sum = 0.0;
+    for (const double x : xs) {
+        if (!std::isfinite(x))
+            continue;
+        sum += x;
+        ++out.n;
+    }
+    if (out.n == 0) {
+        out.mean = std::numeric_limits<double>::quiet_NaN();
+        out.sem = std::numeric_limits<double>::quiet_NaN();
+        out.ci95 = std::numeric_limits<double>::quiet_NaN();
+        return out;
+    }
+    out.mean = sum / static_cast<double>(out.n);
+    if (out.n == 1) {
+        out.sem = std::numeric_limits<double>::quiet_NaN();
+        out.ci95 = std::numeric_limits<double>::quiet_NaN();
+        return out;
+    }
+    double ss = 0.0;
+    for (const double x : xs) {
+        if (!std::isfinite(x))
+            continue;
+        const double d = x - out.mean;
+        ss += d * d;
+    }
+    const double var = ss / static_cast<double>(out.n - 1);
+    out.sem = std::sqrt(var / static_cast<double>(out.n));
+    out.ci95 = tCritical95(out.n - 1) * out.sem;
+    return out;
+}
+
+} // namespace sample
+} // namespace isim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Interval-batch mean/CI estimator for sampled simulation: each
+ * measurement window is one observation, the per-window values are
+ * treated as i.i.d. batch means, and the 95% confidence interval uses
+ * the Student-t critical value for the window count. docs/SAMPLING.md
+ * discusses when this model (and therefore the CI) lies.
+ */
+
+#ifndef ISIM_SAMPLE_ESTIMATOR_HH
+#define ISIM_SAMPLE_ESTIMATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace isim {
+namespace sample {
+
+/**
+ * Two-sided 95% Student-t critical value for `df` degrees of freedom
+ * (exact table through df=30, 1.960 beyond). df=0 returns NaN.
+ */
+double tCritical95(std::uint64_t df);
+
+/** Mean with standard error and 95% half-width over n observations. */
+struct MeanCi
+{
+    double mean = 0.0;
+    double sem = 0.0;  //!< standard error of the mean, s / sqrt(n)
+    double ci95 = 0.0; //!< t(n-1) * sem (half-width)
+    std::uint64_t n = 0;
+};
+
+/**
+ * Estimate over the finite entries of `xs` (NaN/inf observations are
+ * dropped — an undefined per-window formula must not poison the CI of
+ * the windows where it was defined). n=0 yields NaN mean; n=1 yields
+ * NaN sem/ci95 (no variance estimate exists). A constant stream
+ * yields an exactly zero-width interval.
+ */
+MeanCi meanCi(const std::vector<double> &xs);
+
+} // namespace sample
+} // namespace isim
+
+#endif // ISIM_SAMPLE_ESTIMATOR_HH

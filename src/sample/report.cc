@@ -1,0 +1,25 @@
+/**
+ * @file
+ * SampleReport lookup.
+ */
+
+#include "src/sample/report.hh"
+
+#include <algorithm>
+
+namespace isim {
+namespace sample {
+
+const StatCi *
+SampleReport::find(const std::string &name) const
+{
+    const auto it = std::lower_bound(
+        stats.begin(), stats.end(), name,
+        [](const StatCi &a, const std::string &b) { return a.name < b; });
+    if (it == stats.end() || it->name != name)
+        return nullptr;
+    return &*it;
+}
+
+} // namespace sample
+} // namespace isim

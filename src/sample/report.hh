@@ -1,0 +1,57 @@
+/**
+ * @file
+ * SampleReport: the per-run record of a sampled measurement — the
+ * resolved schedule plus a standard error and 95% CI per stat. Kept
+ * dependency-light (included by machine.hh so RunResult can carry it);
+ * the controller that fills it lives in src/sample/controller.hh.
+ */
+
+#ifndef ISIM_SAMPLE_REPORT_HH
+#define ISIM_SAMPLE_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sample/spec.hh"
+
+namespace isim {
+namespace sample {
+
+/**
+ * Error bounds of one stat. For Counter stats (and the .count/.sum
+ * fields of distributions) the bounds apply to the expanded run-level
+ * total; for Formula/Gauge stats (and distribution .mean) they apply
+ * to the mean of the per-window values — i.e. always to the value the
+ * manifest reports for that stat.
+ */
+struct StatCi
+{
+    std::string name;
+    double sem = 0.0;
+    double ci95 = 0.0;
+};
+
+/** Sampling record of one run; `enabled` false on exact runs. */
+struct SampleReport
+{
+    bool enabled = false;
+    SampleMode mode = SampleMode::Fixed;
+    std::uint64_t ff = 0;
+    std::uint64_t measure = 0;
+    std::uint64_t warm = 0;
+    std::uint64_t windows = 0;
+    /** Transactions actually committed inside measurement windows. */
+    std::uint64_t covered = 0;
+
+    /** Per-stat bounds, sorted by name. */
+    std::vector<StatCi> stats;
+
+    /** Lookup by exact stat name; nullptr when absent. */
+    const StatCi *find(const std::string &name) const;
+};
+
+} // namespace sample
+} // namespace isim
+
+#endif // ISIM_SAMPLE_REPORT_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SampleSpec validation and SamplePlan derivation.
+ */
+
+#include "src/sample/spec.hh"
+
+#include <algorithm>
+
+#include "src/base/logging.hh"
+
+namespace isim {
+namespace sample {
+
+const char *
+sampleModeName(SampleMode mode)
+{
+    switch (mode) {
+      case SampleMode::Fixed:
+        return "fixed";
+      case SampleMode::Random:
+        return "random";
+    }
+    return "unknown";
+}
+
+std::optional<SampleMode>
+sampleModeFromName(const std::string &name)
+{
+    if (name == "fixed")
+        return SampleMode::Fixed;
+    if (name == "random")
+        return SampleMode::Random;
+    return std::nullopt;
+}
+
+std::uint64_t
+SampleSpec::resolvedWarm() const
+{
+    if (warm != kAutoWarm)
+        return warm;
+    return std::min(ff, measure);
+}
+
+void
+SampleSpec::validate() const
+{
+    if (measure == 0) {
+        if (ff != 0 || windows != 0 || warm != kAutoWarm) {
+            isim_fatal("--sample-ff/--sample-windows/--sample-warm "
+                       "require --sample-measure > 0: a sampled run "
+                       "needs measurement windows to estimate from "
+                       "(docs/SAMPLING.md)");
+        }
+        return;
+    }
+    if (ff == 0) {
+        isim_fatal("--sample-measure requires --sample-ff > 0: with "
+                   "nothing fast-forwarded, sampling is a full timing "
+                   "run split into windows and saves no time "
+                   "(docs/SAMPLING.md)");
+    }
+    if (windows == 1) {
+        isim_fatal("--sample-windows 1 cannot produce a confidence "
+                   "interval: the interval-batch estimator needs at "
+                   "least 2 windows for a variance (docs/SAMPLING.md)");
+    }
+    if (warm != kAutoWarm && warm > ff) {
+        isim_fatal("--sample-warm (%llu) must be <= --sample-ff "
+                   "(%llu): the warm tier is part of the fast-forward",
+                   static_cast<unsigned long long>(warm),
+                   static_cast<unsigned long long>(ff));
+    }
+}
+
+SamplePlan
+derivePlan(const SampleSpec &spec, std::uint64_t txns)
+{
+    spec.validate();
+    isim_assert(spec.enabled(), "derivePlan on a disabled SampleSpec");
+
+    SamplePlan plan;
+    plan.ff = spec.ff;
+    plan.measure = spec.measure;
+    plan.warm = spec.resolvedWarm();
+    plan.mode = spec.mode;
+
+    const std::uint64_t period = plan.ff + plan.measure;
+    plan.windows = spec.windows != 0 ? spec.windows : txns / period;
+    if (plan.windows < 2) {
+        isim_fatal("sampled run needs at least 2 windows but "
+                   "%llu transactions fit %llu window(s) of "
+                   "ff=%llu + measure=%llu; shrink the period or "
+                   "raise --txns (docs/SAMPLING.md)",
+                   static_cast<unsigned long long>(txns),
+                   static_cast<unsigned long long>(plan.windows),
+                   static_cast<unsigned long long>(plan.ff),
+                   static_cast<unsigned long long>(plan.measure));
+    }
+    if (plan.windows * period > txns) {
+        isim_fatal("--sample-windows %llu x (ff=%llu + measure=%llu) "
+                   "= %llu transactions exceeds the run's %llu "
+                   "measured transactions",
+                   static_cast<unsigned long long>(plan.windows),
+                   static_cast<unsigned long long>(plan.ff),
+                   static_cast<unsigned long long>(plan.measure),
+                   static_cast<unsigned long long>(plan.windows *
+                                                   period),
+                   static_cast<unsigned long long>(txns));
+    }
+    return plan;
+}
+
+} // namespace sample
+} // namespace isim

@@ -68,6 +68,33 @@ Histogram::clear()
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    if (other.bucketWidth_ != bucketWidth_ ||
+        other.counts_.size() != counts_.size()) {
+        isim_fatal("histogram '%s' merge geometry mismatch: "
+                   "other has width %llu x %zu buckets, this "
+                   "has %llu x %zu",
+                   name_.c_str(),
+                   static_cast<unsigned long long>(other.bucketWidth_),
+                   other.counts_.size(),
+                   static_cast<unsigned long long>(bucketWidth_),
+                   counts_.size());
+    }
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    overflow_ += other.overflow_;
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
 Histogram::saveState(ckpt::Serializer &s) const
 {
     s.u64(bucketWidth_);

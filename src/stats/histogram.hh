@@ -53,6 +53,14 @@ class Histogram
     void clear();
 
     /**
+     * Accumulate another histogram's samples into this one. The two
+     * must share geometry (bucket width and count); fatal on skew.
+     * Used by the sampled-simulation controller to pool per-window
+     * distribution observations into one run-level histogram.
+     */
+    void merge(const Histogram &other);
+
+    /**
      * Checkpoint the accumulated samples. The geometry (name, bucket
      * width, bucket count) is configuration, not state: restore
      * verifies it matches and fatals on skew.

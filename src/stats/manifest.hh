@@ -5,24 +5,32 @@
  * machinery `tools/isim-stat` and the regression tests use to compare
  * two manifests stat-by-stat.
  *
- * Manifest layout (schema "isim-stats", version 2):
+ * Manifest layout (schema "isim-stats", version 3):
  *
  *   {
  *     "schema": "isim-stats",
- *     "version": 2,
+ *     "version": 3,
  *     "figure": "fig05",
  *     "title": "...",
  *     "bars": [
  *       {"name": "1x8-1MB",
  *        "meta": {"key": "<16 hex>", "config_digest": "<16 hex>",
- *                 "seed": 7, "schema_version": 2,
+ *                 "seed": 7, "schema_version": 3,
  *                 "sim_wall_ms": 12.5},
  *        "stats": {"cpu.busy": {"kind": "counter", "unit": "ticks",
  *                               "desc": "...", "value": 12345}, ...},
+ *        "sampling": {"mode": "fixed", "ff": 300, "measure": 50,
+ *                     "warm": 50, "windows": 8, "covered": 400,
+ *                     "stats": {"cpu.busy": {"sem": 1.5e6,
+ *                               "ci95": 3.5e6, "windows": 8}, ...}},
  *        "epochs": [{"epoch": 0, "start": 0, "end": 1000000,
  *                    "committed_txns": 12, ...}, ...]}
  *     ]
  *   }
+ *
+ * "sampling" appears only on sampled bars (docs/SAMPLING.md): the
+ * resolved schedule plus a standard error and 95% CI per stat
+ * (distribution stats get ".count"/".sum"/".mean" entries).
  *
  * "meta" is the bar's content-address block: "key" is the FNV-1a 64
  * digest of the bar's canonical configuration encoding
@@ -51,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sample/report.hh"
 #include "src/stats/registry.hh"
 
 namespace isim {
@@ -65,10 +74,13 @@ namespace stats {
 
 constexpr const char *kManifestSchema = "isim-stats";
 // Version 2: "wall_ms" (simulated ms, despite the name) became
-// "sim_wall_ms", and an optional "host_wall_ms" was added. The
-// version participates in resultKey(), so the bump deliberately
-// invalidates campaign caches built by older schemas.
-constexpr int kManifestVersion = 2;
+// "sim_wall_ms", and an optional "host_wall_ms" was added.
+// Version 3: sampled runs (docs/SAMPLING.md) — bars may carry a
+// "sampling" block (schedule + per-stat sem/ci95) and the META block
+// echoes the sampling schedule. The version participates in
+// resultKey(), so each bump deliberately invalidates campaign caches
+// built by older schemas.
+constexpr int kManifestVersion = 3;
 
 /** Lower-case 16-digit hex rendering of a 64-bit digest. */
 std::string hex64(std::uint64_t v);
@@ -83,6 +95,17 @@ std::string hex64(std::uint64_t v);
  */
 std::string resultKey(const std::vector<std::uint8_t> &config_bytes,
                       std::uint64_t seed);
+
+/**
+ * resultKey() with the sampling axis folded in: an enabled SampleSpec
+ * appends its schedule (ff/measure/warm/windows, LE) and mode byte to
+ * the hashed bytes, so sampled and exact cells — and sampled cells
+ * with different schedules — never alias in the campaign cache. A
+ * disabled spec appends nothing and yields the plain resultKey().
+ */
+std::string resultKey(const std::vector<std::uint8_t> &config_bytes,
+                      std::uint64_t seed,
+                      const sample::SampleSpec &sample);
 
 /** FNV-1a 64 of the canonical configuration encoding, as hex. */
 std::string configDigest(const std::vector<std::uint8_t> &config_bytes);
@@ -122,6 +145,16 @@ struct BarMeta
      */
     std::string warmupMode;
     std::string execMode;
+    /**
+     * Sampled-run schedule echo (docs/SAMPLING.md); sampleMode "" =
+     * exact run, fields omitted. Like the mode echoes, emitted only
+     * when sampling actually shaped the bar's numbers.
+     */
+    std::string sampleMode;
+    std::uint64_t sampleFf = 0;
+    std::uint64_t sampleMeasure = 0;
+    std::uint64_t sampleWarm = 0;
+    std::uint64_t sampleWindows = 0;
 };
 
 /** One bar's worth of manifest content. */
@@ -131,6 +164,8 @@ struct ManifestBar
     BarMeta meta;
     Snapshot stats;
     std::vector<obs::EpochRow> epochs; //!< empty unless epoch sampling on
+    /** Per-stat error bounds; written only when sampling.enabled. */
+    sample::SampleReport sampling;
 };
 
 struct Manifest
@@ -176,6 +211,31 @@ struct BarMetaView
  */
 std::vector<BarMetaView> manifestMeta(const JsonValue &doc);
 
+/**
+ * Flatten every bar's "sampling" block into sorted
+ * ("<bar>/<stat>", ci95) pairs. Exact manifests yield an empty
+ * vector. Null / non-finite ci95 entries are skipped — a stat
+ * without a finite CI compares like an unsampled one.
+ */
+std::vector<FlatStat> flattenCi95(const JsonValue &doc);
+
+/** Whether any bar of a parsed manifest carries a sampling block. */
+bool manifestHasSampling(const JsonValue &doc);
+
+/**
+ * Every gauge stat of a parsed manifest as a sorted "<bar>/<stat>"
+ * list. CI-aware diffs (isim-stat diff --ci) exclude gauges when one
+ * side was sampled: a sampled run reports a gauge as its mean level
+ * over the measurement windows, an exact run as its end-of-run level
+ * — different estimands that no confidence interval reconciles
+ * (docs/SAMPLING.md).
+ */
+std::vector<std::string> manifestGaugePaths(const JsonValue &doc);
+
+/** `flat` minus the stats whose path is in sorted `paths`. */
+std::vector<FlatStat> dropPaths(const std::vector<FlatStat> &flat,
+                                const std::vector<std::string> &paths);
+
 /** One stat whose value differs between two manifests. */
 struct StatDiff
 {
@@ -206,6 +266,27 @@ struct DiffResult
 DiffResult diffFlattened(const std::vector<FlatStat> &a,
                          const std::vector<FlatStat> &b,
                          double tolerance = 0.0);
+
+/**
+ * CI-aware comparison (isim-stat diff --ci): a pair whose absolute
+ * delta is within the union of the two sides' 95% intervals
+ * (ciA + ciB, missing = 0) is clean; pairs with no CI on either side
+ * fall back to the relative `tolerance`. The tolerance also floors
+ * CI pairs — a deterministic counter's zero-width interval would
+ * otherwise flag the small systematic window-boundary bias sampling
+ * necessarily carries. When `any_sampled`, order-statistic
+ * distribution fields (.min/.max/.p50/.p95/.p99) are excluded from
+ * the comparison entirely — the interval-batch estimator provides no
+ * error bound for order statistics (docs/SAMPLING.md, "when the CI
+ * lies"). Callers comparing sampled against exact manifests should
+ * also drop gauge paths (manifestGaugePaths + dropPaths), as
+ * isim-stat does.
+ */
+DiffResult diffFlattenedCi(const std::vector<FlatStat> &a,
+                           const std::vector<FlatStat> &b,
+                           const std::vector<FlatStat> &ci_a,
+                           const std::vector<FlatStat> &ci_b,
+                           bool any_sampled, double tolerance = 0.0);
 
 } // namespace stats
 } // namespace isim

@@ -141,7 +141,7 @@ Registry::gauge(const std::string &name, const std::string &desc,
 
 Registry &
 Registry::formula(const std::string &name, const std::string &desc,
-                  const std::string &unit, GaugeFn get)
+                  const std::string &unit, GaugeFn get, bool extensive)
 {
     isim_assert(get != nullptr);
     Entry e;
@@ -150,6 +150,7 @@ Registry::formula(const std::string &name, const std::string &desc,
     e.unit = unit;
     e.kind = Kind::Formula;
     e.getGauge = std::move(get);
+    e.extensive = extensive;
     add(std::move(e));
     return *this;
 }
@@ -212,6 +213,7 @@ Registry::snapshot() const
         s.desc = e.desc;
         s.unit = e.unit;
         s.kind = e.kind;
+        s.extensive = e.extensive;
         switch (e.kind) {
           case Kind::Counter:
             s.u = e.getCounter();
@@ -238,6 +240,17 @@ Registry::snapshot() const
     std::sort(out.begin(), out.end(),
               [](const Sample &a, const Sample &b) { return a.name < b.name; });
     return out;
+}
+
+void
+Registry::forEachDistribution(
+    const std::function<void(const std::string &name,
+                             const Histogram &h)> &fn) const
+{
+    for (const auto &e : entries_) {
+        if (e.kind == Kind::Distribution)
+            fn(e.name, e.getHistogram());
+    }
 }
 
 void

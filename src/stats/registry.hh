@@ -62,6 +62,13 @@ struct Sample
     std::uint64_t u = 0;  //!< Counter value
     double d = 0.0;       //!< Gauge / Formula value (may be NaN)
     DistSummary dist;     //!< Distribution summary
+    /**
+     * Formula only: true when the value is a run-total (like
+     * cpu.exec_time's ticks) rather than a rate or ratio. Sampled runs
+     * (docs/SAMPLING.md) expand extensive formulas to run level the
+     * way they expand counters; intensive ones are averaged.
+     */
+    bool extensive = false;
 
     /** Canonical scalar value (distributions report their count). */
     double number() const;
@@ -99,8 +106,13 @@ class Registry
                       const std::string &unit, CounterFn get);
     Registry &gauge(const std::string &name, const std::string &desc,
                     const std::string &unit, GaugeFn get);
+    /**
+     * `extensive` marks a formula whose value is a run-total (see
+     * Sample::extensive); the default (false) means a rate or ratio.
+     */
     Registry &formula(const std::string &name, const std::string &desc,
-                      const std::string &unit, GaugeFn get);
+                      const std::string &unit, GaugeFn get,
+                      bool extensive = false);
     Registry &distribution(const std::string &name,
                            const std::string &desc,
                            const std::string &unit, HistogramFn get);
@@ -125,6 +137,15 @@ class Registry
     /** Evaluate every stat; the result is sorted by name. */
     Snapshot snapshot() const;
 
+    /**
+     * Visit every Distribution stat's live histogram, in registration
+     * order (deterministic). The sampled-simulation controller uses
+     * this to pool per-window histograms across measurement windows.
+     */
+    void forEachDistribution(
+        const std::function<void(const std::string &name,
+                                 const Histogram &h)> &fn) const;
+
   private:
     struct Entry
     {
@@ -135,6 +156,7 @@ class Registry
         CounterFn getCounter;
         GaugeFn getGauge;
         HistogramFn getHistogram;
+        bool extensive = false; //!< Formula only; see Sample::extensive
     };
 
     /** Validates the path and rejects duplicates; fatal on misuse. */

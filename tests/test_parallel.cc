@@ -141,8 +141,12 @@ TEST(Parallel, WorkerExceptionsPropagateInSpecOrder)
 
 TEST(Parallel, SpeedupOnMultiCoreHost)
 {
-    if (std::thread::hardware_concurrency() < 2)
-        GTEST_SKIP() << "needs >= 2 cores to measure speedup";
+    // Two cores can in principle show a speedup, but on a busy or
+    // throttled 2-core host the 1.5x bar below flakes; demand real
+    // parallel headroom before asserting wall-clock. Bit-identity
+    // (JobCountDoesNotChangeResults) stays unconditional.
+    if (std::thread::hardware_concurrency() < 4)
+        GTEST_SKIP() << "needs >= 4 cores to measure speedup reliably";
     setQuiet(true);
     // Big enough that per-bar runtime dwarfs pool overhead.
     const FigureSpec spec = fourBarSpec(/*transactions=*/250);

@@ -10,6 +10,7 @@
  *   isim-bench fig10-uni fig10-mp      bench specific figures
  *   isim-bench --quick                 small txn counts (CI smoke)
  *   isim-bench --warm-restore          time the warm-image pipeline
+ *   isim-bench --sampled               also time a sampled pass
  *   isim-bench --out=bench.json        explicit output path
  *
  * Per figure, the report separates the phases of the warm-up story
@@ -27,6 +28,14 @@
  *   warm_speedup     baseline wall / restore_ms — the pipeline payoff
  *                    that dominates warm-up-heavy figures (>= 5x)
  *
+ * With --sampled (or any explicit --sample-* flag) each figure also
+ * runs once under sampled measurement (docs/SAMPLING.md) and the row
+ * gains a "sampled" block: the sampled wall clock, the speedup over
+ * the cold exact run, and — per bar — the sampled vs exact CPI and
+ * total-L2-miss values with the sampled 95% CI and a within-CI
+ * verdict. That block is the statistical-accuracy record the CI gate
+ * checks: sampling must stay fast AND honest.
+ *
  * In an ISIM_PROF build each figure row also embeds "prof": the
  * self-profiler's per-phase breakdown of the cold run (node path,
  * inclusive ns, enters — see docs/PROFILING.md), so a bench record
@@ -40,6 +49,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -56,6 +66,8 @@
 #include "src/core/driver.hh"
 #include "src/core/registry.hh"
 #include "src/prof/profiler.hh"
+#include "src/sample/spec.hh"
+#include "src/stats/registry.hh"
 
 namespace {
 
@@ -81,6 +93,13 @@ usage(std::FILE *to, const char *argv0)
         "                    pass (image_build_ms) and a restored "
         "rerun (restore_ms,\n"
         "                    warm_speedup)\n"
+        "  --sampled         also time a sampled pass "
+        "(docs/SAMPLING.md) and record\n"
+        "                    per-bar CPI / L2-miss accuracy vs the "
+        "exact run; the\n"
+        "                    schedule comes from --sample-* (or a "
+        "default derived\n"
+        "                    from the transaction count)\n"
         "  --out=FILE        output path (default: BENCH_<date>.json)\n"
         "  --date=DATE       date stamp to embed (default: today, "
         "UTC)\n"
@@ -103,6 +122,34 @@ todayUtc()
     return buffer;
 }
 
+/** Per-bar accuracy record of the sampled pass. */
+struct SampledBar
+{
+    std::string name;
+    double cpiFull = 0.0;
+    double cpiSampled = 0.0;
+    double cpiCi95 = 0.0;
+    double missFull = 0.0;
+    double missSampled = 0.0;
+    double missCi95 = 0.0;
+
+    double
+    cpiRelErr() const
+    {
+        return cpiFull > 0.0
+                   ? std::fabs(cpiSampled - cpiFull) / cpiFull
+                   : 0.0;
+    }
+    bool cpiWithinCi() const
+    {
+        return std::fabs(cpiSampled - cpiFull) <= cpiCi95;
+    }
+    bool missWithinCi() const
+    {
+        return std::fabs(missSampled - missFull) <= missCi95;
+    }
+};
+
 struct BenchRow
 {
     std::string id;
@@ -120,6 +167,10 @@ struct BenchRow
     double restoreMs = -1.0;
     /** Self-profiler breakdown of the cold run (ISIM_PROF builds). */
     std::vector<prof::ProfEntry> prof;
+    /** Sampled pass of --sampled; < 0 = not measured. */
+    double sampledWallMs = -1.0;
+    sample::SampleSpec sampleSpec;
+    std::vector<SampledBar> sampledBars;
 
     /** Cold-timing baseline every speedup is quoted against. */
     double baselineMs() const
@@ -130,18 +181,20 @@ struct BenchRow
 
 std::string
 benchToJson(const std::string &date, const RunOptions &options,
-            bool quick, bool warm_restore,
+            bool quick, bool warm_restore, bool sampled,
             const std::vector<BenchRow> &rows)
 {
     std::ostringstream os;
     JsonWriter json(os, 2);
     json.beginObject()
         .kv("schema", "isim-bench")
-        // Version 3 added the per-figure "prof" breakdown.
-        .kv("version", std::uint64_t{3})
+        // Version 3 added the per-figure "prof" breakdown; version 4
+        // the "sampled" accuracy/speedup block (--sampled).
+        .kv("version", std::uint64_t{4})
         .kv("date", date)
         .kv("quick", quick)
         .kv("warm_restore", warm_restore)
+        .kv("sampled", sampled)
         .kv("jobs", std::uint64_t{options.jobs})
         .kv("txns", options.txns ? *options.txns : std::uint64_t{0})
         .kv("warmup",
@@ -185,6 +238,52 @@ benchToJson(const std::string &date, const RunOptions &options,
                         ? row.baselineMs() / row.restoreMs
                         : 0.0,
                     2);
+        }
+        if (row.sampledWallMs >= 0.0) {
+            // The sampled pass: wall-clock win over the cold exact
+            // run, plus the per-bar accuracy verdicts the CI gate
+            // reads (headline metrics within the sampled 95% CI).
+            bool allCpi = true;
+            bool allMiss = true;
+            double maxRelErr = 0.0;
+            for (const SampledBar &sb : row.sampledBars) {
+                allCpi = allCpi && sb.cpiWithinCi();
+                allMiss = allMiss && sb.missWithinCi();
+                maxRelErr = std::max(maxRelErr, sb.cpiRelErr());
+            }
+            json.key("sampled")
+                .beginObject()
+                .kv("wall_ms", row.sampledWallMs, 2)
+                .kv("speedup",
+                    row.sampledWallMs > 0.0
+                        ? row.wallMs / row.sampledWallMs
+                        : 0.0,
+                    2)
+                .kv("mode", sample::sampleModeName(row.sampleSpec.mode))
+                .kv("ff", row.sampleSpec.ff)
+                .kv("measure", row.sampleSpec.measure)
+                .kv("warm", row.sampleSpec.resolvedWarm())
+                .kv("windows", row.sampleSpec.windows)
+                .kv("cpi_max_rel_err", maxRelErr, 4)
+                .kv("all_cpi_within_ci", allCpi)
+                .kv("all_miss_within_ci", allMiss);
+            json.key("bars").beginArray();
+            for (const SampledBar &sb : row.sampledBars) {
+                json.beginObject()
+                    .kv("name", sb.name)
+                    .kv("cpi_full", sb.cpiFull, 4)
+                    .kv("cpi_sampled", sb.cpiSampled, 4)
+                    .kv("cpi_ci95", sb.cpiCi95, 4)
+                    .kv("cpi_rel_err", sb.cpiRelErr(), 4)
+                    .kv("cpi_within_ci", sb.cpiWithinCi())
+                    .kv("miss_full", sb.missFull, 1)
+                    .kv("miss_sampled", sb.missSampled, 1)
+                    .kv("miss_ci95", sb.missCi95, 1)
+                    .kv("miss_within_ci", sb.missWithinCi())
+                    .endObject();
+            }
+            json.endArray();
+            json.endObject();
         }
         if (!row.prof.empty()) {
             // Where the cold run's host time went (inclusive ns per
@@ -255,6 +354,7 @@ main(int argc, char **argv)
 
     bool quick = false;
     bool warmRestore = false;
+    bool sampled = false;
     std::string outPath;
     std::string date = todayUtc();
     std::vector<std::string> ids;
@@ -266,6 +366,8 @@ main(int argc, char **argv)
             quick = true;
         } else if (arg == "--warm-restore") {
             warmRestore = true;
+        } else if (arg == "--sampled") {
+            sampled = true;
         } else if (arg.rfind("--out=", 0) == 0) {
             outPath = arg.substr(6);
         } else if (arg.rfind("--date=", 0) == 0) {
@@ -293,6 +395,13 @@ main(int argc, char **argv)
     // is the build's whole point; the default build stays untouched.
     if (prof::compiledIn())
         prof::setEnabled(true);
+
+    // Explicit --sample-* flags imply the sampled pass; the cold and
+    // warm-restore passes always measure exactly, so the base options
+    // never carry the sampling schedule.
+    sampled = sampled || opts.sample.enabled();
+    sample::SampleSpec sampleSpec = opts.sample;
+    opts.sample = sample::SampleSpec{};
 
     // Resolve every id before burning simulation time on any of them.
     const FigureRegistry &registry = FigureRegistry::instance();
@@ -356,7 +465,73 @@ main(int argc, char **argv)
             std::filesystem::remove_all(ckptDir);
         }
 
+        if (sampled) {
+            // Sampled pass: same figure, measurement alternating
+            // fast-forward and timing windows. Without explicit
+            // --sample-* flags the schedule derives from the
+            // transaction count: 8 periods, each measuring 1/8 of its
+            // span after a half-window atomic re-warm.
+            const std::uint64_t txns =
+                opts.txns ? *opts.txns
+                          : spec.bars.front().config.workload
+                                .transactions;
+            sample::SampleSpec ss = sampleSpec;
+            if (!ss.enabled()) {
+                const std::uint64_t period =
+                    std::max<std::uint64_t>(txns / 8, 16);
+                ss.measure = std::max<std::uint64_t>(period / 8, 8);
+                ss.ff = period - ss.measure;
+                ss.warm = ss.measure / 2;
+            }
+            RunOptions sampleOpts = opts;
+            sampleOpts.sample = ss;
+            FigureResult sr;
+            row.sampledWallMs = timedRun(spec, sampleOpts, &sr);
+            row.sampleSpec = ss;
+            for (std::size_t i = 0; i < sr.runs.size(); ++i) {
+                const RunResult &s = sr.runs[i];
+                const RunResult &f = result.runs[i];
+                SampledBar sb;
+                sb.name = s.name;
+                if (const stats::Sample *v =
+                        stats::findSample(f.stats, "cpu.cpi"))
+                    sb.cpiFull = v->number();
+                if (const stats::Sample *v =
+                        stats::findSample(s.stats, "cpu.cpi"))
+                    sb.cpiSampled = v->number();
+                if (const stats::Sample *v =
+                        stats::findSample(f.stats, "l2.miss.total"))
+                    sb.missFull = v->number();
+                if (const stats::Sample *v =
+                        stats::findSample(s.stats, "l2.miss.total"))
+                    sb.missSampled = v->number();
+                if (const sample::StatCi *ci =
+                        s.sampling.find("cpu.cpi"))
+                    sb.cpiCi95 = ci->ci95;
+                if (const sample::StatCi *ci =
+                        s.sampling.find("l2.miss.total"))
+                    sb.missCi95 = ci->ci95;
+                // The echo carries the resolved window count.
+                row.sampleSpec.windows = s.sampling.windows;
+                row.sampledBars.push_back(std::move(sb));
+            }
+        }
+
         rows.push_back(row);
+        if (row.sampledWallMs >= 0.0) {
+            std::printf("%-12s %8.1f ms exact / %8.1f ms sampled "
+                        "(%.2fx, cpi err %.1f%%)\n",
+                        row.id.c_str(), row.wallMs, row.sampledWallMs,
+                        row.sampledWallMs > 0.0
+                            ? row.wallMs / row.sampledWallMs
+                            : 0.0,
+                        100.0 * [&row] {
+                            double m = 0.0;
+                            for (const SampledBar &sb : row.sampledBars)
+                                m = std::max(m, sb.cpiRelErr());
+                            return m;
+                        }());
+        }
         if (row.restoreMs >= 0.0) {
             std::printf("%-12s %8.1f ms cold / %8.1f ms build / "
                         "%8.1f ms restored  (%zu bars, %llu txns)\n",
@@ -375,7 +550,7 @@ main(int argc, char **argv)
     }
 
     const std::string doc =
-        benchToJson(date, opts, quick, warmRestore, rows);
+        benchToJson(date, opts, quick, warmRestore, sampled, rows);
     std::string err;
     if (!jsonValidate(doc, &err))
         isim_panic("bench JSON does not validate: %s", err.c_str());

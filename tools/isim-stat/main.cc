@@ -7,15 +7,19 @@
  *
  *   isim-stat dump  stats.json                every stat, one per line
  *   isim-stat grep  PATTERN stats.json        stats whose path matches
- *   isim-stat diff  a.json b.json [--tolerance=R]
+ *   isim-stat diff  a.json b.json [--tolerance=R] [--ci]
  *
  * `diff` compares two manifests stat-by-stat and exits 1 when any
  * stat drifted beyond the relative tolerance (default 0: values must
  * be bit-identical) or is present on one side only — the shape CI
- * regression gates want. PATTERN is a plain substring match on the
- * flattened "<bar>/<stat>" path.
+ * regression gates want. With `--ci`, a stat that carries a 95%
+ * confidence interval on either side (sampled runs, docs/SAMPLING.md)
+ * passes when the delta is within the union of the two intervals;
+ * stats without a CI fall back to the relative tolerance. PATTERN is
+ * a plain substring match on the flattened "<bar>/<stat>" path.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,14 +43,23 @@ usage(std::ostream &os, int rc)
           "  dump FILE                   every stat as `path value`\n"
           "  grep PATTERN FILE           stats whose path contains "
           "PATTERN\n"
-          "  diff A B [--tolerance=R]    compare two manifests; exit "
+          "  diff A B [--tolerance=R] [--ci]\n"
+          "                              compare two manifests; exit "
           "1 on drift,\n"
           "                              2 when either side has no "
           "stats rows\n\n"
           "options:\n"
           "  --tolerance=R   relative tolerance for diff "
           "(|b-a|/max(|a|,|b|) <= R\n"
-          "                  passes; default 0 = bit-identical)\n";
+          "                  passes; default 0 = bit-identical)\n"
+          "  --ci            accept drift within the union of the two "
+          "sides'\n"
+          "                  sampled 95% confidence intervals "
+          "(docs/SAMPLING.md);\n"
+          "                  order-statistic fields (.p50/.p95/...) "
+          "and gauges\n"
+          "                  are skipped; --tolerance floors CI "
+          "pairs\n";
     return rc;
 }
 
@@ -70,19 +83,29 @@ loadDoc(const std::string &path)
     return doc;
 }
 
-/** Read and parse a manifest file, flattened to sorted stat leaves. */
-std::vector<stats::FlatStat>
-loadManifest(const std::string &path)
+/** Sorted-vector CI lookup ("<bar>/<stat>" -> ci95); NaN if absent. */
+const stats::FlatStat *
+findCi(const std::vector<stats::FlatStat> &ci, const std::string &path)
 {
-    return stats::flattenManifest(loadDoc(path));
+    const auto it = std::lower_bound(
+        ci.begin(), ci.end(), path,
+        [](const stats::FlatStat &s, const std::string &p) {
+            return s.path < p;
+        });
+    return it != ci.end() && it->path == path ? &*it : nullptr;
 }
 
 void
-printStat(const stats::FlatStat &s)
+printStat(const stats::FlatStat &s, const stats::FlatStat *ci)
 {
-    char line[256];
-    std::snprintf(line, sizeof(line), "%-64s %.17g\n", s.path.c_str(),
-                  s.value);
+    char line[320];
+    if (ci != nullptr) {
+        std::snprintf(line, sizeof(line), "%-64s %.17g ±%.6g\n",
+                      s.path.c_str(), s.value, ci->value);
+    } else {
+        std::snprintf(line, sizeof(line), "%-64s %.17g\n",
+                      s.path.c_str(), s.value);
+    }
     std::fputs(line, stdout);
 }
 
@@ -105,30 +128,40 @@ cmdDump(const std::string &path, const std::string &pattern)
 {
     const JsonValue doc = loadDoc(path);
     // Bars that carry a META block print it first, so cache keys are
-    // auditable next to the stats they address.
+    // auditable next to the stats they address. Sampled bars append
+    // their schedule.
     if (pattern.empty()) {
         for (const stats::BarMetaView &view : stats::manifestMeta(doc)) {
             char line[512];
+            std::string sampled;
+            if (!view.meta.sampleMode.empty()) {
+                sampled = " sampled=" + view.meta.sampleMode + ":ff" +
+                          std::to_string(view.meta.sampleFf) + "+m" +
+                          std::to_string(view.meta.sampleMeasure) +
+                          "x" + std::to_string(view.meta.sampleWindows);
+            }
             std::snprintf(line, sizeof(line),
                           "META %s key=%s config=%s seed=%llu "
-                          "schema=%d%s%s\n",
+                          "schema=%d%s%s%s\n",
                           view.bar.c_str(), view.meta.key.c_str(),
                           view.meta.configDigest.c_str(),
                           static_cast<unsigned long long>(
                               view.meta.seed),
-                          view.meta.schemaVersion,
+                          view.meta.schemaVersion, sampled.c_str(),
                           view.meta.status.empty() ? "" : " status=",
                           view.meta.status.c_str());
             std::fputs(line, stdout);
         }
     }
+    // Sampled manifests annotate each bounded stat with its ±95% CI.
+    const std::vector<stats::FlatStat> ci = stats::flattenCi95(doc);
     std::size_t shown = 0;
     for (const stats::FlatStat &s : stats::flattenManifest(doc)) {
         if (!pattern.empty() &&
             s.path.find(pattern) == std::string::npos) {
             continue;
         }
-        printStat(s);
+        printStat(s, findCi(ci, s.path));
         ++shown;
     }
     if (!pattern.empty() && shown == 0) {
@@ -141,10 +174,28 @@ cmdDump(const std::string &path, const std::string &pattern)
 
 int
 cmdDiff(const std::string &pathA, const std::string &pathB,
-        double tolerance)
+        double tolerance, bool use_ci)
 {
-    const std::vector<stats::FlatStat> a = loadManifest(pathA);
-    const std::vector<stats::FlatStat> b = loadManifest(pathB);
+    const JsonValue docA = loadDoc(pathA);
+    const JsonValue docB = loadDoc(pathB);
+    std::vector<stats::FlatStat> a = stats::flattenManifest(docA);
+    std::vector<stats::FlatStat> b = stats::flattenManifest(docB);
+    const bool anySampled =
+        use_ci && (stats::manifestHasSampling(docA) ||
+                   stats::manifestHasSampling(docB));
+    if (anySampled) {
+        // Gauges are levels, not rates: a sampled manifest reports the
+        // mean level over its windows, an exact one the end-of-run
+        // level. No CI reconciles those, so CI-aware diffs skip them.
+        std::vector<std::string> gauges =
+            stats::manifestGaugePaths(docA);
+        std::vector<std::string> gaugesB =
+            stats::manifestGaugePaths(docB);
+        gauges.insert(gauges.end(), gaugesB.begin(), gaugesB.end());
+        std::sort(gauges.begin(), gauges.end());
+        a = stats::dropPaths(a, gauges);
+        b = stats::dropPaths(b, gauges);
+    }
     // Two empty manifests compare "clean" vacuously — which is how a
     // broken producer slips through a CI gate. Zero rows is an
     // error, not a pass.
@@ -154,7 +205,14 @@ cmdDiff(const std::string &pathA, const std::string &pathB,
                      "(a diff against nothing proves nothing)\n";
         return 2;
     }
-    const stats::DiffResult d = stats::diffFlattened(a, b, tolerance);
+    stats::DiffResult d;
+    if (use_ci) {
+        d = stats::diffFlattenedCi(a, b, stats::flattenCi95(docA),
+                                   stats::flattenCi95(docB),
+                                   anySampled, tolerance);
+    } else {
+        d = stats::diffFlattened(a, b, tolerance);
+    }
     for (const stats::StatDiff &diff : d.diffs) {
         char line[320];
         std::snprintf(line, sizeof(line),
@@ -170,6 +228,8 @@ cmdDiff(const std::string &pathA, const std::string &pathB,
         std::cout << a.size() << " stats match";
         if (tolerance > 0.0)
             std::cout << " (tolerance " << tolerance << ")";
+        if (use_ci)
+            std::cout << " (CI-aware)";
         std::cout << "\n";
         return 0;
     }
@@ -206,18 +266,21 @@ main(int argc, char **argv)
         if (argc < 4)
             return usage(std::cerr, 2);
         double tolerance = 0.0;
+        bool ci = false;
         for (int i = 4; i < argc; ++i) {
             const char *arg = argv[i];
             const char *prefix = "--tolerance=";
             if (std::strncmp(arg, prefix, std::strlen(prefix)) == 0) {
                 tolerance = parseTolerance(arg + std::strlen(prefix));
+            } else if (std::strcmp(arg, "--ci") == 0) {
+                ci = true;
             } else {
                 std::cerr << "isim-stat: unknown option '" << arg
                           << "'\n\n";
                 return usage(std::cerr, 2);
             }
         }
-        return cmdDiff(argv[2], argv[3], tolerance);
+        return cmdDiff(argv[2], argv[3], tolerance, ci);
     }
     std::cerr << "isim-stat: unknown command '" << command << "'\n\n";
     return usage(std::cerr, 2);
